@@ -1,0 +1,48 @@
+"""Ablation: off-lining vs race-to-idle (section 4.1.2's validation).
+
+On a per-core-rail platform, idling cores leak 47-120 mW each, so
+racing to idle loses to MobiCore's off-lining.  On a shared-rail
+platform the gap narrows -- the design axis section 4.1.2 discusses.
+"""
+
+from repro.analysis.sweep import run_session
+from repro.core.mobicore import MobiCorePolicy
+from repro.metrics.summary import summarize
+from repro.policies.single_mechanism import RaceToIdlePolicy
+from repro.soc.catalog import nexus5_spec
+from repro.workloads.busyloop import BusyLoopApp
+
+
+def run_race_to_idle_ablation(config):
+    spec = nexus5_spec()
+    racing = summarize(
+        run_session(
+            spec, BusyLoopApp(25.0), RaceToIdlePolicy(), config, pin_uncore_max=False
+        )
+    )
+    offlining = summarize(
+        run_session(
+            spec,
+            BusyLoopApp(25.0),
+            MobiCorePolicy(
+                power_params=spec.power_params,
+                opp_table=spec.opp_table,
+                num_cores=spec.num_cores,
+            ),
+            config,
+            pin_uncore_max=False,
+        )
+    )
+    return racing, offlining
+
+
+def test_race_to_idle_ablation(bench_once, evaluation_config):
+    racing, offlining = bench_once(run_race_to_idle_ablation, evaluation_config)
+    saving = 100.0 * (1.0 - offlining.mean_power_mw / racing.mean_power_mw)
+    print(
+        f"\nrace-to-idle: {racing.mean_power_mw:.0f} mW "
+        f"(4 cores at fmax, idling)\noff-lining:   {offlining.mean_power_mw:.0f} mW "
+        f"(MobiCore)\nsaving: {saving:.1f}%"
+    )
+    assert offlining.mean_power_mw < racing.mean_power_mw
+    assert saving > 20.0

@@ -1,0 +1,34 @@
+"""Extension bench: the section-3.4 big.LITTLE aside, quantified.
+
+"The use of little cores (and thus more of them) could improve the
+energy efficiency when correct operating points are selected" -- for
+sustained demand, the little cluster's cheapest operating point
+undercuts the big cluster's at every feasible level; the big cores earn
+their keep only beyond the little cluster's throughput ceiling.
+"""
+
+from repro.analysis.biglittle import (
+    compare_clusters,
+    default_big_cluster,
+    default_little_cluster,
+    render_comparison,
+)
+
+DEMANDS = (0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8, 1.0)
+
+
+def run_biglittle_study():
+    little = default_little_cluster()
+    big = default_big_cluster()
+    return compare_clusters(little, big, DEMANDS)
+
+
+def test_biglittle_study(bench_once):
+    points = bench_once(run_biglittle_study)
+    print("\n" + render_comparison(points))
+    feasible_on_little = [p for p in points if p.little is not None]
+    assert feasible_on_little, "sweep should cover the little cluster's range"
+    assert all(p.winner == "little" for p in feasible_on_little)
+    beyond = [p for p in points if p.little is None]
+    assert beyond, "sweep should exceed the little cluster's ceiling"
+    assert all(p.big is not None for p in beyond)

@@ -1,0 +1,74 @@
+"""Extension bench: MobiCore vs a schedutil-class modern baseline.
+
+schedutil (the governor that replaced ondemand upstream, after the
+paper) removes exactly the waste MobiCore's Eq.-9 step targets: it picks
+the just-needed frequency directly instead of jumping to fmax.  This
+bench quantifies where MobiCore's remaining levers (off-lining, quota)
+still pay:
+
+* on steady busy loops, schedutil alone closes most of the gap to
+  MobiCore (and both clearly beat ondemand);
+* on a dynamic game, MobiCore's DCS + bandwidth control still win.
+"""
+
+from repro.analysis.sweep import run_session
+from repro.core.mobicore import MobiCorePolicy
+from repro.metrics.summary import summarize
+from repro.policies.android_default import AndroidDefaultPolicy
+from repro.soc.catalog import nexus5_spec
+from repro.workloads.busyloop import BusyLoopApp
+from repro.workloads.games import game_workload
+
+
+def run_schedutil_extension(config):
+    spec = nexus5_spec()
+
+    def mobicore():
+        return MobiCorePolicy(
+            power_params=spec.power_params,
+            opp_table=spec.opp_table,
+            num_cores=spec.num_cores,
+        )
+
+    results = {}
+    for workload_name, factory, pin in (
+        ("busyloop-20%", lambda: BusyLoopApp(20.0), False),
+        ("busyloop-50%", lambda: BusyLoopApp(50.0), False),
+        ("Badland", lambda: game_workload("Badland"), True),
+    ):
+        results[workload_name] = {
+            "ondemand": summarize(
+                run_session(spec, factory(), AndroidDefaultPolicy(), config, pin)
+            ),
+            "schedutil": summarize(
+                run_session(
+                    spec,
+                    factory(),
+                    AndroidDefaultPolicy(governor_name="schedutil"),
+                    config,
+                    pin,
+                )
+            ),
+            "mobicore": summarize(
+                run_session(spec, factory(), mobicore(), config, pin)
+            ),
+        }
+    return results
+
+
+def test_schedutil_extension(bench_once, evaluation_config):
+    results = bench_once(run_schedutil_extension, evaluation_config)
+    for workload_name, by_policy in results.items():
+        line = "  ".join(
+            f"{policy}={summary.mean_power_mw:.0f}mW"
+            for policy, summary in by_policy.items()
+        )
+        print(f"\n{workload_name:13s}: {line}")
+    for workload_name, by_policy in results.items():
+        # Both modern policies beat the 2006-era ondemand default.
+        assert by_policy["schedutil"].mean_power_mw < by_policy["ondemand"].mean_power_mw
+        assert by_policy["mobicore"].mean_power_mw < by_policy["ondemand"].mean_power_mw
+    # On the dynamic game, MobiCore's extra levers (DCS + quota) still
+    # beat a pure modern DVFS baseline.
+    game = results["Badland"]
+    assert game["mobicore"].mean_power_mw < game["schedutil"].mean_power_mw

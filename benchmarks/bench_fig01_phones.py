@@ -1,0 +1,15 @@
+"""Figure 1: average power across the 2010-2014 phone fleet.
+
+Paper anchors: Nexus S 980.6 mW, Nexus 5 2403.82 mW (~140% higher);
+power grows almost linearly with core count.
+"""
+
+from repro.experiments import fig01_phones
+
+
+def test_fig01_phone_fleet(bench_once, characterisation_config):
+    result = bench_once(fig01_phones.run, characterisation_config)
+    print("\n" + result.render())
+    print(f"\nNexus 5 vs Nexus S: +{result.nexus5_vs_nexus_s_percent:.0f}% (paper: +140%)")
+    assert result.power_increases_with_cores()
+    assert abs(result.nexus5_vs_nexus_s_percent - 140.0) < 20.0

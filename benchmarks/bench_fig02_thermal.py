@@ -1,0 +1,13 @@
+"""Figure 2: full-stress CPU-area temperatures (the infrared image).
+
+Paper anchors: 26.9 degC (Nexus S) vs 42.1 degC (Nexus 5).
+"""
+
+from repro.experiments import fig02_thermal
+
+
+def test_fig02_infrared_readings(bench_once):
+    result = bench_once(fig02_thermal.run)
+    print("\n" + result.render())
+    assert abs(result.row("Nexus S").peak_temperature_c - 26.9) < 1.0
+    assert abs(result.row("Nexus 5").peak_temperature_c - 42.1) < 1.0

@@ -1,0 +1,20 @@
+"""Figure 3: power over CPU utilization at five frequencies, one core.
+
+Paper headlines: +74% from 10% to 100% load at fmax (+62.5% at fmin);
+scaling fmax -> fmin at full load saves 28.2-71.9%.
+"""
+
+from repro.experiments import fig03_util_power
+
+
+def test_fig03_utilization_sweep(bench_once, characterisation_config):
+    result = bench_once(fig03_util_power.run, characterisation_config)
+    print("\n" + result.render())
+    top = max(result.frequencies_khz)
+    print(
+        f"\ngrowth at fmax: +{result.growth_percent(top):.0f}% (paper: +74%)   "
+        f"saving fmax->fmin at 100%: {result.saving_at_full_load_percent():.0f}% "
+        f"(paper band: 28.2-71.9%)"
+    )
+    assert result.is_monotone_in_utilization()
+    assert 28.2 <= result.saving_at_full_load_percent() <= 71.9

@@ -1,0 +1,21 @@
+"""Figure 4: power over core count at 100% utilization, five frequencies.
+
+Paper headlines at fmax: 1 -> 2 cores +28.3%, 2 -> 4 cores +7.7% --
+strongly concave; the thermally-throttled Nexus 5 reproduces the shape.
+"""
+
+from repro.config import SimulationConfig
+from repro.experiments import fig04_cores_power
+
+
+def test_fig04_core_count_sweep(bench_once):
+    config = SimulationConfig(duration_seconds=60.0, seed=0, warmup_seconds=20.0)
+    result = bench_once(fig04_cores_power.run, config)
+    print("\n" + result.render())
+    top = max(result.frequencies_khz)
+    print(
+        f"\nat fmax: 1->2 cores {result.increase_percent(top, 1, 2):+.1f}% "
+        f"(paper +28.3%), 2->4 cores {result.increase_percent(top, 2, 4):+.1f}% "
+        f"(paper +7.7%)"
+    )
+    assert result.is_concave_at(top)

@@ -1,0 +1,18 @@
+"""Figure 5: power over frequency across operating points at fixed loads.
+
+Paper headline: the minimal-power point moves to more cores as global
+load rises; the model's optimal curve tracks the measured minima.
+"""
+
+from repro.config import SimulationConfig
+from repro.experiments import fig05_operating_points
+
+
+def test_fig05_operating_points(bench_once):
+    config = SimulationConfig(duration_seconds=10.0, seed=0, warmup_seconds=2.0)
+    result = bench_once(fig05_operating_points.run, config)
+    print("\n" + result.render())
+    counts = result.best_core_counts()
+    print(f"\nmeasured-optimal cores per load {list(result.loads)}: {counts}")
+    assert counts == sorted(counts)
+    assert result.model_matches_measurement()

@@ -1,0 +1,20 @@
+"""Figure 6: performance and power over frequency (1 core, 100% load).
+
+Paper headline: performance rises with frequency and flattens toward the
+top of the ladder (the ~1.95 GHz plateau).
+"""
+
+from repro.config import SimulationConfig
+from repro.experiments import fig06_perf_power
+
+
+def test_fig06_single_core_curve(bench_once):
+    config = SimulationConfig(duration_seconds=15.0, seed=0, warmup_seconds=2.0)
+    result = bench_once(fig06_perf_power.run, config)
+    print("\n" + result.render())
+    print(
+        f"\nscore gain over the top quarter: +{result.plateau_gain_percent():.0f}% "
+        f"vs +{result.low_range_gain_percent():.0f}% over the bottom quarter"
+    )
+    assert result.performance_is_monotone()
+    assert result.plateau_gain_percent() < result.low_range_gain_percent() / 2

@@ -1,0 +1,20 @@
+"""Figure 7: performance/power ratio over frequency for 1 vs 4 cores.
+
+Paper headline: the 1-core ratio rises slowly (log-like); the 4-core
+ratio peaks around 960 MHz and then falls.
+"""
+
+from repro.config import SimulationConfig
+from repro.experiments import fig07_ratio
+
+
+def test_fig07_ratio_curves(bench_once):
+    config = SimulationConfig(duration_seconds=15.0, seed=0, warmup_seconds=2.0)
+    result = bench_once(fig07_ratio.run, config)
+    print("\n" + result.render())
+    print(
+        f"\n4-core ratio peak at {result.four_core_peak_khz() / 1000:.0f} MHz "
+        f"(paper: ~960 MHz)"
+    )
+    assert result.four_core_peak_is_interior()
+    assert result.four_core_declines_after_peak()

@@ -1,0 +1,10 @@
+"""Figure 8: the MobiCore decision flow, traced on one sampling period."""
+
+from repro.experiments import fig08_flow
+
+
+def test_fig08_flow_trace(bench_once):
+    result = bench_once(fig08_flow.run)
+    print("\n" + result.render())
+    assert result.quota < 1.0          # step 2 engaged
+    assert result.active_cores == 2    # step 3 offlined the idle cores

@@ -1,0 +1,20 @@
+"""Figure 9(a): the busy-loop benchmark, MobiCore vs Android default.
+
+Paper headlines: power reduction at every load level; worst 6.8% (50%),
+best 20.9% (20%), average 13.9%.
+"""
+
+from repro.experiments import fig09_benchmarks
+
+
+def test_fig09a_busyloop_comparison(bench_once, evaluation_config):
+    result = bench_once(fig09_benchmarks.run_busyloop, evaluation_config)
+    print("\n" + result.render())
+    print(
+        f"\nmean saving {result.mean_saving_percent:.1f}% (paper 13.9%), "
+        f"best {result.best_saving_percent:.1f}% at {result.best_saving_load:.0f}% "
+        f"(paper 20.9% at 20%)"
+    )
+    assert result.always_saves()
+    assert result.mean_saving_percent >= 5.0
+    assert result.best_saving_load <= 40.0

@@ -1,0 +1,14 @@
+"""Figure 9(b): the GeekBench-like benchmark, MobiCore vs Android default.
+
+Paper headline (per section 6.4): ~23% power saving on this benchmark.
+"""
+
+from repro.experiments import fig09_benchmarks
+
+
+def test_fig09b_geekbench_comparison(bench_once, evaluation_config):
+    result = bench_once(fig09_benchmarks.run_geekbench, evaluation_config)
+    print("\n" + result.render())
+    print(f"\npower saving {result.power_saving_percent:.1f}% (paper ~23%)")
+    assert result.power_saving_percent > 5.0
+    assert result.mobicore_score >= 0.8 * result.android_score

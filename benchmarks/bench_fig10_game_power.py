@@ -1,0 +1,20 @@
+"""Figure 10: average gaming power per game, MobiCore vs Android default.
+
+Paper headlines: savings from 0.04% (Real Racing 3) to 11.7%
+(Subway Surf); 5.3% on average; never meaningfully worse.
+"""
+
+from repro.experiments import fig10_game_power
+
+
+def test_fig10_game_power(bench_once, evaluation_config):
+    result = bench_once(fig10_game_power.run, evaluation_config, seeds=(1, 2, 3))
+    print("\n" + result.render())
+    print(
+        f"\nbest: {result.best_game} (paper: Subway Surf), "
+        f"worst: {result.worst_game} (paper: Real Racing 3), "
+        f"mean {result.mean_saving_percent:.1f}% (paper 5.3%)"
+    )
+    assert result.best_game == "Subway Surf"
+    assert result.worst_game == "Real Racing 3"
+    assert result.always_saves()

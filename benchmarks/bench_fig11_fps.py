@@ -1,0 +1,16 @@
+"""Figure 11: average FPS reached and FPS ratio per game.
+
+Paper headlines: the default always reaches a higher FPS; MobiCore stays
+in the acceptable 15-20 band; ~22% fewer FPS on average.
+"""
+
+from repro.experiments import fig11_fps
+
+
+def test_fig11_fps(bench_once, evaluation_config):
+    result = bench_once(fig11_fps.run, evaluation_config, seeds=(1, 2, 3))
+    print("\n" + result.render())
+    print(f"\nmean ratio {result.mean_ratio:.2f} (paper ~0.78)")
+    assert result.default_always_higher()
+    assert result.mobicore_in_acceptable_band()
+    assert 0.70 <= result.mean_ratio <= 0.97

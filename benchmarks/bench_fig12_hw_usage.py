@@ -1,0 +1,18 @@
+"""Figure 12: average frequency difference and active core count per game.
+
+Paper headlines: MobiCore averages fewer active cores (2.52 vs 2.75);
+Real Racing 3 is the game where MobiCore's frequency ends *higher*.
+"""
+
+from repro.experiments import fig12_hw_usage
+
+
+def test_fig12_hw_usage(bench_once, evaluation_config):
+    result = bench_once(fig12_hw_usage.run, evaluation_config, seeds=(1, 2, 3))
+    print("\n" + result.render())
+    print(
+        f"\nmean cores: android {result.mean_android_cores:.2f} (paper 2.75), "
+        f"mobicore {result.mean_mobicore_cores:.2f} (paper 2.52)"
+    )
+    assert result.mobicore_uses_fewer_cores()
+    assert result.real_racing_frequency_increases()

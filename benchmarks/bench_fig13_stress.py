@@ -1,0 +1,18 @@
+"""Figure 13: CPU load stress level per game.
+
+Paper headline: the default policy's cores are busier on average
+(~3.1 points) -- reproduced in the executed-work (fmax-normalised)
+view; the raw busy-time view also shown (see EXPERIMENTS.md).
+"""
+
+from repro.experiments import fig13_stress
+
+
+def test_fig13_stress_level(bench_once, evaluation_config):
+    result = bench_once(fig13_stress.run, evaluation_config, seeds=(1, 2, 3))
+    print("\n" + result.render())
+    print(
+        f"\nmean executed-work difference "
+        f"{result.mean_work_difference_points:+.1f} points (paper ~+3.1)"
+    )
+    assert result.default_does_more_work()

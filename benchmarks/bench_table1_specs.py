@@ -1,0 +1,9 @@
+"""Table 1: the Nexus 5 specification sheet."""
+
+from repro.experiments import table1_specs
+
+
+def test_table1_specs(bench_once):
+    result = bench_once(table1_specs.run)
+    print("\n" + result.render())
+    assert result.opp_count == 14

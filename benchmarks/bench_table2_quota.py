@@ -1,0 +1,10 @@
+"""Table 2: the bandwidth-reduction algorithm trace."""
+
+from repro.experiments import table2_quota
+
+
+def test_table2_quota_trace(bench_once):
+    result = bench_once(table2_quota.run)
+    print("\n" + result.render())
+    assert result.min_quota < 1.0
+    assert result.recovered_full

@@ -1,0 +1,36 @@
+"""Benchmark configuration shared by all figure/table benches.
+
+Every bench runs its experiment driver exactly once through
+pytest-benchmark (``rounds=1``): the interesting output is the figure's
+*content* (printed below each bench) plus the wall-clock cost of
+regenerating it; statistical timing repetition would just re-simulate
+identical deterministic sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a driver once under the benchmark, return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run
+
+
+@pytest.fixture
+def characterisation_config():
+    """Sweep-point sessions (static policies settle within seconds)."""
+    return SimulationConfig(duration_seconds=15.0, seed=0, warmup_seconds=2.0)
+
+
+@pytest.fixture
+def evaluation_config():
+    """Policy-comparison sessions (long enough for steady statistics)."""
+    return SimulationConfig(duration_seconds=60.0, seed=0, warmup_seconds=4.0)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Explore operating points: the section 4.2 optimal-combination curve.
+
+For a sweep of global loads, prints every admissible (cores, frequency)
+combination's predicted power and marks the model's choice -- the curve
+that "looks like the scar on Harry Potter's face" -- then validates one
+load level against a measured simulation sweep.
+
+Run:  python examples/operating_point_explorer.py
+"""
+
+from repro import OperatingPointOptimizer, EnergyModel, SimulationConfig, nexus5_spec
+from repro.analysis.report import render_series
+from repro.experiments import fig05_operating_points
+
+
+def main() -> None:
+    spec = nexus5_spec()
+    model = EnergyModel(spec.power_params, spec.opp_table)
+    optimizer = OperatingPointOptimizer(model, spec.num_cores)
+
+    loads = list(range(5, 101, 5))
+    curve = optimizer.optimal_curve([float(load) for load in loads])
+
+    print("The model's optimal operating point per global load:\n")
+    print(f"{'load %':>7s}  {'cores':>5s}  {'frequency':>10s}  {'busy':>5s}  {'pred. mW':>9s}")
+    for load, point in zip(loads, curve):
+        print(
+            f"{load:7d}  {point.online_count:5d}  "
+            f"{point.frequency_khz / 1000:7.0f} MHz  "
+            f"{point.busy_fraction:5.2f}  {point.predicted_power_mw:9.1f}"
+        )
+
+    print()
+    print(
+        render_series(
+            "The 'scar' curve",
+            "global load %",
+            "optimal core count",
+            loads,
+            [float(p.online_count) for p in curve],
+            bar_width=8,
+        )
+    )
+
+    print("\nValidating against measured sweeps (Figure 5 driver) ...")
+    result = fig05_operating_points.run(
+        SimulationConfig(duration_seconds=8.0, seed=0, warmup_seconds=1.0)
+    )
+    for load in result.loads:
+        best = result.measured_best(load)
+        chosen = result.model_best[load]
+        print(
+            f"  load {load:4.0f}%: measured best {best.online_count}c@"
+            f"{best.frequency_khz / 1000:.0f}MHz ({best.mean_power_mw:.0f} mW), "
+            f"model picks {chosen.online_count}c@{chosen.frequency_khz / 1000:.0f}MHz"
+        )
+    print(
+        "\nmodel-vs-measurement agreement within 10%:",
+        result.model_matches_measurement(),
+    )
+
+
+if __name__ == "__main__":
+    main()

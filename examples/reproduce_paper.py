@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one run.
+
+Walks the experiment registry in paper order and prints each driver's
+rendered output.  This is the long-form companion to the benchmark
+suite; expect a few minutes of simulation.
+
+Run:  python examples/reproduce_paper.py [experiment-id ...]
+e.g.  python examples/reproduce_paper.py fig9a fig10
+"""
+
+import sys
+import time
+
+from repro.experiments import get_experiment, list_experiments
+
+
+def main() -> None:
+    wanted = sys.argv[1:] if len(sys.argv) > 1 else list_experiments()
+    for experiment_id in wanted:
+        experiment = get_experiment(experiment_id)
+        print("=" * 72)
+        print(f"{experiment_id}: {experiment.description}")
+        print("=" * 72)
+        started = time.perf_counter()
+        result = experiment.run()
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{experiment_id} regenerated in {elapsed:.1f} s]\n")
+
+
+if __name__ == "__main__":
+    main()

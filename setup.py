@@ -1,0 +1,7 @@
+"""Setup shim so environments without the `wheel` package can still do
+`pip install -e .` (falls back to `python setup.py develop`).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Battery-life projection: what a power saving means in hours.
+
+The paper's motivation is battery life ("due to battery constraints,
+energy efficiency is, today, the main concern in mobile devices",
+section 1).  These helpers translate the simulator's mean-power numbers
+into the quantity a user feels: hours of runtime on a given battery, and
+the extra minutes a policy's saving buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import require_positive
+
+__all__ = ["BatterySpec", "NEXUS5_BATTERY", "battery_life_hours", "extra_minutes"]
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """A battery's usable energy.
+
+    Attributes:
+        capacity_mah: Rated charge capacity.
+        nominal_voltage: Chemistry nominal (3.8 V for the Nexus 5's
+            Li-polymer cell).
+        usable_fraction: Fraction of the rated energy actually available
+            between full and shutdown.
+    """
+
+    capacity_mah: float
+    nominal_voltage: float = 3.8
+    usable_fraction: float = 0.95
+
+    def __post_init__(self) -> None:
+        require_positive(self.capacity_mah, "capacity_mah")
+        require_positive(self.nominal_voltage, "nominal_voltage")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ConfigError(
+                f"usable_fraction must be in (0, 1], got {self.usable_fraction}"
+            )
+
+    @property
+    def energy_mwh(self) -> float:
+        """Usable energy in milliwatt-hours."""
+        return self.capacity_mah * self.nominal_voltage * self.usable_fraction
+
+
+#: The Nexus 5's BL-T9 cell: 2300 mAh.
+NEXUS5_BATTERY = BatterySpec(capacity_mah=2300.0)
+
+
+def battery_life_hours(mean_power_mw: float, battery: BatterySpec = NEXUS5_BATTERY) -> float:
+    """Runtime in hours at a constant *mean_power_mw* draw."""
+    require_positive(mean_power_mw, "mean_power_mw")
+    return battery.energy_mwh / mean_power_mw
+
+
+def extra_minutes(
+    baseline_power_mw: float,
+    candidate_power_mw: float,
+    battery: BatterySpec = NEXUS5_BATTERY,
+) -> float:
+    """Extra runtime (minutes) the candidate's lower draw buys.
+
+    Negative when the candidate draws more than the baseline.
+    """
+    baseline = battery_life_hours(baseline_power_mw, battery)
+    candidate = battery_life_hours(candidate_power_mw, battery)
+    return (candidate - baseline) * 60.0

@@ -1,0 +1,224 @@
+"""An analytical big.LITTLE exploration (the section 3.4 aside).
+
+The thesis excludes heterogeneous platforms from its *evaluation* but
+makes a concrete claim about them: "the use of little cores (and thus
+more of them) could improve the energy efficiency when correct operating
+points are selected", specifically for spinning workloads "without
+implying any period of idleness" (sections 3.4, 4.1.2).
+
+This module checks that claim with the same Eq. (1)/(2) machinery the
+rest of the library uses, at the model level (no scheduler simulation:
+big.LITTLE *scheduling* is exactly the problem the thesis defers to
+[22]).  A :class:`ClusterModel` wraps an OPP table, power parameters,
+and an IPC scale (a little core retires fewer instructions per cycle);
+:func:`compare_clusters` finds each cluster's cheapest operating point
+for a sustained throughput demand and reports who wins where.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .report import render_table
+from ..errors import ExperimentError
+from ..soc.opp import OppTable
+from ..soc.power_model import CpuPowerModel, PowerParams
+from ..units import clamp, require_positive
+
+__all__ = [
+    "ClusterModel",
+    "ClusterPoint",
+    "ComparisonPoint",
+    "compare_clusters",
+    "render_comparison",
+    "default_little_cluster",
+    "default_big_cluster",
+]
+
+
+@dataclass(frozen=True)
+class ClusterModel:
+    """One homogeneous cluster of a heterogeneous SoC.
+
+    Attributes:
+        name: "little" / "big".
+        opp_table: The cluster's DVFS ladder.
+        params: Eq. (1)/(2) power constants for one core of this type.
+        ipc_scale: Instructions per cycle relative to the reference core
+            (a little in-order core does less work per cycle).
+        num_cores: Cores in the cluster.
+    """
+
+    name: str
+    opp_table: OppTable
+    params: PowerParams
+    ipc_scale: float
+    num_cores: int
+
+    def __post_init__(self) -> None:
+        require_positive(self.ipc_scale, "ipc_scale")
+        if self.num_cores < 1:
+            raise ExperimentError(f"{self.name}: num_cores must be >= 1")
+
+    def max_throughput_ips(self) -> float:
+        """Reference instructions/second with every core at fmax."""
+        return (
+            self.num_cores
+            * self.opp_table.max_frequency_khz
+            * 1000.0
+            * self.ipc_scale
+        )
+
+
+@dataclass(frozen=True)
+class ClusterPoint:
+    """A cluster's cheapest operating point for one demand level."""
+
+    cluster: str
+    online_count: int
+    frequency_khz: int
+    busy_fraction: float
+    power_mw: float
+
+
+@dataclass(frozen=True)
+class ComparisonPoint:
+    """Both clusters' best points at one demand, and the winner."""
+
+    demand_ips: float
+    little: Optional[ClusterPoint]
+    big: Optional[ClusterPoint]
+
+    @property
+    def winner(self) -> str:
+        """"little", "big", or "big (only feasible)"."""
+        if self.little is None and self.big is None:
+            return "none"
+        if self.little is None:
+            return f"{self.big.cluster} (only feasible)"
+        if self.big is None:
+            return f"{self.little.cluster} (only feasible)"
+        return (
+            self.little.cluster
+            if self.little.power_mw <= self.big.power_mw
+            else self.big.cluster
+        )
+
+
+def _best_point(cluster: ClusterModel, demand_ips: float) -> Optional[ClusterPoint]:
+    """The cheapest (n, f) of *cluster* sustaining *demand_ips*, or None."""
+    model = CpuPowerModel(cluster.params, cluster.opp_table)
+    best: Optional[ClusterPoint] = None
+    for count in range(1, cluster.num_cores + 1):
+        for opp in cluster.opp_table:
+            throughput = count * opp.frequency_khz * 1000.0 * cluster.ipc_scale
+            if throughput + 1e-9 < demand_ips:
+                continue
+            busy = clamp(demand_ips / throughput, 0.0, 1.0)
+            power = model.predict_cpu_mw(count, opp.frequency_khz, busy)
+            if best is None or power < best.power_mw:
+                best = ClusterPoint(
+                    cluster=cluster.name,
+                    online_count=count,
+                    frequency_khz=opp.frequency_khz,
+                    busy_fraction=busy,
+                    power_mw=power,
+                )
+    return best
+
+
+def compare_clusters(
+    little: ClusterModel,
+    big: ClusterModel,
+    demand_fractions: Sequence[float],
+) -> List[ComparisonPoint]:
+    """Best point per cluster over a sweep of sustained demands.
+
+    *demand_fractions* are fractions of the **big** cluster's maximum
+    throughput (so 1.0 is only feasible on big silicon).
+    """
+    if not demand_fractions:
+        raise ExperimentError("compare_clusters needs at least one demand level")
+    reference = big.max_throughput_ips()
+    points = []
+    for fraction in demand_fractions:
+        if fraction <= 0:
+            raise ExperimentError("demand fractions must be positive")
+        demand = fraction * reference
+        points.append(
+            ComparisonPoint(
+                demand_ips=demand,
+                little=_best_point(little, demand),
+                big=_best_point(big, demand),
+            )
+        )
+    return points
+
+
+def render_comparison(points: Sequence[ComparisonPoint]) -> str:
+    """ASCII table of the sweep."""
+    rows = []
+    for point in points:
+        def cell(best: Optional[ClusterPoint]) -> str:
+            if best is None:
+                return "infeasible"
+            return (
+                f"{best.online_count}c@{best.frequency_khz / 1000:.0f}MHz "
+                f"{best.power_mw:.0f}mW"
+            )
+
+        rows.append(
+            (
+                f"{point.demand_ips / 1e9:.2f}",
+                cell(point.little),
+                cell(point.big),
+                point.winner,
+            )
+        )
+    return render_table(("demand (Gips)", "little best", "big best", "winner"), rows)
+
+
+def default_little_cluster() -> ClusterModel:
+    """A Cortex-A7-class quad: low ceilings, very low power, IPC ~0.6."""
+    table = OppTable.linear(
+        [300_000, 400_000, 600_000, 800_000, 1_000_000, 1_200_000],
+        min_voltage=0.85,
+        max_voltage=1.05,
+    )
+    return ClusterModel(
+        name="little",
+        opp_table=table,
+        params=PowerParams.from_static_anchors(
+            ceff_mw_per_ghz_v2=45.0,
+            static_at_vmin_mw=12.0,
+            static_at_vmax_mw=28.0,
+            vmin=0.85,
+            vmax=1.05,
+        ),
+        ipc_scale=0.6,
+        num_cores=4,
+    )
+
+
+def default_big_cluster() -> ClusterModel:
+    """A Krait/A15-class quad: the calibrated Nexus 5 core, IPC 1.0."""
+    from ..soc.calibration import nexus5_opp_table, nexus5_power_params
+
+    import dataclasses
+
+    params = dataclasses.replace(
+        nexus5_power_params(),
+        cluster_overhead_base_mw=0.0,
+        cluster_overhead_span_mw=0.0,
+        cache_base_mw=0.0,
+        cache_span_mw=0.0,
+        platform_base_mw=0.0,
+    )
+    return ClusterModel(
+        name="big",
+        opp_table=nexus5_opp_table(),
+        params=params,
+        ipc_scale=1.0,
+        num_cores=4,
+    )

@@ -1,0 +1,128 @@
+"""Policy A/B comparison on identical demand (the section 6 harness).
+
+Every evaluation figure compares MobiCore against the Android default on
+the *same* workload.  :class:`PolicyComparison` runs both policies with
+the same seed (so stochastic workloads emit the same demand sequence),
+optionally over several seeds, and reports the paper's deltas: power
+saving, FPS ratio, frequency reduction, core-count difference, load
+difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from ..metrics.summary import SessionSummary, summarize
+from ..policies.base import CpuPolicy
+from ..soc.platform import PlatformSpec
+from ..workloads.base import Workload
+from .sweep import run_session
+
+__all__ = ["ComparisonRow", "PolicyComparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Both policies' summaries for one workload plus the paper's deltas."""
+
+    workload: str
+    baseline: SessionSummary
+    candidate: SessionSummary
+
+    @property
+    def power_saving_percent(self) -> float:
+        """Candidate's power saving over the baseline (Figures 9-10)."""
+        return self.candidate.power_saving_percent(self.baseline)
+
+    @property
+    def fps_ratio(self) -> Optional[float]:
+        """Candidate/baseline FPS ratio (Figure 11), None without FPS."""
+        if self.candidate.mean_fps is None or self.baseline.mean_fps is None:
+            return None
+        if self.baseline.mean_fps == 0:
+            return None
+        return self.candidate.mean_fps / self.baseline.mean_fps
+
+    @property
+    def frequency_reduction_percent(self) -> float:
+        """Candidate's mean-frequency reduction (Figure 12 left)."""
+        return self.candidate.frequency_reduction_percent(self.baseline)
+
+    @property
+    def core_difference(self) -> float:
+        """Baseline minus candidate mean active cores (Figure 12 right)."""
+        return self.baseline.mean_online_cores - self.candidate.mean_online_cores
+
+    @property
+    def load_difference_points(self) -> float:
+        """Baseline minus candidate mean load, percent points (Figure 13)."""
+        return self.baseline.mean_load_percent - self.candidate.mean_load_percent
+
+
+class PolicyComparison:
+    """Runs baseline and candidate policies on identical workloads.
+
+    Args:
+        spec: Platform to simulate.
+        baseline_factory / candidate_factory: Build a *fresh* policy per
+            session (policies are stateful).
+        config: Session configuration; the seed is varied per trial.
+        pin_uncore_max: Experiment constraint (games pin the GPU high).
+    """
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        baseline_factory: Callable[[], CpuPolicy],
+        candidate_factory: Callable[[], CpuPolicy],
+        config: Optional[SimulationConfig] = None,
+        pin_uncore_max: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.baseline_factory = baseline_factory
+        self.candidate_factory = candidate_factory
+        self.config = config if config is not None else SimulationConfig()
+        self.pin_uncore_max = pin_uncore_max
+
+    def compare(
+        self, workload_factory: Callable[[], Workload], seed: Optional[int] = None
+    ) -> ComparisonRow:
+        """One A/B run: same workload construction, same seed, two policies."""
+        config = self.config if seed is None else self.config.with_seed(seed)
+        baseline_result = run_session(
+            self.spec,
+            workload_factory(),
+            self.baseline_factory(),
+            config,
+            pin_uncore_max=self.pin_uncore_max,
+        )
+        candidate_result = run_session(
+            self.spec,
+            workload_factory(),
+            self.candidate_factory(),
+            config,
+            pin_uncore_max=self.pin_uncore_max,
+        )
+        return ComparisonRow(
+            workload=baseline_result.workload_name,
+            baseline=summarize(baseline_result),
+            candidate=summarize(candidate_result),
+        )
+
+    def compare_seeds(
+        self, workload_factory: Callable[[], Workload], seeds: Sequence[int]
+    ) -> List[ComparisonRow]:
+        """Repeat the A/B run over several seeds (trial averaging)."""
+        if not seeds:
+            raise ExperimentError("compare_seeds needs at least one seed")
+        return [self.compare(workload_factory, seed) for seed in seeds]
+
+    @staticmethod
+    def mean_power_saving(rows: Sequence[ComparisonRow]) -> float:
+        """Average power saving over rows (the 'on average' numbers of section 6)."""
+        if not rows:
+            raise ExperimentError("no rows to average")
+        return sum(row.power_saving_percent for row in rows) / len(rows)

@@ -1,0 +1,196 @@
+"""Fit the section-4.1 power model from measurements.
+
+The paper validates its analytic model against Monsoon measurements
+(section 4.2); this module closes that loop for any device: collect
+(operating point, busy fraction, power) samples -- from a real meter or
+from :func:`collect_samples`' simulated characterisation sweep -- and
+recover :class:`~repro.soc.power_model.PowerParams` by least squares.
+
+The fitted core model is
+
+    P = base + n * u * Ceff * f_GHz * V^2 + n * c * V^p
+
+i.e. the Eq. (1)/(2) terms plus a constant floor.  The leakage exponent
+``p`` makes the problem nonlinear, so the fit grid-searches ``p`` and
+solves the remaining coefficients linearly at each candidate (ordinary
+least squares via numpy), keeping the best residual.  Shared-domain and
+cache terms are deliberately excluded: fit from single-core sweeps (as
+the paper characterises, section 3.3.1) where they are negligible, or
+subtract them beforehand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .sweep import run_session
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from ..metrics.summary import summarize
+from ..policies.static import StaticPolicy
+from ..soc.platform import PlatformSpec
+from ..soc.power_model import PowerParams
+from ..units import require_fraction, require_positive
+from ..workloads.busyloop import BusyLoopApp
+
+__all__ = ["PowerSample", "FitResult", "fit_power_params", "collect_samples"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One measured operating point.
+
+    Attributes:
+        frequency_khz: Core frequency during the measurement.
+        voltage: Supply voltage at that OPP.
+        busy_fraction: Mean per-core busy fraction (0-1).
+        online_count: Cores online during the measurement.
+        power_mw: Measured platform power (uncore subtracted or stable).
+    """
+
+    frequency_khz: int
+    voltage: float
+    busy_fraction: float
+    online_count: int
+    power_mw: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.frequency_khz, "frequency_khz")
+        require_positive(self.voltage, "voltage")
+        require_fraction(self.busy_fraction, "busy_fraction")
+        if self.online_count < 1:
+            raise ExperimentError("online_count must be >= 1")
+        require_positive(self.power_mw, "power_mw")
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """The recovered parameters and the fit quality."""
+
+    params: PowerParams
+    leak_exponent: float
+    rmse_mw: float
+    samples_used: int
+
+    def static_power_mw(self, voltage: float) -> float:
+        """The fitted leakage law evaluated at *voltage*."""
+        return self.params.leak_coefficient_mw * voltage ** self.params.leak_exponent
+
+
+def _solve_at_exponent(
+    samples: Sequence[PowerSample], exponent: float
+) -> Optional[tuple]:
+    """OLS for (Ceff, leak_coeff, base) at a fixed leakage exponent."""
+    design = np.array(
+        [
+            [
+                s.online_count * s.busy_fraction * (s.frequency_khz / 1e6) * s.voltage ** 2,
+                s.online_count * s.voltage ** exponent,
+                1.0,
+            ]
+            for s in samples
+        ]
+    )
+    target = np.array([s.power_mw for s in samples])
+    coefficients, _, rank, _ = np.linalg.lstsq(design, target, rcond=None)
+    if rank < 3:
+        return None
+    ceff, leak, base = coefficients
+    if ceff <= 0 or leak <= 0 or base < 0:
+        return None
+    residual = design @ coefficients - target
+    rmse = float(np.sqrt(np.mean(residual ** 2)))
+    return float(ceff), float(leak), float(base), rmse
+
+
+def fit_power_params(
+    samples: Sequence[PowerSample],
+    exponents: Sequence[float] = tuple(np.arange(1.0, 5.01, 0.05)),
+) -> FitResult:
+    """Recover PowerParams from measurements.
+
+    Needs samples spanning several frequencies *and* several busy
+    fractions (otherwise dynamic and static power are not separable).
+    Raises :class:`~repro.errors.ExperimentError` when no admissible fit
+    exists.
+    """
+    if len(samples) < 4:
+        raise ExperimentError(f"need at least 4 samples, got {len(samples)}")
+    frequencies = {s.frequency_khz for s in samples}
+    fractions = {round(s.busy_fraction, 3) for s in samples}
+    if len(frequencies) < 2 or len(fractions) < 2:
+        raise ExperimentError(
+            "samples must span at least two frequencies and two busy levels"
+        )
+    best = None
+    best_exponent = None
+    for exponent in exponents:
+        solved = _solve_at_exponent(samples, float(exponent))
+        if solved is None:
+            continue
+        if best is None or solved[3] < best[3]:
+            best = solved
+            best_exponent = float(exponent)
+    if best is None:
+        raise ExperimentError("no admissible fit (all candidates degenerate)")
+    ceff, leak, base, rmse = best
+    params = PowerParams(
+        ceff_mw_per_ghz_v2=ceff,
+        leak_coefficient_mw=leak,
+        leak_exponent=best_exponent,
+        platform_base_mw=base,
+    )
+    return FitResult(
+        params=params,
+        leak_exponent=best_exponent,
+        rmse_mw=rmse,
+        samples_used=len(samples),
+    )
+
+
+def collect_samples(
+    spec: PlatformSpec,
+    utilization_percents: Sequence[float] = (10.0, 40.0, 70.0, 100.0),
+    frequencies_khz: Optional[Sequence[int]] = None,
+    config: Optional[SimulationConfig] = None,
+) -> List[PowerSample]:
+    """Run the paper's single-core characterisation sweep and sample it.
+
+    One static session per (frequency, utilization) pair with a single
+    online core (GPU/memory idle), exactly the section 3.3.1 procedure.
+    The idle-uncore floor lands in the fitted base term.
+    """
+    if frequencies_khz is None:
+        frequencies_khz = [opp.frequency_khz for opp in spec.opp_table.representative_five()]
+    if config is None:
+        config = SimulationConfig(duration_seconds=5.0, warmup_seconds=1.0)
+    samples: List[PowerSample] = []
+    for frequency in frequencies_khz:
+        voltage = spec.opp_table.voltage_for(frequency)
+        for level in utilization_percents:
+            result = run_session(
+                spec,
+                BusyLoopApp(
+                    level,
+                    num_threads=1,
+                    idle_gap_seconds=0.0,
+                    reference_frequency_khz=frequency,
+                ),
+                StaticPolicy(1, frequency),
+                config,
+                pin_uncore_max=False,
+            )
+            summary = summarize(result)
+            samples.append(
+                PowerSample(
+                    frequency_khz=frequency,
+                    voltage=voltage,
+                    busy_fraction=min(level / 100.0, 1.0),
+                    online_count=1,
+                    power_mw=summary.mean_power_mw,
+                )
+            )
+    return samples

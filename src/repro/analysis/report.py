@@ -1,0 +1,78 @@
+"""ASCII renderers for tables and series.
+
+Every experiment driver can print its figure as a plain-text table or a
+labelled series, so benchmark output is readable in a terminal and easy
+to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ExperimentError
+
+__all__ = ["render_table", "render_series", "format_mw", "format_mhz", "format_percent"]
+
+
+def format_mw(value: float) -> str:
+    """Milliwatts with one decimal ("980.6 mW")."""
+    return f"{value:.1f} mW"
+
+
+def format_mhz(value_khz: float) -> str:
+    """A kHz value shown as MHz ("2265.6 MHz")."""
+    return f"{value_khz / 1000.0:.1f} MHz"
+
+
+def format_percent(value: float, signed: bool = False) -> str:
+    """A percentage with one decimal, optionally signed."""
+    return f"{value:+.1f}%" if signed else f"{value:.1f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned ASCII table with a header separator."""
+    if not headers:
+        raise ExperimentError("table needs at least one column")
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells for {len(headers)} columns: {row!r}"
+            )
+        cells.append([str(value) for value in row])
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)).rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    y_label: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    bar_width: int = 40,
+) -> str:
+    """Render a labelled series with proportional ASCII bars.
+
+    The bars scale to the series maximum, giving a terminal-readable
+    silhouette of the figure.
+    """
+    if len(xs) != len(ys):
+        raise ExperimentError(f"{len(xs)} x values for {len(ys)} y values")
+    if not xs:
+        raise ExperimentError("series needs at least one point")
+    if bar_width < 1:
+        raise ExperimentError("bar_width must be >= 1")
+    peak = max(ys)
+    lines = [f"{title}  ({y_label} by {x_label})"]
+    label_width = max(len(str(x)) for x in xs)
+    for x, y in zip(xs, ys):
+        filled = 0 if peak <= 0 else int(round(bar_width * y / peak))
+        bar = "#" * filled
+        lines.append(f"  {str(x).rjust(label_width)}  {y:10.2f}  {bar}")
+    return "\n".join(lines)

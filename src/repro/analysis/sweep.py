@@ -1,0 +1,137 @@
+"""Parameter sweeps over operating points and workload levels.
+
+The section 3 characterisation experiments are sweeps: utilization at
+fixed operating points (Figure 3), core count at fixed frequency
+(Figure 4), frequency at fixed load (Figures 5-7).  Each sweep here runs
+full sessions through the simulator and returns summary rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from ..kernel.simulator import SessionResult, Simulator
+from ..metrics.summary import SessionSummary, summarize
+from ..policies.base import CpuPolicy
+from ..policies.static import StaticPolicy
+from ..soc.platform import Platform, PlatformSpec
+from ..workloads.base import Workload
+from ..workloads.busyloop import BusyLoopApp
+
+__all__ = ["run_session", "utilization_sweep", "frequency_sweep", "core_count_sweep"]
+
+
+def run_session(
+    spec: PlatformSpec,
+    workload: Workload,
+    policy: CpuPolicy,
+    config: Optional[SimulationConfig] = None,
+    pin_uncore_max: bool = True,
+) -> SessionResult:
+    """Run one fresh session (new platform instance every time).
+
+    A new :class:`Platform` per session keeps sweeps independent -- no
+    thermal or hotplug state leaks between grid points.
+    """
+    platform = Platform.from_spec(spec)
+    simulator = Simulator(
+        platform, workload, policy, config, pin_uncore_max=pin_uncore_max
+    )
+    return simulator.run()
+
+
+def utilization_sweep(
+    spec: PlatformSpec,
+    online_count: int,
+    frequency_khz: int,
+    utilization_percents: Sequence[float],
+    config: Optional[SimulationConfig] = None,
+    pin_uncore_max: bool = False,
+) -> List[SessionSummary]:
+    """Figure 3's sweep: busy-loop utilization at one fixed operating point.
+
+    Utilization levels are *local*: each online core runs one thread at
+    that percentage of its capacity at the pinned frequency, matching the
+    paper's per-point characterisation.
+    """
+    if not utilization_percents:
+        raise ExperimentError("utilization sweep needs at least one level")
+    summaries = []
+    for level in utilization_percents:
+        result = run_session(
+            spec,
+            BusyLoopApp(
+                level,
+                num_threads=online_count,
+                reference_frequency_khz=frequency_khz,
+            ),
+            StaticPolicy(online_count, frequency_khz),
+            config,
+            pin_uncore_max=pin_uncore_max,
+        )
+        summaries.append(summarize(result))
+    return summaries
+
+
+def frequency_sweep(
+    spec: PlatformSpec,
+    online_count: int,
+    frequencies_khz: Sequence[int],
+    utilization_percent: float,
+    config: Optional[SimulationConfig] = None,
+    workload_factory: Optional[Callable[[], Workload]] = None,
+    pin_uncore_max: bool = False,
+) -> List[SessionSummary]:
+    """Frequency sweep at a fixed core count and load (Figures 5-7).
+
+    ``workload_factory`` substitutes a different demand generator (e.g.
+    the GeekBench-like benchmark for Figures 6-7); the default is the
+    busy-loop app at *utilization_percent*.
+    """
+    if not frequencies_khz:
+        raise ExperimentError("frequency sweep needs at least one frequency")
+    summaries = []
+    for frequency in frequencies_khz:
+        workload = (
+            workload_factory() if workload_factory is not None
+            else BusyLoopApp(utilization_percent)
+        )
+        result = run_session(
+            spec,
+            workload,
+            StaticPolicy(online_count, frequency),
+            config,
+            pin_uncore_max=pin_uncore_max,
+        )
+        summaries.append(summarize(result))
+    return summaries
+
+
+def core_count_sweep(
+    spec: PlatformSpec,
+    core_counts: Sequence[int],
+    frequency_khz: int,
+    utilization_percent: float = 100.0,
+    config: Optional[SimulationConfig] = None,
+    pin_uncore_max: bool = False,
+) -> List[SessionSummary]:
+    """Figure 4's sweep: core count at one frequency, 100% local load."""
+    if not core_counts:
+        raise ExperimentError("core-count sweep needs at least one count")
+    summaries = []
+    for count in core_counts:
+        result = run_session(
+            spec,
+            BusyLoopApp(
+                utilization_percent,
+                num_threads=count,
+                reference_frequency_khz=frequency_khz,
+            ),
+            StaticPolicy(count, frequency_khz),
+            config,
+            pin_uncore_max=pin_uncore_max,
+        )
+        summaries.append(summarize(result))
+    return summaries

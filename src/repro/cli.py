@@ -1,0 +1,188 @@
+"""Command-line interface: reproduce experiments and compare policies.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig9a fig10
+    python -m repro specs "Nexus 5"
+    python -m repro compare --workload busyloop:40 --duration 60
+    python -m repro compare --workload "game:Subway Surf" --seed 3
+    python -m repro compare --workload geekbench
+
+``compare`` runs the Android default and MobiCore on the same demand
+(same seed) and prints the paper-style deltas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .analysis.comparison import PolicyComparison
+from .analysis.report import render_table
+from .config import SimulationConfig
+from .core.mobicore import MobiCorePolicy
+from .errors import ReproError
+from .experiments import get_experiment, list_experiments
+from .experiments.registry import EXPERIMENTS
+from .policies.android_default import AndroidDefaultPolicy
+from .soc.catalog import PHONE_CATALOG, get_phone_spec
+from .workloads.busyloop import BusyLoopApp
+from .workloads.games import game_workload
+from .workloads.geekbench import GeekbenchWorkload
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    rows = [
+        (experiment_id, EXPERIMENTS[experiment_id].description)
+        for experiment_id in list_experiments()
+    ]
+    print(render_table(("id", "description"), rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    for experiment_id in args.ids:
+        experiment = get_experiment(experiment_id)
+        print("=" * 72)
+        print(f"{experiment_id}: {experiment.description}")
+        print("=" * 72)
+        started = time.perf_counter()
+        result = experiment.run()
+        print(result.render())
+        print(f"\n[{experiment_id} in {time.perf_counter() - started:.1f} s]\n")
+    return 0
+
+
+def _cmd_specs(args: argparse.Namespace) -> int:
+    names = [args.phone] if args.phone else list(PHONE_CATALOG)
+    for name in names:
+        spec = get_phone_spec(name)
+        print(render_table(("Specification", spec.name), list(spec.spec_rows())))
+        print()
+    return 0
+
+
+def _build_workload(description: str):
+    """Parse a --workload string into a fresh workload factory."""
+    kind, _, argument = description.partition(":")
+    kind = kind.strip().lower()
+    if kind == "busyloop":
+        level = float(argument) if argument else 50.0
+        return lambda: BusyLoopApp(level)
+    if kind == "game":
+        if not argument:
+            raise ReproError("game workload needs a title, e.g. game:Subway Surf")
+        game_workload(argument)  # validate the title eagerly
+        return lambda: game_workload(argument)
+    if kind == "geekbench":
+        return GeekbenchWorkload
+    raise ReproError(
+        f"unknown workload {description!r}; use busyloop:<percent>, "
+        f"game:<title>, or geekbench"
+    )
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = get_phone_spec(args.phone)
+    config = SimulationConfig(
+        duration_seconds=args.duration, seed=args.seed, warmup_seconds=args.warmup
+    )
+    workload_factory = _build_workload(args.workload)
+    comparison = PolicyComparison(
+        spec,
+        baseline_factory=AndroidDefaultPolicy,
+        candidate_factory=lambda: MobiCorePolicy(
+            power_params=spec.power_params,
+            opp_table=spec.opp_table,
+            num_cores=spec.num_cores,
+        ),
+        config=config,
+        pin_uncore_max=args.pin_uncore,
+    )
+    row = comparison.compare(workload_factory)
+    rows = [
+        ("power (mW)", f"{row.baseline.mean_power_mw:.0f}",
+         f"{row.candidate.mean_power_mw:.0f}"),
+        ("energy (J)", f"{row.baseline.energy_mj / 1000:.1f}",
+         f"{row.candidate.energy_mj / 1000:.1f}"),
+        ("active cores", f"{row.baseline.mean_online_cores:.2f}",
+         f"{row.candidate.mean_online_cores:.2f}"),
+        ("frequency (MHz)", f"{row.baseline.mean_frequency_khz / 1000:.0f}",
+         f"{row.candidate.mean_frequency_khz / 1000:.0f}"),
+        ("load (%)", f"{row.baseline.mean_load_percent:.1f}",
+         f"{row.candidate.mean_load_percent:.1f}"),
+        ("quota", f"{row.baseline.mean_quota:.2f}", f"{row.candidate.mean_quota:.2f}"),
+    ]
+    if row.baseline.mean_fps is not None:
+        rows.insert(
+            2,
+            ("FPS", f"{row.baseline.mean_fps:.1f}", f"{row.candidate.mean_fps:.1f}"),
+        )
+    print(f"workload: {row.workload}  platform: {spec.name}  "
+          f"{config.duration_seconds:.0f}s @ seed {config.seed}\n")
+    print(render_table(("metric", "android", "mobicore"), rows))
+    print(f"\npower saving: {row.power_saving_percent:+.1f}%")
+    if row.fps_ratio is not None:
+        print(f"fps ratio:    {row.fps_ratio:.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MobiCore reproduction: experiments and policy comparison",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="regenerate tables/figures by id")
+    run.add_argument("ids", nargs="+", metavar="id", help="e.g. fig9a table2")
+    run.set_defaults(func=_cmd_run)
+
+    specs = sub.add_parser("specs", help="show device spec sheets")
+    specs.add_argument("phone", nargs="?", help="catalog phone name")
+    specs.set_defaults(func=_cmd_specs)
+
+    compare = sub.add_parser(
+        "compare", help="Android default vs MobiCore on one workload"
+    )
+    compare.add_argument(
+        "--workload",
+        default="busyloop:50",
+        help="busyloop:<percent> | game:<title> | geekbench",
+    )
+    compare.add_argument("--phone", default="Nexus 5", help="catalog phone")
+    compare.add_argument("--duration", type=float, default=60.0, help="seconds")
+    compare.add_argument("--warmup", type=float, default=4.0, help="seconds")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--pin-uncore",
+        action="store_true",
+        help="pin GPU/memory at max (the section 3.2 constraint)",
+    )
+    compare.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0

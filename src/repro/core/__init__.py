@@ -1,0 +1,35 @@
+"""The paper's contribution: MobiCore, the hybrid adaptive CPU manager.
+
+MobiCore unifies the three levers stock Android drives separately:
+
+1. **bandwidth control** (:mod:`.bandwidth`) -- Table 2's quota scaling,
+   driven by the burst/slow-mode detector (:mod:`.predictor`);
+2. **DCS** -- the under-10% offline rule plus the operating-point
+   optimizer (:mod:`.operating_point`) built on the analytic energy
+   model (:mod:`.energy_model`, Eqs. 1-10);
+3. **DVFS** -- the per-core frequency re-evaluation of Eq. (9)
+   (:mod:`.frequency_law`) applied on top of the ondemand choice.
+
+:class:`~repro.core.mobicore.MobiCorePolicy` composes them in the order
+of the Figure 8 flow chart.
+"""
+
+from .bandwidth import QuotaController
+from .frequency_law import reevaluate_frequency
+from .energy_model import EnergyModel
+from .operating_point import OperatingPoint, OperatingPointOptimizer
+from .predictor import WorkloadMode, WorkloadPredictor
+from .mobicore import MobiCorePolicy
+from .global_dvfs import ComponentAwareMobiCore
+
+__all__ = [
+    "ComponentAwareMobiCore",
+    "QuotaController",
+    "reevaluate_frequency",
+    "EnergyModel",
+    "OperatingPoint",
+    "OperatingPointOptimizer",
+    "WorkloadMode",
+    "WorkloadPredictor",
+    "MobiCorePolicy",
+]

@@ -1,0 +1,121 @@
+"""MobiCore's bandwidth-reduction step -- Table 2, "Algorithm 4.1.2".
+
+The paper's pseudo-code, verbatim:
+
+.. code-block:: none
+
+    Input: utilization, quota, scaling_factor
+    Output: quota
+    for each sampling period
+        quota = utilization
+        if utilization(t) < 40
+            if delta utilization (t - t-1) < downThreshold
+                scaling_factor = 0.9
+                quota = quota * scaling_factor
+            endif
+            if delta utilization (t - t-1) > upThreshold
+                scaling_factor = 1
+                quota = quota * scaling_factor
+            endif
+        endif
+    end for
+
+Interpretation (section 5.2 prose): the quota is a *global* CPU
+bandwidth multiplier.  The variation of utilization is analysed **only
+while the overall load is below the load threshold (40%)**; a falling
+or flat load ("slow mode" -- the default thresholds treat anything not
+clearly rising as slow) shrinks the bandwidth by the 0.9 scaling
+factor per sampling period, while a clearly rising load ("burst mode")
+restores the full bandwidth immediately so performance never lags a
+burst.  Above the load threshold the CPUs "still need a high
+bandwidth", so the full quota is kept.
+
+The utilization fed to this controller is the **fmax-normalised** phone
+load (workload, not busy-time-at-current-frequency): MobiCore itself
+lowers frequencies, which drives busy time *up*; thresholding the raw
+busy percentage against 40% would wrongly disable the controller on
+exactly the light workloads it exists for.
+
+We express the quota as a capacity fraction in (0, 1]: slow mode
+multiplies it by 0.9 each sampling period (down to a floor), burst mode
+or high load snaps it back to 1.0.
+"""
+
+from __future__ import annotations
+
+from ..errors import BandwidthError
+from ..units import require_percent
+
+__all__ = ["QuotaController"]
+
+
+class QuotaController:
+    """Stateful Table 2 controller producing the global quota fraction."""
+
+    def __init__(
+        self,
+        load_threshold: float = 40.0,
+        down_threshold: float = 0.5,
+        up_threshold: float = 5.0,
+        scaling_factor: float = 0.9,
+        min_quota: float = 0.81,
+    ) -> None:
+        require_percent(load_threshold, "load_threshold")
+        if down_threshold >= up_threshold:
+            raise BandwidthError(
+                f"down_threshold {down_threshold} must be below up_threshold {up_threshold}"
+            )
+        if not 0.0 < scaling_factor < 1.0:
+            raise BandwidthError(
+                f"scaling_factor must be in (0, 1), got {scaling_factor}"
+            )
+        if not 0.0 < min_quota <= 1.0:
+            raise BandwidthError(f"min_quota must be in (0, 1], got {min_quota}")
+        self.load_threshold = load_threshold
+        self.down_threshold = down_threshold
+        self.up_threshold = up_threshold
+        self.scaling_factor = scaling_factor
+        self.min_quota = min_quota
+        self._quota = 1.0
+
+    @property
+    def quota(self) -> float:
+        """Current bandwidth fraction in [min_quota, 1]."""
+        return self._quota
+
+    def reset(self) -> None:
+        """Full bandwidth (new session)."""
+        self._quota = 1.0
+
+    def boost(self) -> float:
+        """Burst mode's 'allocate the entire bandwidth': snap to full quota.
+
+        Called directly when the policy detects capacity starvation --
+        cores pegged at the quota ceiling under-report their workload, so
+        the Table 2 thresholds alone cannot see the burst.
+        """
+        self._quota = 1.0
+        return self._quota
+
+    def update(self, utilization_percent: float, delta_utilization: float) -> float:
+        """One sampling period of Table 2; returns the new quota.
+
+        Args:
+            utilization_percent: Overall utilization at t (``utilization(t)``).
+            delta_utilization: ``utilization(t) - utilization(t-1)``.
+        """
+        require_percent(utilization_percent, "utilization_percent")
+        if utilization_percent >= self.load_threshold:
+            # High load at t (and, per section 5.2, at t-1 too when the
+            # variation is inexistent): the CPUs still need the full
+            # bandwidth.
+            self._quota = 1.0
+            return self._quota
+        if delta_utilization > self.up_threshold:
+            # Burst mode: "we respectively allocate the entire bandwidth".
+            self._quota = 1.0
+        elif delta_utilization < self.down_threshold:
+            # Slow mode: shrink by the scaling factor.
+            self._quota = max(self._quota * self.scaling_factor, self.min_quota)
+        # Between the thresholds the quota is left where it is.
+        return self._quota

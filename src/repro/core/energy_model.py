@@ -1,0 +1,90 @@
+"""Eq. (10): the per-core power prediction MobiCore minimises.
+
+Section 4.1.1 combines the static-power law (Eq. 2) with the
+re-evaluated frequency (Eq. 9) to "estimate the power consumed by one
+CPU core with MobiCore", and section 4.2 minimises that estimate over
+the admissible operating points: "given that the workload is only
+characterized by its utilization K, we can predict the frequency which
+will minimize the per-core power consumption while achieving the
+required workload".
+
+The :class:`EnergyModel` here is MobiCore's *online* model: the view the
+policy has of the platform.  By default it shares the platform's
+calibrated :class:`~repro.soc.power_model.PowerParams`; the model-error
+ablation can hand it deliberately skewed parameters to measure how
+robust the policy is to a miscalibrated model.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..soc.opp import Opp, OppTable
+from ..soc.power_model import CpuPowerModel, PowerParams
+from ..units import require_fraction
+
+__all__ = ["EnergyModel"]
+
+
+class EnergyModel:
+    """MobiCore's analytic view of platform power (Eqs. 1-10)."""
+
+    def __init__(self, params: PowerParams, opp_table: OppTable) -> None:
+        self.opp_table = opp_table
+        self._model = CpuPowerModel(params, opp_table)
+
+    def per_core_power_mw(self, frequency_khz: int, busy_fraction: float) -> float:
+        """Eq. (10): predicted power of one online core.
+
+        ``P = u * Ceff * f * V(f)^2 + Ps(V(f))`` with Ceff constant
+        (section 4.2 sets the IPC correction to zero).
+        """
+        require_fraction(busy_fraction, "busy_fraction")
+        opp = self.opp_table.at(frequency_khz)
+        return self._model.core_power_mw(opp, busy_fraction, online=True)
+
+    def combination_power_mw(
+        self, online_count: int, frequency_khz: int, busy_fraction: float
+    ) -> float:
+        """Predicted CPU power of an (n cores, f) combination at a busy level.
+
+        This is the quantity section 4.2's "the system will then simply
+        choose which combination gives the best amount of workload for
+        the least amount of power" compares.  Platform base power is
+        excluded: it is identical across combinations and cannot change
+        the argmin.
+        """
+        if online_count < 1:
+            raise ConfigError(f"online_count must be >= 1, got {online_count}")
+        return self._model.predict_cpu_mw(online_count, frequency_khz, busy_fraction)
+
+    def throughput_cycles_per_second(
+        self, online_count: int, frequency_khz: int, quota: float = 1.0
+    ) -> float:
+        """Cycles per second an (n, f) combination can execute under a quota."""
+        require_fraction(quota, "quota")
+        if online_count < 1:
+            raise ConfigError(f"online_count must be >= 1, got {online_count}")
+        return online_count * frequency_khz * 1000.0 * quota
+
+    def minimizing_frequency(
+        self, busy_fraction: float, required_khz_per_core: float
+    ) -> Opp:
+        """The OPP minimising Eq. (10) subject to carrying the required load.
+
+        Because dynamic power grows superlinearly in f (via V(f)^2) and
+        static power also grows with f's voltage, the per-core minimum is
+        always the lowest admissible OPP; this method exists to make that
+        argument explicit and verifiable (section 4.2's derivative
+        argument) rather than assumed.
+        """
+        candidates = [
+            opp
+            for opp in self.opp_table
+            if opp.frequency_khz >= required_khz_per_core
+        ]
+        if not candidates:
+            return self.opp_table.max
+        return min(
+            candidates,
+            key=lambda opp: self.per_core_power_mw(opp.frequency_khz, busy_fraction),
+        )

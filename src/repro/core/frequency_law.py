@@ -1,0 +1,73 @@
+"""Eq. (9): MobiCore's per-core frequency re-evaluation.
+
+Section 4.1.1: "As we build MobiCore upon the default governor, we
+re-evaluate the frequency from the previous choice made by the ondemand
+governor ... where K is the current overall utilization of the phone, n
+is the number of active CPU cores, nmax is the maximum number of cores
+(here 4), fnew is the new frequency which will be calculated and
+fondemand is the frequency which has been chosen by the ondemand
+governor."
+
+The equation's typography is mangled in the thesis text; we reconstruct
+it from its stated semantics (documented in DESIGN.md):
+
+    f_new = f_ondemand * (K / 100) * (nmax / n)
+
+with **K the phone-wide utilization averaged over all nmax cores,
+offline cores counting zero**.  Under that definition ``K * nmax / n``
+is exactly the mean utilization of the *active* cores, so Eq. (9) says:
+scale the threshold-padded ondemand choice down to the just-needed
+frequency for the work the active cores actually carry.  This is the
+fix for the criticism in section 2.2.1 -- ondemand "instead of giving
+the highest possible frequency will give the just-needed frequency thus
+saving some power" -- and the ``nmax/n`` factor automatically raises
+per-core frequency when cores are offlined (their work lands on the
+survivors).
+
+K arrives already scaled by the bandwidth quota (``K = K * q``,
+section 4.1.1).  The result is clamped to the OPP table and rounded
+**up**, so the selected point can always carry the measured workload.
+"""
+
+from __future__ import annotations
+
+from ..errors import GovernorError
+from ..soc.opp import OppTable
+from ..units import require_percent
+
+__all__ = ["reevaluate_frequency"]
+
+
+def reevaluate_frequency(
+    ondemand_khz: int,
+    phone_utilization_percent: float,
+    active_cores: int,
+    max_cores: int,
+    opp_table: OppTable,
+) -> int:
+    """Apply Eq. (9) and quantise onto the OPP table (rounding up).
+
+    Args:
+        ondemand_khz: The frequency the ondemand governor just chose.
+        phone_utilization_percent: K -- utilization averaged over all
+            *max_cores* cores (offline cores count as zero), already
+            multiplied by the bandwidth quota.
+        active_cores: n, the number of cores that will be online.
+        max_cores: nmax, the platform's core count.
+        opp_table: The DVFS table to quantise onto.
+
+    Returns:
+        The re-evaluated OPP frequency in kHz.
+    """
+    require_percent(phone_utilization_percent, "phone_utilization_percent")
+    if not 1 <= active_cores <= max_cores:
+        raise GovernorError(
+            f"active_cores {active_cores} out of range 1..{max_cores}"
+        )
+    if ondemand_khz not in opp_table:
+        raise GovernorError(f"ondemand_khz {ondemand_khz} is not an OPP frequency")
+    active_mean_fraction = min(
+        (phone_utilization_percent / 100.0) * (max_cores / active_cores), 1.0
+    )
+    target = ondemand_khz * active_mean_fraction
+    return opp_table.ceil(target).frequency_khz

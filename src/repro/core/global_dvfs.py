@@ -1,0 +1,101 @@
+"""The paper's future work (section 7): component-aware global DVFS.
+
+"Future research topics could be exploring more affine techniques
+combining the characteristics of every component in a mobile device ...
+a sort of global DVFS policy could be applied considering the effect of
+each component as well their own bottleneck to better allocate the
+resources according to the workload."
+
+:class:`ComponentAwareMobiCore` is that extension on top of
+:class:`~repro.core.mobicore.MobiCorePolicy`: beside the CPU decision it
+also scales the **memory bus** between its low and high points with the
+demand (the section 3.2 experiments pinned it high permanently), and it
+can release the **GPU** pin when no rendering workload is active.  The
+bottleneck caveat of section 7 is honoured with hysteresis: the bus only
+drops to the low point when the forecast demand has been comfortably
+below the threshold for a hold time, and it returns to the high point
+immediately on a burst, so no component throttles the processing chain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .mobicore import MobiCorePolicy
+from ..errors import ConfigError
+from ..policies.base import PolicyDecision, SystemObservation
+from ..units import clamp, require_percent
+
+__all__ = ["ComponentAwareMobiCore"]
+
+
+class ComponentAwareMobiCore(MobiCorePolicy):
+    """MobiCore plus memory-bus (and optional GPU) scaling.
+
+    Args:
+        memory_low_threshold_percent: Forecast global load (fmax
+            normalised) below which the bus may drop to its low point.
+        memory_hold_ticks: Consecutive quiet ticks required before
+            dropping (the bottleneck-avoidance hysteresis).
+        manage_gpu: Also release the GPU pin while the workload renders
+            nothing (off by default: the paper's gaming sessions always
+            render, and section 3.2 pins the GPU for measurement).
+        **kwargs: Forwarded to :class:`MobiCorePolicy`.
+    """
+
+    def __init__(
+        self,
+        *args,
+        memory_low_threshold_percent: float = 25.0,
+        memory_hold_ticks: int = 10,
+        manage_gpu: bool = False,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        require_percent(memory_low_threshold_percent, "memory_low_threshold_percent")
+        if memory_hold_ticks < 1:
+            raise ConfigError("memory_hold_ticks must be >= 1")
+        self.name = "mobicore+uncore"
+        self.memory_low_threshold_percent = memory_low_threshold_percent
+        self.memory_hold_ticks = memory_hold_ticks
+        self.manage_gpu = manage_gpu
+        self._quiet_ticks = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._quiet_ticks = 0
+
+    def _memory_decision(self, observation: SystemObservation) -> Optional[bool]:
+        """High/low bus request from the demand forecast, with hysteresis."""
+        forecast = self.predictor.forecast(
+            clamp(
+                observation.total_scaled_load_percent / observation.num_cores,
+                0.0,
+                100.0,
+            )
+        )
+        if forecast >= self.memory_low_threshold_percent:
+            # Any sign of demand: the bus must never be the bottleneck
+            # (section 7's caveat) -- return to the high point at once.
+            self._quiet_ticks = 0
+            return True
+        self._quiet_ticks += 1
+        if self._quiet_ticks >= self.memory_hold_ticks:
+            return False
+        return None  # quiet, but not yet long enough: leave as is
+
+    def decide(self, observation: SystemObservation) -> PolicyDecision:
+        base = super().decide(observation)
+        memory_high = self._memory_decision(observation)
+        gpu_pinned = None
+        if self.manage_gpu:
+            # No utilization means nothing rendered this tick; release
+            # the pin so the GPU idles (re-pin as soon as demand shows).
+            gpu_pinned = observation.global_util_percent > 0.5
+        return PolicyDecision(
+            target_frequencies_khz=base.target_frequencies_khz,
+            online_mask=base.online_mask,
+            quota=base.quota,
+            memory_high=memory_high,
+            gpu_pinned_max=gpu_pinned,
+        )

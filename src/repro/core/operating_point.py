@@ -1,0 +1,157 @@
+"""Operating points and the optimal-combination curve (sections 3.4, 4.2).
+
+An operating point is "a certain amount of hardware resources including
+their features ... number of online cores along with their individual
+frequency".  For a given global workload there is a set of admissible
+(n cores, frequency) combinations whose throughput covers the demand;
+MobiCore picks the one the energy model predicts cheapest.
+
+Swept over the workload axis, the chosen points trace the curve
+section 4.2 describes ("looks like the scar on Harry Potter's face"):
+one core climbing the frequency ladder, then a switch to two cores at a
+lower frequency, and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .energy_model import EnergyModel
+from ..errors import ConfigError
+from ..units import clamp, require_percent
+
+__all__ = ["OperatingPoint", "OperatingPointOptimizer"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One admissible (cores, frequency) combination with its prediction.
+
+    Attributes:
+        online_count: Number of active cores.
+        frequency_khz: The common per-core OPP frequency.
+        busy_fraction: Predicted per-core busy fraction at this point for
+            the demand it was evaluated against.
+        predicted_power_mw: The energy model's CPU-power prediction.
+    """
+
+    online_count: int
+    frequency_khz: int
+    busy_fraction: float
+    predicted_power_mw: float
+
+
+class OperatingPointOptimizer:
+    """Enumerates admissible combinations and picks the model-cheapest one."""
+
+    def __init__(self, model: EnergyModel, max_cores: int) -> None:
+        if max_cores < 1:
+            raise ConfigError(f"max_cores must be >= 1, got {max_cores}")
+        self.model = model
+        self.max_cores = max_cores
+
+    def required_throughput_cps(self, global_load_percent: float) -> float:
+        """Demand in cycles/second implied by a global load percentage.
+
+        Global load is relative to the platform maximum (all cores at
+        fmax), per section 3.4's definition.
+        """
+        require_percent(global_load_percent, "global_load_percent")
+        fmax_cps = self.model.opp_table.max_frequency_khz * 1000.0
+        return (global_load_percent / 100.0) * fmax_cps * self.max_cores
+
+    def admissible_points(self, global_load_percent: float) -> List[OperatingPoint]:
+        """All (n, f) combinations whose throughput covers the demand.
+
+        Each point's busy fraction is the demand divided by the point's
+        throughput -- running a light load on a fast point means mostly
+        idle (leaking) cores, which is how the model penalises
+        over-provisioning.
+        """
+        demand_cps = self.required_throughput_cps(global_load_percent)
+        points: List[OperatingPoint] = []
+        for count in range(1, self.max_cores + 1):
+            for opp in self.model.opp_table:
+                throughput = self.model.throughput_cycles_per_second(
+                    count, opp.frequency_khz
+                )
+                if throughput + 1e-9 < demand_cps:
+                    continue
+                busy = clamp(demand_cps / throughput if throughput else 0.0, 0.0, 1.0)
+                points.append(
+                    OperatingPoint(
+                        online_count=count,
+                        frequency_khz=opp.frequency_khz,
+                        busy_fraction=busy,
+                        predicted_power_mw=self.model.combination_power_mw(
+                            count, opp.frequency_khz, busy
+                        ),
+                    )
+                )
+        if not points:
+            # Demand exceeds the platform: the only answer is everything.
+            top = self.model.opp_table.max_frequency_khz
+            points.append(
+                OperatingPoint(
+                    online_count=self.max_cores,
+                    frequency_khz=top,
+                    busy_fraction=1.0,
+                    predicted_power_mw=self.model.combination_power_mw(
+                        self.max_cores, top, 1.0
+                    ),
+                )
+            )
+        return points
+
+    def best_point(self, global_load_percent: float) -> OperatingPoint:
+        """The admissible point with the lowest predicted power.
+
+        Ties break toward fewer cores, then lower frequency, keeping the
+        choice deterministic.
+        """
+        points = self.admissible_points(global_load_percent)
+        return min(
+            points,
+            key=lambda p: (p.predicted_power_mw, p.online_count, p.frequency_khz),
+        )
+
+    def optimal_curve(self, load_percents: List[float]) -> List[OperatingPoint]:
+        """The best point per load level -- the section 4.2 "scar" curve."""
+        return [self.best_point(load) for load in load_percents]
+
+    def best_core_count(self, global_load_percent: float) -> int:
+        """Just the core count of the optimal point (MobiCore's DCS hint)."""
+        return self.best_point(global_load_percent).online_count
+
+    def best_count_between(
+        self, global_load_percent: float, low_count: int, high_count: int
+    ) -> int:
+        """The cheaper core count within [low_count, high_count] for a demand.
+
+        This is the *marginal* question MobiCore asks at high load
+        (section 5.3): add one more core, or push frequency higher on
+        the cores we have?  Counts whose fmax throughput cannot cover
+        the demand are excluded; if none can, the highest count wins.
+        """
+        low_count = max(1, low_count)
+        high_count = min(self.max_cores, high_count)
+        if low_count > high_count:
+            raise ConfigError(
+                f"empty core-count range [{low_count}, {high_count}]"
+            )
+        demand_cps = self.required_throughput_cps(global_load_percent)
+        fmax_cps = self.model.opp_table.max_frequency_khz * 1000.0
+        best_count = high_count
+        best_power = float("inf")
+        for count in range(low_count, high_count + 1):
+            if count * fmax_cps + 1e-9 < demand_cps:
+                continue
+            per_core = demand_cps / count
+            opp = self.model.opp_table.ceil(per_core)
+            busy = clamp(demand_cps / (count * opp.frequency_khz * 1000.0), 0.0, 1.0)
+            power = self.model.combination_power_mw(count, opp.frequency_khz, busy)
+            if power < best_power:
+                best_power = power
+                best_count = count
+        return best_count

@@ -1,0 +1,86 @@
+"""Burst/slow-mode detection from the variation of utilization.
+
+Section 5.2: "MobiCore analyzes the variation in global utilization
+between time step t and time step t-1.  If the difference is above a
+certain threshold and positive, we are facing a burst mode; if it is
+negative, or say, the computing need is suddenly low, we are facing a
+slow-mode."  The analysis only runs "if the overall load is below a
+certain threshold; if the overall workload is high at t and t-1,
+variation will be inexistent but CPUs will still need a high bandwidth".
+
+The predictor also offers a one-step workload forecast (section 1.4:
+"we will analyze the variation of the workload to determine the
+computing need at the next time step"): a linear extrapolation of the
+last delta, clamped to [0, 100].
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import ConfigError
+from ..units import clamp, require_percent
+
+__all__ = ["WorkloadMode", "WorkloadPredictor"]
+
+
+class WorkloadMode(enum.Enum):
+    """The three regimes MobiCore's bandwidth step distinguishes."""
+
+    BURST = "burst"
+    SLOW = "slow"
+    STEADY = "steady"
+    HIGH = "high"
+
+
+class WorkloadPredictor:
+    """Classifies each tick's regime and forecasts the next tick's load."""
+
+    def __init__(
+        self,
+        load_threshold: float = 40.0,
+        up_threshold: float = 2.0,
+        down_threshold: float = -2.0,
+        smoothing: float = 0.5,
+    ) -> None:
+        require_percent(load_threshold, "load_threshold")
+        if down_threshold >= up_threshold:
+            raise ConfigError(
+                f"down_threshold {down_threshold} must be below up_threshold {up_threshold}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.load_threshold = load_threshold
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.smoothing = smoothing
+        self._smoothed_delta = 0.0
+
+    def reset(self) -> None:
+        """Forget the delta history (new session)."""
+        self._smoothed_delta = 0.0
+
+    def classify(self, utilization_percent: float, delta_utilization: float) -> WorkloadMode:
+        """The regime of the current tick (Table 2's branch conditions)."""
+        require_percent(utilization_percent, "utilization_percent")
+        if utilization_percent >= self.load_threshold:
+            return WorkloadMode.HIGH
+        if delta_utilization > self.up_threshold:
+            return WorkloadMode.BURST
+        if delta_utilization < self.down_threshold:
+            return WorkloadMode.SLOW
+        return WorkloadMode.STEADY
+
+    def observe(self, delta_utilization: float) -> None:
+        """Fold one tick's delta into the smoothed trend."""
+        self._smoothed_delta += self.smoothing * (delta_utilization - self._smoothed_delta)
+
+    @property
+    def trend_percent_per_tick(self) -> float:
+        """The smoothed utilization trend."""
+        return self._smoothed_delta
+
+    def forecast(self, utilization_percent: float) -> float:
+        """One-step-ahead utilization estimate, clamped to [0, 100]."""
+        require_percent(utilization_percent, "utilization_percent")
+        return clamp(utilization_percent + self._smoothed_delta, 0.0, 100.0)

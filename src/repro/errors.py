@@ -1,0 +1,82 @@
+"""Exception hierarchy for the MobiCore reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary.  Subclasses map
+one-to-one onto the library's subsystems; they carry plain messages and no
+special state.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "UnitsError",
+    "PlatformError",
+    "OppError",
+    "CoreStateError",
+    "SchedulerError",
+    "GovernorError",
+    "HotplugError",
+    "BandwidthError",
+    "WorkloadError",
+    "TraceError",
+    "MeterError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class UnitsError(ReproError):
+    """A physical quantity is out of its legal range (e.g. negative power)."""
+
+
+class PlatformError(ReproError):
+    """A platform specification is inconsistent or an unknown device is named."""
+
+
+class OppError(ReproError):
+    """An operating performance point lookup failed (unknown frequency, empty table)."""
+
+
+class CoreStateError(ReproError):
+    """An illegal CPU core state transition was requested."""
+
+
+class SchedulerError(ReproError):
+    """The scheduler was asked to do something impossible (e.g. run with no online cores)."""
+
+
+class GovernorError(ReproError):
+    """A governor was misconfigured or asked for an unknown frequency."""
+
+
+class HotplugError(ReproError):
+    """A hotplug operation violated an invariant (e.g. offlining the last core)."""
+
+
+class BandwidthError(ReproError):
+    """The CPU bandwidth (quota) controller was given an illegal quota."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured."""
+
+
+class TraceError(ReproError):
+    """A demand trace could not be parsed or replayed."""
+
+
+class MeterError(ReproError):
+    """A metric collector was used incorrectly (e.g. summarised before any sample)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver failed to produce the expected series."""

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes ``run(...) -> <FigureResult>`` where the result
+carries the figure's rows plus a ``render()`` ASCII view and, where the
+paper quotes headline numbers, properties computing ours for direct
+comparison (recorded in EXPERIMENTS.md).  The registry maps experiment
+ids ("fig03", "table2", ...) to their drivers.
+"""
+
+from .registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

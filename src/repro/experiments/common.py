@@ -1,0 +1,66 @@
+"""Shared constants and helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..config import SimulationConfig
+from ..core.mobicore import MobiCorePolicy
+from ..policies.android_default import AndroidDefaultPolicy
+from ..soc.catalog import nexus5_spec
+from ..soc.platform import PlatformSpec
+
+__all__ = [
+    "GAME_NAMES",
+    "default_config",
+    "characterisation_config",
+    "representative_frequencies",
+    "android_factory",
+    "mobicore_factory",
+]
+
+#: The paper's five games, in its numbering order (section 6).
+GAME_NAMES: Tuple[str, ...] = (
+    "Real Racing 3",
+    "Subway Surf",
+    "Badland",
+    "Angry Birds",
+    "Asphalt 8",
+)
+
+
+def default_config(duration_seconds: float = 60.0, seed: int = 0) -> SimulationConfig:
+    """Evaluation-session config (the paper's gaming sessions run 2 min;
+    60 s reaches the same steady-state statistics at half the cost)."""
+    return SimulationConfig(
+        duration_seconds=duration_seconds, seed=seed, warmup_seconds=4.0
+    )
+
+
+def characterisation_config(duration_seconds: float = 20.0, seed: int = 0) -> SimulationConfig:
+    """Sweep-point config (the paper's 1-minute characterisation runs;
+    a static policy reaches steady state within seconds)."""
+    return SimulationConfig(
+        duration_seconds=duration_seconds, seed=seed, warmup_seconds=2.0
+    )
+
+
+def representative_frequencies(spec: PlatformSpec) -> List[int]:
+    """Two low, one middle, two high OPP frequencies (section 3.1)."""
+    return [opp.frequency_khz for opp in spec.opp_table.representative_five()]
+
+
+def android_factory() -> AndroidDefaultPolicy:
+    """A fresh Android-default baseline policy."""
+    return AndroidDefaultPolicy()
+
+
+def mobicore_factory(spec: PlatformSpec = None) -> MobiCorePolicy:
+    """A fresh MobiCore policy calibrated for *spec* (Nexus 5 by default)."""
+    if spec is None:
+        spec = nexus5_spec()
+    return MobiCorePolicy(
+        power_params=spec.power_params,
+        opp_table=spec.opp_table,
+        num_cores=spec.num_cores,
+    )

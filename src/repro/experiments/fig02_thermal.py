@@ -1,0 +1,88 @@
+"""Figure 2: the infrared measurement -- CPU-area temperatures at full stress.
+
+Section 1.2: at the highest computing state, the CPU area of the
+single-core Nexus S reads 26.9 degC while the quad-core Nexus 5 reads
+42.1 degC on a FLIR infrared image.  We run the same full stress and let
+each platform's RC thermal node settle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..analysis.report import render_table
+from ..analysis.sweep import run_session
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from ..policies.static import StaticPolicy
+from ..soc.catalog import nexus5_spec, nexus_s_spec
+from ..workloads.busyloop import BusyLoopApp
+
+__all__ = ["ThermalRow", "Fig02Result", "run"]
+
+
+@dataclass(frozen=True)
+class ThermalRow:
+    """One phone's steady-state thermal reading at full stress."""
+
+    name: str
+    num_cores: int
+    mean_power_mw: float
+    peak_temperature_c: float
+
+
+@dataclass(frozen=True)
+class Fig02Result:
+    """Both phones' readings (the IR image, in numbers)."""
+
+    rows: List[ThermalRow]
+
+    def row(self, name: str) -> ThermalRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise ExperimentError(f"no phone {name!r} in the figure")
+
+    @property
+    def temperature_gap_c(self) -> float:
+        """Nexus 5 minus Nexus S CPU-area temperature (paper: ~15.2 degC)."""
+        return (
+            self.row("Nexus 5").peak_temperature_c
+            - self.row("Nexus S").peak_temperature_c
+        )
+
+    def render(self) -> str:
+        table = render_table(
+            ("phone", "cores", "avg power", "CPU-area temp"),
+            [
+                (r.name, r.num_cores, f"{r.mean_power_mw:.1f} mW", f"{r.peak_temperature_c:.1f} degC")
+                for r in self.rows
+            ],
+        )
+        return "Figure 2(a): full-stress infrared readings\n" + table
+
+
+def run(config: Optional[SimulationConfig] = None) -> Fig02Result:
+    """Full-stress both Figure 2 phones until the thermal node settles."""
+    if config is None:
+        # Long enough for the RC node (tau 12-15 s) to reach steady state.
+        config = SimulationConfig(duration_seconds=90.0, warmup_seconds=60.0)
+    rows: List[ThermalRow] = []
+    for spec in (nexus_s_spec(), nexus5_spec()):
+        result = run_session(
+            spec,
+            BusyLoopApp(100.0),
+            StaticPolicy(spec.num_cores, spec.opp_table.max_frequency_khz),
+            config,
+            pin_uncore_max=False,
+        )
+        rows.append(
+            ThermalRow(
+                name=spec.name,
+                num_cores=spec.num_cores,
+                mean_power_mw=result.trace.mean_power_mw(),
+                peak_temperature_c=result.trace.max_temperature_c(),
+            )
+        )
+    return Fig02Result(rows=rows)

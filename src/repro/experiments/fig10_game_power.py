@@ -1,0 +1,95 @@
+"""Figure 10: average power consumption per game, both policies.
+
+Section 6.1.2's headlines: per-game savings between 0.04% (Real
+Racing 3) and 11.7% (Subway Surf); 5.3% on average; MobiCore never
+consumes meaningfully more than the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.report import render_table
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from .common import GAME_NAMES
+from .game_eval import mean_rows, run_games
+
+__all__ = ["GamePowerRow", "Fig10Result", "run"]
+
+
+@dataclass(frozen=True)
+class GamePowerRow:
+    """One game's seed-averaged power figures."""
+
+    game: str
+    android_mw: float
+    mobicore_mw: float
+
+    @property
+    def saving_percent(self) -> float:
+        if self.android_mw <= 0:
+            raise ExperimentError("non-positive baseline power")
+        return 100.0 * (1.0 - self.mobicore_mw / self.android_mw)
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Per-game power comparison (Figure 10's bars)."""
+
+    rows: List[GamePowerRow]
+
+    def row(self, game: str) -> GamePowerRow:
+        for row in self.rows:
+            if row.game == game:
+                return row
+        raise ExperimentError(f"no game {game!r} in the figure")
+
+    @property
+    def mean_saving_percent(self) -> float:
+        """Paper: 5.3% on average."""
+        return sum(row.saving_percent for row in self.rows) / len(self.rows)
+
+    @property
+    def best_game(self) -> str:
+        """Paper: Subway Surf (11.7%)."""
+        return max(self.rows, key=lambda r: r.saving_percent).game
+
+    @property
+    def worst_game(self) -> str:
+        """Paper: Real Racing 3 (0.04%)."""
+        return min(self.rows, key=lambda r: r.saving_percent).game
+
+    def always_saves(self, tolerance_percent: float = 1.0) -> bool:
+        """MobiCore at worst matches the default ("we can at least say...")."""
+        return all(row.saving_percent >= -tolerance_percent for row in self.rows)
+
+    def render(self) -> str:
+        rows = [
+            (r.game, f"{r.android_mw:.0f}", f"{r.mobicore_mw:.0f}", f"{r.saving_percent:+.1f}%")
+            for r in self.rows
+        ]
+        return (
+            "Figure 10: average gaming power (mW)\n"
+            + render_table(("game", "android", "mobicore", "saving"), rows)
+            + f"\nmean saving: {self.mean_saving_percent:.1f}%"
+        )
+
+
+def run(
+    config: Optional[SimulationConfig] = None, seeds: Sequence[int] = (1, 2, 3)
+) -> Fig10Result:
+    """Seed-averaged gaming power per game under both policies."""
+    sessions = run_games(config, seeds)
+    rows = []
+    for game in GAME_NAMES:
+        per_seed = sessions[game]
+        rows.append(
+            GamePowerRow(
+                game=game,
+                android_mw=mean_rows(per_seed, lambda r: r.baseline.mean_power_mw),
+                mobicore_mw=mean_rows(per_seed, lambda r: r.candidate.mean_power_mw),
+            )
+        )
+    return Fig10Result(rows=rows)

@@ -1,0 +1,116 @@
+"""Figure 12: average frequency difference and number of active cores.
+
+Section 6.3's headlines: MobiCore generally runs a lower average
+frequency (22.5% lower on average) except Real Racing 3 (slightly
+*higher*); MobiCore's average active core count is below the default's
+(paper: 2.52 vs 2.75).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..analysis.report import render_table
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from .common import GAME_NAMES
+from .game_eval import mean_rows, run_games
+
+__all__ = ["HwUsageRow", "Fig12Result", "run"]
+
+
+@dataclass(frozen=True)
+class HwUsageRow:
+    """One game's seed-averaged hardware usage."""
+
+    game: str
+    android_freq_khz: float
+    mobicore_freq_khz: float
+    android_cores: float
+    mobicore_cores: float
+
+    @property
+    def frequency_reduction_percent(self) -> float:
+        """Positive = MobiCore ran at lower frequency."""
+        if self.android_freq_khz <= 0:
+            raise ExperimentError("non-positive baseline frequency")
+        return 100.0 * (1.0 - self.mobicore_freq_khz / self.android_freq_khz)
+
+    @property
+    def core_difference(self) -> float:
+        """Android minus MobiCore mean cores (positive = MobiCore uses fewer)."""
+        return self.android_cores - self.mobicore_cores
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    """Per-game hardware-usage comparison."""
+
+    rows: List[HwUsageRow]
+
+    def row(self, game: str) -> HwUsageRow:
+        for row in self.rows:
+            if row.game == game:
+                return row
+        raise ExperimentError(f"no game {game!r} in the figure")
+
+    @property
+    def mean_android_cores(self) -> float:
+        """Paper: 2.75."""
+        return sum(row.android_cores for row in self.rows) / len(self.rows)
+
+    @property
+    def mean_mobicore_cores(self) -> float:
+        """Paper: 2.52."""
+        return sum(row.mobicore_cores for row in self.rows) / len(self.rows)
+
+    def mobicore_uses_fewer_cores(self) -> bool:
+        """The figure's core-count headline, on session averages."""
+        return self.mean_mobicore_cores < self.mean_android_cores
+
+    def real_racing_frequency_increases(self) -> bool:
+        """Real Racing 3 is the game where MobiCore's frequency ends higher."""
+        return self.row("Real Racing 3").frequency_reduction_percent < 0
+
+    def render(self) -> str:
+        rows = [
+            (
+                r.game,
+                f"{r.android_freq_khz / 1000:.0f}",
+                f"{r.mobicore_freq_khz / 1000:.0f}",
+                f"{r.frequency_reduction_percent:+.1f}%",
+                f"{r.android_cores:.2f}",
+                f"{r.mobicore_cores:.2f}",
+            )
+            for r in self.rows
+        ]
+        return (
+            "Figure 12: average frequency (MHz) and active cores\n"
+            + render_table(
+                ("game", "freq and", "freq mob", "reduction", "cores and", "cores mob"),
+                rows,
+            )
+            + f"\nmean cores: android {self.mean_android_cores:.2f}, "
+            + f"mobicore {self.mean_mobicore_cores:.2f}"
+        )
+
+
+def run(
+    config: Optional[SimulationConfig] = None, seeds: Sequence[int] = (1, 2, 3)
+) -> Fig12Result:
+    """Seed-averaged frequency and core usage per game under both policies."""
+    sessions = run_games(config, seeds)
+    rows = []
+    for game in GAME_NAMES:
+        per_seed = sessions[game]
+        rows.append(
+            HwUsageRow(
+                game=game,
+                android_freq_khz=mean_rows(per_seed, lambda r: r.baseline.mean_frequency_khz),
+                mobicore_freq_khz=mean_rows(per_seed, lambda r: r.candidate.mean_frequency_khz),
+                android_cores=mean_rows(per_seed, lambda r: r.baseline.mean_online_cores),
+                mobicore_cores=mean_rows(per_seed, lambda r: r.candidate.mean_online_cores),
+            )
+        )
+    return Fig12Result(rows=rows)

@@ -1,0 +1,57 @@
+"""Shared gaming-session evaluation for Figures 10-13.
+
+The four evaluation figures all derive from the same sessions: each of
+the five games played for the session length under both policies.  This
+module runs that matrix once (per configuration) and caches it, so the
+per-figure drivers and benches do not redo identical simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.comparison import ComparisonRow, PolicyComparison
+from ..config import SimulationConfig
+from ..soc.catalog import nexus5_spec
+from ..workloads.games import game_workload
+from .common import GAME_NAMES, android_factory, default_config, mobicore_factory
+
+__all__ = ["run_games", "mean_rows"]
+
+#: (duration, tick, seeds) -> per-game comparison rows.
+_CACHE: Dict[Tuple[float, float, Tuple[int, ...]], Dict[str, List[ComparisonRow]]] = {}
+
+
+def run_games(
+    config: Optional[SimulationConfig] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> Dict[str, List[ComparisonRow]]:
+    """Each game under both policies, one row per seed (cached)."""
+    if config is None:
+        config = default_config()
+    key = (config.duration_seconds, config.tick_seconds, tuple(seeds))
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    spec = nexus5_spec()
+    comparison = PolicyComparison(
+        spec,
+        baseline_factory=android_factory,
+        candidate_factory=lambda: mobicore_factory(spec),
+        config=config,
+        pin_uncore_max=True,  # games use the GPU; section 3.2 pins it high
+    )
+    results: Dict[str, List[ComparisonRow]] = {}
+    for name in GAME_NAMES:
+        results[name] = comparison.compare_seeds(
+            lambda name=name: game_workload(name), seeds
+        )
+    _CACHE[key] = results
+    return results
+
+
+def mean_rows(rows: Sequence[ComparisonRow], attribute) -> float:
+    """Average a ComparisonRow property over seeds."""
+    values = [attribute(row) for row in rows]
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values)

@@ -1,0 +1,81 @@
+"""Registry of experiment drivers: id -> (description, runner).
+
+The ids match the paper's table/figure numbering.  Runners take no
+required arguments (every parameter has the defaults recorded in
+EXPERIMENTS.md) and return the driver's result object, which always has
+a ``render()`` method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..errors import ExperimentError
+from . import (
+    fig01_phones,
+    fig02_thermal,
+    fig03_util_power,
+    fig04_cores_power,
+    fig05_operating_points,
+    fig06_perf_power,
+    fig07_ratio,
+    fig08_flow,
+    fig09_benchmarks,
+    fig10_game_power,
+    fig11_fps,
+    fig12_hw_usage,
+    fig13_stress,
+    table1_specs,
+    table2_quota,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    experiment_id: str
+    description: str
+    run: Callable[[], object]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.experiment_id: e
+    for e in (
+        Experiment("table1", "Nexus 5 platform specifications", table1_specs.run),
+        Experiment("table2", "bandwidth-reduction algorithm trace", table2_quota.run),
+        Experiment("fig1", "average power across the 2010-2014 phone fleet", fig01_phones.run),
+        Experiment("fig2", "full-stress CPU-area temperatures (IR image)", fig02_thermal.run),
+        Experiment("fig3", "power vs utilization at five frequencies, 1 core", fig03_util_power.run),
+        Experiment("fig4", "power vs core count at five frequencies, 100% load", fig04_cores_power.run),
+        Experiment("fig5", "power vs frequency across operating points", fig05_operating_points.run),
+        Experiment("fig6", "performance and power vs frequency, 1 core", fig06_perf_power.run),
+        Experiment("fig7", "performance/power ratio, 1 vs 4 cores", fig07_ratio.run),
+        Experiment("fig8", "MobiCore decision flow trace", fig08_flow.run),
+        Experiment("fig9a", "busy-loop benchmark: MobiCore vs default", fig09_benchmarks.run_busyloop),
+        Experiment("fig9b", "GeekBench-like benchmark: MobiCore vs default", fig09_benchmarks.run_geekbench),
+        Experiment("fig10", "average gaming power per game", fig10_game_power.run),
+        Experiment("fig11", "average FPS and FPS ratio per game", fig11_fps.run),
+        Experiment("fig12", "average frequency and core count per game", fig12_hw_usage.run),
+        Experiment("fig13", "CPU load stress level per game", fig13_stress.run),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id ("fig3", "table2", ...)."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {known}"
+        ) from None
+
+
+def list_experiments() -> List[str]:
+    """All experiment ids in paper order."""
+    return list(EXPERIMENTS)

@@ -1,0 +1,34 @@
+"""The stock Linux cpufreq governors (paper section 2.2.1).
+
+Six governors ship with the Android-Linux architecture the paper
+describes: ``ondemand`` (the default), ``interactive``,
+``conservative``, ``powersave``, ``performance``, and ``userspace``.
+Each is a per-core frequency selector keyed off the core's observed
+load; whole-system policies in :mod:`repro.policies` compose them with
+hotplug drivers.  A ``schedutil``-like governor -- the upstream
+replacement for ondemand, newer than the paper -- ships as an extra
+baseline for the extension benches.
+"""
+
+from .base import Governor, GovernorInput, GOVERNOR_REGISTRY, create_governor
+from .ondemand import OndemandGovernor
+from .interactive import InteractiveGovernor
+from .conservative import ConservativeGovernor
+from .powersave import PowersaveGovernor
+from .performance import PerformanceGovernor
+from .userspace import UserspaceGovernor
+from .schedutil import SchedutilGovernor
+
+__all__ = [
+    "Governor",
+    "GovernorInput",
+    "GOVERNOR_REGISTRY",
+    "create_governor",
+    "OndemandGovernor",
+    "InteractiveGovernor",
+    "ConservativeGovernor",
+    "PowersaveGovernor",
+    "PerformanceGovernor",
+    "UserspaceGovernor",
+    "SchedutilGovernor",
+]

@@ -1,0 +1,84 @@
+"""Governor interface and registry.
+
+A governor is a per-core DVFS decision function: given the core's load
+over the last sampling period and its current frequency, pick the next
+OPP.  This mirrors the cpufreq governor contract the paper builds on
+("we can choose the governor which is going to manage the frequency of
+the cores depending on the CPU workload", section 2.2.1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Type
+
+from ..errors import GovernorError
+from ..soc.opp import OppTable
+from ..units import require_percent, require_positive
+
+__all__ = ["GovernorInput", "Governor", "GOVERNOR_REGISTRY", "create_governor", "register_governor"]
+
+
+@dataclass(frozen=True)
+class GovernorInput:
+    """What one core exposes to its governor at the end of a sampling period.
+
+    Attributes:
+        load_percent: Busy time over the period as a percentage of the
+            core's capacity at its *current* frequency (cpufreq "load").
+        current_khz: The core's current OPP frequency.
+        opp_table: The DVFS table to pick from.
+        dt_seconds: Sampling period length.
+    """
+
+    load_percent: float
+    current_khz: int
+    opp_table: OppTable
+    dt_seconds: float
+
+    def __post_init__(self) -> None:
+        require_percent(self.load_percent, "load_percent")
+        require_positive(self.dt_seconds, "dt_seconds")
+        if self.current_khz not in self.opp_table:
+            raise GovernorError(
+                f"current_khz {self.current_khz} is not an OPP frequency"
+            )
+
+
+class Governor(abc.ABC):
+    """Per-core DVFS decision function."""
+
+    #: Sysfs-style governor name ("ondemand", "interactive", ...).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(self, observation: GovernorInput) -> int:
+        """Return the next OPP frequency (kHz) for this core."""
+
+    def reset(self) -> None:
+        """Clear per-session state (default: nothing)."""
+
+
+#: name -> governor class, for sysfs-style selection by string.
+GOVERNOR_REGISTRY: Dict[str, Type[Governor]] = {}
+
+
+def register_governor(cls: Type[Governor]) -> Type[Governor]:
+    """Class decorator adding a governor to the registry by its name."""
+    if not cls.name or cls.name == "abstract":
+        raise GovernorError(f"governor class {cls.__name__} needs a concrete name")
+    if cls.name in GOVERNOR_REGISTRY:
+        raise GovernorError(f"governor {cls.name!r} is already registered")
+    GOVERNOR_REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_governor(name: str, **kwargs) -> Governor:
+    """Instantiate a registered governor by name (as sysfs writes would)."""
+    try:
+        cls = GOVERNOR_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(GOVERNOR_REGISTRY))
+        raise GovernorError(f"unknown governor {name!r}; available: {known}") from None
+    return cls(**kwargs)

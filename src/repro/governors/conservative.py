@@ -1,0 +1,54 @@
+"""The conservative governor.
+
+Section 2.2.1: "also based on the current usage but it increases
+(decreases) the CPU speed more smoothly (instead of suddenly jumping to
+the highest frequency).  This one is more suitable for a power-friendly
+environment."
+
+Behaviour per the cpufreq documentation: step the frequency up by
+``freq_step`` (a percentage of fmax) when load crosses ``up_threshold``,
+step it down when load falls under ``down_threshold``.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, GovernorInput, register_governor
+from ..errors import GovernorError
+from ..units import require_percent
+
+__all__ = ["ConservativeGovernor"]
+
+
+@register_governor
+class ConservativeGovernor(Governor):
+    """Smooth stepwise DVFS for power-friendly environments."""
+
+    name = "conservative"
+
+    def __init__(
+        self,
+        up_threshold: float = 80.0,
+        down_threshold: float = 20.0,
+        freq_step_percent: float = 5.0,
+    ) -> None:
+        require_percent(up_threshold, "up_threshold")
+        require_percent(down_threshold, "down_threshold")
+        require_percent(freq_step_percent, "freq_step_percent")
+        if down_threshold >= up_threshold:
+            raise GovernorError(
+                f"down_threshold {down_threshold} must be below up_threshold {up_threshold}"
+            )
+        if freq_step_percent <= 0:
+            raise GovernorError("freq_step_percent must be positive")
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self.freq_step_percent = freq_step_percent
+
+    def select(self, observation: GovernorInput) -> int:
+        table = observation.opp_table
+        step_khz = table.max_frequency_khz * self.freq_step_percent / 100.0
+        if observation.load_percent > self.up_threshold:
+            return table.ceil(observation.current_khz + step_khz).frequency_khz
+        if observation.load_percent < self.down_threshold:
+            return table.floor(observation.current_khz - step_khz).frequency_khz
+        return observation.current_khz

@@ -1,0 +1,85 @@
+"""The interactive governor.
+
+Section 2.2.1: "based on the current workload as the ondemand governor.
+It is used for latency-sensitive workloads.  However, it has a much more
+aggressive CPU speed scaling in response to the CPU activity."
+
+Behaviour reimplemented from the Android kernel documentation:
+
+* when load crosses ``go_hispeed_load``, jump at least to
+  ``hispeed_freq`` immediately;
+* above that, target ``fmax * load / target_load`` (aggressive ramp);
+* a drop below the target is honoured only after ``min_sample_time``
+  has elapsed at the current speed, preventing latency-hurting dips.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, GovernorInput, register_governor
+from ..errors import GovernorError
+from ..units import require_percent
+
+__all__ = ["InteractiveGovernor"]
+
+
+@register_governor
+class InteractiveGovernor(Governor):
+    """Aggressive latency-oriented DVFS (Android's touch-boost era governor)."""
+
+    name = "interactive"
+
+    def __init__(
+        self,
+        go_hispeed_load: float = 85.0,
+        target_load: float = 90.0,
+        hispeed_fraction: float = 0.6,
+        min_sample_time_s: float = 0.08,
+    ) -> None:
+        require_percent(go_hispeed_load, "go_hispeed_load")
+        require_percent(target_load, "target_load")
+        if target_load <= 0:
+            raise GovernorError("target_load must be positive")
+        if not 0.0 < hispeed_fraction <= 1.0:
+            raise GovernorError(
+                f"hispeed_fraction must be in (0, 1], got {hispeed_fraction}"
+            )
+        if min_sample_time_s < 0:
+            raise GovernorError("min_sample_time_s must be non-negative")
+        self.go_hispeed_load = go_hispeed_load
+        self.target_load = target_load
+        self.hispeed_fraction = hispeed_fraction
+        self.min_sample_time_s = min_sample_time_s
+        self._time_at_speed_s = 0.0
+
+    def reset(self) -> None:
+        self._time_at_speed_s = 0.0
+
+    def _hispeed_khz(self, observation: GovernorInput) -> int:
+        table = observation.opp_table
+        span = table.max_frequency_khz - table.min_frequency_khz
+        target = table.min_frequency_khz + span * self.hispeed_fraction
+        return table.ceil(target).frequency_khz
+
+    def select(self, observation: GovernorInput) -> int:
+        table = observation.opp_table
+        load = observation.load_percent
+        if load >= self.go_hispeed_load:
+            boosted = max(
+                self._hispeed_khz(observation),
+                table.ceil(
+                    table.max_frequency_khz * load / 100.0
+                ).frequency_khz,
+            )
+            self._time_at_speed_s = 0.0
+            return boosted
+        target = table.max_frequency_khz * load / self.target_load
+        desired = table.ceil(target).frequency_khz
+        if desired >= observation.current_khz:
+            self._time_at_speed_s = 0.0
+            return desired
+        # Dropping: only after min_sample_time at the current speed.
+        self._time_at_speed_s += observation.dt_seconds
+        if self._time_at_speed_s >= self.min_sample_time_s:
+            self._time_at_speed_s = 0.0
+            return desired
+        return observation.current_khz

@@ -1,0 +1,57 @@
+"""The ondemand governor -- Android's default DVFS policy.
+
+Reimplemented from the behaviour the paper and the cited cpufreq
+documentation describe (sections 2.2.1, [7], [23]):
+
+* when the sampled load exceeds ``up_threshold`` (80% by default), jump
+  straight to the **maximum** frequency ("if the load reaches a set
+  frequency threshold, CPU frequency raises to the maximum frequency");
+* otherwise scale down proportionally so the load would sit just under
+  the threshold at the new frequency:
+  ``target = current * load / up_threshold``, quantised downward onto
+  the OPP table;
+* ``sampling_down_factor`` holds the maximum frequency for that many
+  sampling periods before a down-scale is considered, reproducing the
+  governor's reluctance to leave fmax mid-burst.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, GovernorInput, register_governor
+from ..errors import GovernorError
+from ..units import require_percent
+
+__all__ = ["OndemandGovernor"]
+
+
+@register_governor
+class OndemandGovernor(Governor):
+    """Threshold-to-max, proportional-down DVFS (the Android default)."""
+
+    name = "ondemand"
+
+    def __init__(self, up_threshold: float = 80.0, sampling_down_factor: int = 4) -> None:
+        require_percent(up_threshold, "up_threshold")
+        if up_threshold <= 0:
+            raise GovernorError("up_threshold must be positive")
+        if sampling_down_factor < 1:
+            raise GovernorError(
+                f"sampling_down_factor must be >= 1, got {sampling_down_factor}"
+            )
+        self.up_threshold = up_threshold
+        self.sampling_down_factor = sampling_down_factor
+        self._hold_remaining = 0
+
+    def reset(self) -> None:
+        self._hold_remaining = 0
+
+    def select(self, observation: GovernorInput) -> int:
+        table = observation.opp_table
+        if observation.load_percent >= self.up_threshold:
+            self._hold_remaining = self.sampling_down_factor
+            return table.max_frequency_khz
+        if self._hold_remaining > 0:
+            self._hold_remaining -= 1
+            return observation.current_khz
+        target = observation.current_khz * observation.load_percent / self.up_threshold
+        return table.floor(target).frequency_khz

@@ -1,0 +1,22 @@
+"""The performance governor.
+
+Section 2.2.1: "working the same way as the powersave one but sets the
+highest frequency between two frequency thresholds" -- it pins the core
+at the top of its allowed frequency window.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, GovernorInput, register_governor
+
+__all__ = ["PerformanceGovernor"]
+
+
+@register_governor
+class PerformanceGovernor(Governor):
+    """Statically selects the highest allowed frequency."""
+
+    name = "performance"
+
+    def select(self, observation: GovernorInput) -> int:
+        return observation.opp_table.max_frequency_khz

@@ -1,0 +1,24 @@
+"""The powersave governor.
+
+Section 2.2.1: "given two frequency thresholds and chooses the minimum
+frequency between those two thresholds" -- i.e. it pins the core at the
+bottom of its allowed frequency window.  The window is the policy's
+scaling_min/scaling_max pair; with default limits that is the table
+minimum.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, GovernorInput, register_governor
+
+__all__ = ["PowersaveGovernor"]
+
+
+@register_governor
+class PowersaveGovernor(Governor):
+    """Statically selects the lowest allowed frequency."""
+
+    name = "powersave"
+
+    def select(self, observation: GovernorInput) -> int:
+        return observation.opp_table.min_frequency_khz

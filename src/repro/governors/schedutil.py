@@ -1,0 +1,62 @@
+"""A schedutil-like governor: the modern upstream baseline.
+
+Not part of the paper's 2017 taxonomy (its Nexus 5 kernel predates it),
+but the governor that later replaced ondemand upstream covers similar
+ground to MobiCore's DVFS step, so it ships here as an extra baseline
+for the extension benches.
+
+Behaviour per the kernel's ``schedutil`` documentation:
+``f_next = margin * f_max * util / capacity`` with a 25% headroom margin
+-- i.e. pick, from scratch each period, the lowest frequency that leaves
+a quarter of headroom over the *fmax-normalised* utilization.  Unlike
+ondemand there is no jump-to-max threshold and no proportional-down
+path; the target is recomputed absolutely every sample, with an optional
+rate limit on down-scaling.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, GovernorInput, register_governor
+from ..errors import GovernorError
+
+__all__ = ["SchedutilGovernor"]
+
+
+@register_governor
+class SchedutilGovernor(Governor):
+    """Utilization-proportional DVFS with fixed headroom (post-2016 Linux)."""
+
+    name = "schedutil"
+
+    def __init__(self, margin: float = 1.25, down_rate_limit_s: float = 0.04) -> None:
+        if margin < 1.0:
+            raise GovernorError(f"margin must be >= 1.0, got {margin}")
+        if down_rate_limit_s < 0:
+            raise GovernorError("down_rate_limit_s must be non-negative")
+        self.margin = margin
+        self.down_rate_limit_s = down_rate_limit_s
+        self._since_last_down_s = 0.0
+
+    def reset(self) -> None:
+        self._since_last_down_s = 0.0
+
+    def select(self, observation: GovernorInput) -> int:
+        table = observation.opp_table
+        # fmax-normalised utilization: busy time at the current OPP,
+        # scaled by where that OPP sits in the ladder.
+        util = (
+            observation.load_percent
+            / 100.0
+            * observation.current_khz
+            / table.max_frequency_khz
+        )
+        target = self.margin * table.max_frequency_khz * util
+        desired = table.ceil(target).frequency_khz
+        if desired >= observation.current_khz:
+            self._since_last_down_s = 0.0
+            return desired
+        self._since_last_down_s += observation.dt_seconds
+        if self._since_last_down_s >= self.down_rate_limit_s:
+            self._since_last_down_s = 0.0
+            return desired
+        return observation.current_khz

@@ -1,0 +1,42 @@
+"""The userspace governor.
+
+Section 2.2.1: "the userspace governor is here for users who want to try
+their own hand-written governor" -- the kernel honours whatever frequency
+a user program writes to ``scaling_setspeed``.  MobiCore is deployed at
+exactly this location in the paper (section 5.3), which is why the
+MobiCore policy in :mod:`repro.core.mobicore` drives its cores through
+this governor's semantics.
+"""
+
+from __future__ import annotations
+
+from .base import Governor, GovernorInput, register_governor
+from ..errors import GovernorError
+
+__all__ = ["UserspaceGovernor"]
+
+
+@register_governor
+class UserspaceGovernor(Governor):
+    """Honours an externally written setspeed value."""
+
+    name = "userspace"
+
+    def __init__(self, initial_khz: int = 0) -> None:
+        self._setspeed_khz = initial_khz
+
+    def set_speed(self, frequency_khz: int) -> None:
+        """The ``scaling_setspeed`` write."""
+        if frequency_khz <= 0:
+            raise GovernorError(f"setspeed must be positive, got {frequency_khz}")
+        self._setspeed_khz = frequency_khz
+
+    @property
+    def setspeed_khz(self) -> int:
+        """The last written speed (0 before any write)."""
+        return self._setspeed_khz
+
+    def select(self, observation: GovernorInput) -> int:
+        if self._setspeed_khz <= 0:
+            return observation.current_khz
+        return observation.opp_table.ceil(self._setspeed_khz).frequency_khz

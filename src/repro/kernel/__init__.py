@@ -1,0 +1,43 @@
+"""OS substrate: a Linux-like kernel for the trace-driven simulation.
+
+These modules reproduce the kernel mechanisms the paper's policies sit
+on: a load-balancing scheduler, the cpufreq and hotplug subsystems, the
+CPU bandwidth (quota) controller, utilization accounting, a sysfs-like
+knob tree, event tracing, and the tick-loop simulator that wires it all
+to a :class:`~repro.soc.platform.Platform`.
+"""
+
+from .clock import SimClock
+from .task import Task, TaskDemand, WorkItem
+from .runqueue import RunQueue
+from .scheduler import LoadBalancingScheduler, DispatchResult
+from .procstat import ProcStat, TickUtilization
+from .cpufreq import CpufreqSubsystem, FrequencyLimits
+from .cpuidle import CpuidleStats
+from .hotplug import HotplugSubsystem
+from .cgroup import CpuBandwidthController
+from .sysfs import SysfsTree
+from .tracing import TickRecord, TraceRecorder
+from .simulator import Simulator, SessionResult
+
+__all__ = [
+    "SimClock",
+    "Task",
+    "TaskDemand",
+    "WorkItem",
+    "RunQueue",
+    "LoadBalancingScheduler",
+    "DispatchResult",
+    "ProcStat",
+    "TickUtilization",
+    "CpufreqSubsystem",
+    "FrequencyLimits",
+    "CpuidleStats",
+    "HotplugSubsystem",
+    "CpuBandwidthController",
+    "SysfsTree",
+    "TickRecord",
+    "TraceRecorder",
+    "Simulator",
+    "SessionResult",
+]

@@ -1,0 +1,79 @@
+"""The CPU bandwidth controller: the kernel mechanism behind "quota".
+
+Section 4.1.1: "In the Linux architecture, there exists a value which
+stands for the global CPU bandwidth.  This value can be reduced or
+expanded by applying a small scaling factor (q) called quota."
+
+In Linux terms this is the CFS bandwidth controller
+(``cpu.cfs_quota_us`` / ``cpu.cfs_period_us``): within every period the
+group may consume at most quota microseconds of CPU.  We model the global
+effect as a capacity multiplier in (0, 1]: with quota q, each online
+core offers ``f * dt * q`` cycles per tick.  MobiCore's bandwidth step
+(Table 2) drives this controller; the decision logic itself lives in
+:mod:`repro.core.bandwidth`.
+"""
+
+from __future__ import annotations
+
+from ..errors import BandwidthError
+from ..units import require_positive
+
+__all__ = ["CpuBandwidthController"]
+
+
+class CpuBandwidthController:
+    """Holds the global quota fraction and validates updates.
+
+    Attributes:
+        period_us: The enforcement period, informational (the simulation
+            tick is the enforcement granularity).
+        min_quota: Floor below which quota may not be set; protects
+            against a runaway controller starving the system.
+    """
+
+    def __init__(self, period_us: int = 100_000, min_quota: float = 0.10) -> None:
+        require_positive(period_us, "period_us")
+        if not 0.0 < min_quota <= 1.0:
+            raise BandwidthError(f"min_quota must be in (0, 1], got {min_quota}")
+        self.period_us = period_us
+        self.min_quota = min_quota
+        self._quota = 1.0
+        self._update_count = 0
+
+    @property
+    def quota(self) -> float:
+        """Current capacity multiplier in [min_quota, 1]."""
+        return self._quota
+
+    @property
+    def quota_us(self) -> int:
+        """The quota expressed as microseconds per period (cfs_quota_us view)."""
+        return int(self._quota * self.period_us)
+
+    @property
+    def update_count(self) -> int:
+        """Number of effective quota changes applied."""
+        return self._update_count
+
+    def set_quota(self, quota: float) -> float:
+        """Set the quota fraction, clamped to [min_quota, 1]; returns it.
+
+        Values outside (0, 1] are an error from the caller's side except
+        for the clamp at the floor, which is deliberate protection.
+        """
+        if quota <= 0.0 or quota > 1.0:
+            raise BandwidthError(f"quota must be in (0, 1], got {quota}")
+        clamped = max(quota, self.min_quota)
+        if clamped != self._quota:
+            self._update_count += 1
+        self._quota = clamped
+        return self._quota
+
+    def expand_full(self) -> float:
+        """Restore the full bandwidth (burst mode's 'allocate the entire bandwidth')."""
+        return self.set_quota(1.0)
+
+    def reset(self) -> None:
+        """Full bandwidth, zeroed accounting."""
+        self._quota = 1.0
+        self._update_count = 0

@@ -1,0 +1,49 @@
+"""Simulated time: a monotonically advancing tick clock.
+
+Everything in the simulation observes time through a :class:`SimClock`,
+so no component ever reads wall-clock time and sessions replay
+identically.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import require_positive
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated clock advancing in fixed ticks.
+
+    Attributes:
+        tick_seconds: Duration of one tick.
+    """
+
+    def __init__(self, tick_seconds: float) -> None:
+        require_positive(tick_seconds, "tick_seconds")
+        self.tick_seconds = tick_seconds
+        self._tick = 0
+
+    def __repr__(self) -> str:
+        return f"SimClock(tick={self._tick}, t={self.now_seconds:.3f}s)"
+
+    @property
+    def tick(self) -> int:
+        """Number of completed ticks since the session start."""
+        return self._tick
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulated time in seconds."""
+        return self._tick * self.tick_seconds
+
+    def advance(self, ticks: int = 1) -> None:
+        """Advance by *ticks* whole ticks (must be positive)."""
+        if ticks < 1:
+            raise ConfigError(f"can only advance forward, got ticks={ticks}")
+        self._tick += ticks
+
+    def reset(self) -> None:
+        """Rewind to tick zero (new session)."""
+        self._tick = 0

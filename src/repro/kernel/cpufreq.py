@@ -1,0 +1,118 @@
+"""The cpufreq subsystem: how frequency requests become core frequencies.
+
+Policies and governors produce *target* frequencies; this subsystem is
+the mechanism that applies them, enforcing (in order):
+
+1. user-imposed per-policy limits (``scaling_min_freq`` /
+   ``scaling_max_freq`` in sysfs terms);
+2. the thermal cap, when the platform's thermal governor is active;
+3. quantisation onto the OPP table;
+4. the rail topology -- on a shared-rail platform all online cores are
+   forced to the highest requested OPP (no per-core DVFS,
+   section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import GovernorError
+from ..soc.platform import Platform
+
+__all__ = ["FrequencyLimits", "CpufreqSubsystem"]
+
+
+@dataclass
+class FrequencyLimits:
+    """User-imposed frequency window for one core (sysfs scaling_min/max)."""
+
+    min_khz: int
+    max_khz: int
+
+    def __post_init__(self) -> None:
+        if self.min_khz > self.max_khz:
+            raise GovernorError(f"min_khz {self.min_khz} > max_khz {self.max_khz}")
+
+    def clamp(self, target_khz: float) -> float:
+        """Clamp a raw target into the window."""
+        return min(max(target_khz, self.min_khz), self.max_khz)
+
+
+class CpufreqSubsystem:
+    """Applies frequency targets to a platform's cores each tick."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        table = platform.opp_table
+        self._limits: List[FrequencyLimits] = [
+            FrequencyLimits(table.min_frequency_khz, table.max_frequency_khz)
+            for _ in platform.cluster.cores
+        ]
+        self._transition_count = 0
+
+    @property
+    def transition_count(self) -> int:
+        """Number of actual frequency changes applied (DVFS churn metric)."""
+        return self._transition_count
+
+    def limits(self, core_id: int) -> FrequencyLimits:
+        """The user window for one core."""
+        try:
+            return self._limits[core_id]
+        except IndexError:
+            raise GovernorError(f"no core {core_id}") from None
+
+    def set_limits(self, core_id: int, min_khz: int, max_khz: int) -> None:
+        """Install a user frequency window (both must be OPP frequencies)."""
+        table = self.platform.opp_table
+        if min_khz not in table or max_khz not in table:
+            raise GovernorError(
+                f"limits ({min_khz}, {max_khz}) must both be OPP frequencies"
+            )
+        self._limits[core_id] = FrequencyLimits(min_khz, max_khz)
+
+    def apply(self, targets_khz: Sequence[Optional[float]], round_up: bool = True) -> List[int]:
+        """Apply per-core targets, returning the frequencies actually set.
+
+        ``None`` entries leave that core's frequency unchanged.  Offline
+        cores accept a setting (it takes effect when they come back) just
+        like real cpufreq.  Returns the resulting per-core frequencies.
+        """
+        cluster = self.platform.cluster
+        if len(targets_khz) != len(cluster):
+            raise GovernorError(
+                f"{len(targets_khz)} targets for {len(cluster)} cores"
+            )
+        table = self.platform.opp_table
+        thermal_cap = self.platform.thermal.max_allowed_frequency_khz
+        resolved: List[int] = []
+        for core, target in zip(cluster.cores, targets_khz):
+            if target is None:
+                resolved.append(core.frequency_khz)
+                continue
+            clamped = self._limits[core.core_id].clamp(target)
+            clamped = min(clamped, thermal_cap)
+            opp = table.ceil(clamped) if round_up else table.floor(clamped)
+            frequency = min(opp.frequency_khz, thermal_cap)
+            if frequency not in table:
+                frequency = table.floor(frequency).frequency_khz
+            if frequency != core.frequency_khz:
+                self._transition_count += 1
+            core.set_frequency(frequency)
+            resolved.append(frequency)
+        if not self.platform.allows_per_core_dvfs:
+            self._unify_shared_rail(resolved)
+        return [core.frequency_khz for core in cluster.cores]
+
+    def _unify_shared_rail(self, resolved: Sequence[int]) -> None:
+        """Force all online cores to the fastest requested OPP (shared rail)."""
+        cluster = self.platform.cluster
+        online = cluster.online_cores
+        if not online:
+            return
+        fastest = max(core.frequency_khz for core in online)
+        for core in online:
+            if core.frequency_khz != fastest:
+                self._transition_count += 1
+                core.set_frequency(fastest)

@@ -1,0 +1,85 @@
+"""cpuidle accounting: how long cores sit in each power state.
+
+The paper's section 4.1.2 argues against race-to-idle on per-core-rail
+platforms because idle cores still leak 47-120 mW each.  This module
+tracks per-core residency in ACTIVE / IDLE / OFFLINE so experiments (and
+the race-to-idle ablation bench) can quantify exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import MeterError
+from ..soc.core_state import CoreState
+from ..soc.cpu_cluster import CpuCluster
+from ..units import require_positive
+
+__all__ = ["CpuidleStats"]
+
+
+class CpuidleStats:
+    """Per-core residency accumulator, fed once per tick."""
+
+    def __init__(self, num_cores: int) -> None:
+        if num_cores < 1:
+            raise MeterError(f"num_cores must be positive, got {num_cores}")
+        self.num_cores = num_cores
+        self._residency: List[Dict[CoreState, float]] = [
+            {state: 0.0 for state in CoreState} for _ in range(num_cores)
+        ]
+        self._total_seconds = 0.0
+
+    def record(self, cluster: CpuCluster, dt_seconds: float) -> None:
+        """Accumulate *dt_seconds* of residency from the cluster's current states.
+
+        A tick where a core was partially busy splits between ACTIVE and
+        IDLE by its busy fraction, matching how cpuidle residency
+        counters integrate over a sampling window.
+        """
+        require_positive(dt_seconds, "dt_seconds")
+        if len(cluster) != self.num_cores:
+            raise MeterError(
+                f"stats sized for {self.num_cores} cores, cluster has {len(cluster)}"
+            )
+        for core in cluster.cores:
+            buckets = self._residency[core.core_id]
+            if not core.is_online:
+                buckets[CoreState.OFFLINE] += dt_seconds
+                continue
+            busy = core.busy_fraction
+            buckets[CoreState.ACTIVE] += dt_seconds * busy
+            buckets[CoreState.IDLE] += dt_seconds * (1.0 - busy)
+        self._total_seconds += dt_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Accumulated session time."""
+        return self._total_seconds
+
+    def residency_seconds(self, core_id: int, state: CoreState) -> float:
+        """Seconds core *core_id* spent in *state*."""
+        try:
+            return self._residency[core_id][state]
+        except IndexError:
+            raise MeterError(f"no core {core_id}") from None
+
+    def residency_fraction(self, core_id: int, state: CoreState) -> float:
+        """Fraction of the session core *core_id* spent in *state*."""
+        if self._total_seconds == 0:
+            return 0.0
+        return self.residency_seconds(core_id, state) / self._total_seconds
+
+    def fleet_fraction(self, state: CoreState) -> float:
+        """Fraction of all core-seconds spent in *state*."""
+        if self._total_seconds == 0:
+            return 0.0
+        total = sum(buckets[state] for buckets in self._residency)
+        return total / (self._total_seconds * self.num_cores)
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        for buckets in self._residency:
+            for state in buckets:
+                buckets[state] = 0.0
+        self._total_seconds = 0.0

@@ -1,0 +1,88 @@
+"""The hotplug subsystem (DCS mechanism) and the mpdecision veto.
+
+Section 2.2.2: "Hotplug enables the kernel to dynamically activate more
+or less hardware components ... mpdecision is a service which protects
+the phone from turning off cores.  In order to be able to activate that
+feature, we need to inactivate the mpdecision service."
+
+This module is the *mechanism*: it applies online masks to the cluster,
+enforces the veto while mpdecision is enabled, and accounts transition
+latency and churn.  Hotplug *drivers* (the decision logic) live in
+:mod:`repro.policies`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import HotplugError
+from ..soc.cpu_cluster import CpuCluster
+
+__all__ = ["HotplugSubsystem"]
+
+
+class HotplugSubsystem:
+    """Applies online-mask requests to a cluster, honouring mpdecision."""
+
+    def __init__(self, cluster: CpuCluster, mpdecision_enabled: bool = True) -> None:
+        self.cluster = cluster
+        self._mpdecision_enabled = mpdecision_enabled
+        self._transition_latency_seconds = 0.0
+        self._vetoed_offline_requests = 0
+
+    @property
+    def mpdecision_enabled(self) -> bool:
+        """True while the stock mpdecision service blocks offlining."""
+        return self._mpdecision_enabled
+
+    def set_mpdecision(self, enabled: bool) -> None:
+        """Enable or disable mpdecision (the paper disables it via adb shell)."""
+        self._mpdecision_enabled = enabled
+
+    @property
+    def transition_latency_seconds(self) -> float:
+        """Accumulated hotplug transition latency (hotplug churn cost)."""
+        return self._transition_latency_seconds
+
+    @property
+    def vetoed_offline_requests(self) -> int:
+        """Offline requests swallowed by mpdecision."""
+        return self._vetoed_offline_requests
+
+    @property
+    def transition_count(self) -> int:
+        """Total core state transitions performed on the cluster."""
+        return sum(core.transition_count for core in self.cluster.cores)
+
+    def apply_mask(self, mask: Sequence[bool]) -> List[bool]:
+        """Request an online mask; returns the mask actually in effect.
+
+        While mpdecision is enabled, offline requests are vetoed: cores
+        currently online stay online (onlining more is always allowed).
+        """
+        if len(mask) != len(self.cluster):
+            raise HotplugError(
+                f"mask has {len(mask)} entries for {len(self.cluster)} cores"
+            )
+        effective = list(mask)
+        if self._mpdecision_enabled:
+            for core in self.cluster.cores:
+                if core.is_online and not effective[core.core_id]:
+                    effective[core.core_id] = True
+                    self._vetoed_offline_requests += 1
+        self._transition_latency_seconds += self.cluster.set_online_mask(effective)
+        return self.cluster.online_mask
+
+    def apply_count(self, count: int) -> List[bool]:
+        """Request exactly *count* online cores (lowest ids first)."""
+        if not 1 <= count <= len(self.cluster):
+            raise HotplugError(
+                f"online count must be in 1..{len(self.cluster)}, got {count}"
+            )
+        mask = [i < count for i in range(len(self.cluster))]
+        return self.apply_mask(mask)
+
+    def reset(self) -> None:
+        """Zero accounting (cluster state is reset separately)."""
+        self._transition_latency_seconds = 0.0
+        self._vetoed_offline_requests = 0

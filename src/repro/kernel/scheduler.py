@@ -1,0 +1,213 @@
+"""The load-balancing task scheduler.
+
+Section 3.2 of the paper: "the Linux architecture uses a task scheduler
+... the default Linux task scheduler is splitting the workload over a
+certain number of processes", and section 2.2: the basic principle is "to
+fairly allocate the available CPU resources and to balance the workload
+among cores".  We reproduce that behaviour with a longest-processing-time
+greedy balancer:
+
+* single-thread work goes, whole, to the core with the most remaining
+  capacity (a thread can never use more than one core per tick);
+* parallel work is divided over online cores proportionally to their
+  remaining capacity (water filling);
+* work that does not fit carries over as per-task backlog, draining
+  first on later ticks; backlog beyond a cap is dropped and counted
+  (for games this is the mechanism behind lost frames).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .runqueue import RunQueue
+from .task import Task, TaskDemand, WorkItem
+from ..errors import SchedulerError
+from ..soc.cpu_cluster import CpuCluster
+from ..units import require_fraction, require_positive
+
+__all__ = ["DispatchResult", "LoadBalancingScheduler"]
+
+
+@dataclass
+class DispatchResult:
+    """Outcome of one scheduling tick.
+
+    Attributes:
+        busy_cycles: Cycles executed per core (indexed by core id;
+            offline cores report 0).
+        busy_fractions: Busy cycles over each core's *unthrottled*
+            capacity at its current frequency -- the utilization signal
+            governors observe.  Under a bandwidth quota q the fraction
+            cannot exceed q.
+        executed_by_task: Cycles executed per task id, summed over cores.
+        backlog_by_task: Cycles still pending per task id after the tick.
+        dropped_cycles: Cycles discarded because a task's backlog
+            exceeded the cap.
+    """
+
+    busy_cycles: List[float]
+    busy_fractions: List[float]
+    executed_by_task: Dict[int, float]
+    backlog_by_task: Dict[int, float]
+    dropped_cycles: float
+
+    @property
+    def total_executed(self) -> float:
+        """All cycles executed this tick."""
+        return sum(self.executed_by_task.values())
+
+    @property
+    def total_backlog(self) -> float:
+        """All cycles still pending after this tick."""
+        return sum(self.backlog_by_task.values())
+
+
+class LoadBalancingScheduler:
+    """Greedy balanced dispatch with per-task backlog carry-over.
+
+    Attributes:
+        backlog_cap_ticks: A task's backlog is capped at this many ticks
+            of one core's fmax capacity; excess demand is dropped (and
+            reported), modelling work that is skipped rather than
+            deferred forever -- e.g. stale frames.
+    """
+
+    def __init__(self, backlog_cap_ticks: float = 5.0) -> None:
+        require_positive(backlog_cap_ticks, "backlog_cap_ticks")
+        self.backlog_cap_ticks = backlog_cap_ticks
+        self._backlog: Dict[int, Tuple[Task, float]] = {}
+
+    @property
+    def backlog(self) -> Dict[int, float]:
+        """Pending cycles per task id."""
+        return {task_id: cycles for task_id, (_, cycles) in self._backlog.items()}
+
+    @property
+    def total_backlog_cycles(self) -> float:
+        """All pending cycles."""
+        return sum(cycles for _, cycles in self._backlog.values())
+
+    def reset(self) -> None:
+        """Drop all backlog (new session)."""
+        self._backlog.clear()
+
+    def dispatch(
+        self,
+        demands: Sequence[TaskDemand],
+        cluster: CpuCluster,
+        dt_seconds: float,
+        quota: float = 1.0,
+    ) -> DispatchResult:
+        """Distribute this tick's demand (plus backlog) and execute it."""
+        require_positive(dt_seconds, "dt_seconds")
+        require_fraction(quota, "quota")
+        online = cluster.online_cores
+        if not online:
+            raise SchedulerError("cannot dispatch with no online cores")
+
+        items = self._merge_backlog(demands)
+        queues = {core.core_id: RunQueue(core.core_id) for core in online}
+        remaining = {
+            core.core_id: core.capacity_cycles(dt_seconds, quota) for core in online
+        }
+
+        parallel_items = [item for item in items if item.task.parallel]
+        serial_items = [item for item in items if not item.task.parallel]
+
+        # Single-thread work first, largest first, to the emptiest core:
+        # a thread is bound to one core for the tick.
+        serial_items.sort(key=lambda item: item.total_cycles, reverse=True)
+        for item in serial_items:
+            target = max(remaining, key=lambda cid: remaining[cid])
+            queues[target].assign(item.task, item.total_cycles)
+            remaining[target] = max(0.0, remaining[target] - item.total_cycles)
+
+        # Parallel work divides over whatever capacity is left (water fill).
+        for item in parallel_items:
+            self._assign_parallel(item, queues, remaining)
+
+        busy_cycles = [0.0] * len(cluster)
+        busy_fractions = [0.0] * len(cluster)
+        executed_by_task: Dict[int, float] = {}
+        leftover_by_task: Dict[int, float] = {}
+        task_index = {item.task.task_id: item.task for item in items}
+        for core in online:
+            capacity = core.capacity_cycles(dt_seconds, quota)
+            busy, executed, leftover = queues[core.core_id].execute(capacity)
+            busy_cycles[core.core_id] = busy
+            full_capacity = core.capacity_cycles(dt_seconds, 1.0)
+            busy_fractions[core.core_id] = busy / full_capacity if full_capacity else 0.0
+            for task_id, cycles in executed.items():
+                executed_by_task[task_id] = executed_by_task.get(task_id, 0.0) + cycles
+            for task_id, cycles in leftover.items():
+                leftover_by_task[task_id] = leftover_by_task.get(task_id, 0.0) + cycles
+
+        dropped = self._store_backlog(leftover_by_task, task_index, cluster, dt_seconds)
+        return DispatchResult(
+            busy_cycles=busy_cycles,
+            busy_fractions=busy_fractions,
+            executed_by_task=executed_by_task,
+            backlog_by_task=self.backlog,
+            dropped_cycles=dropped,
+        )
+
+    # -- internals -------------------------------------------------------
+
+    def _merge_backlog(self, demands: Sequence[TaskDemand]) -> List[WorkItem]:
+        """Combine fresh demand with carried backlog into work items."""
+        items: Dict[int, WorkItem] = {}
+        for task_id, (task, cycles) in self._backlog.items():
+            items[task_id] = WorkItem(task=task, cycles=0.0, from_backlog=cycles)
+        for demand in demands:
+            existing = items.get(demand.task.task_id)
+            if existing is None:
+                items[demand.task.task_id] = WorkItem(task=demand.task, cycles=demand.cycles)
+            else:
+                existing.cycles += demand.cycles
+        self._backlog.clear()
+        return list(items.values())
+
+    @staticmethod
+    def _assign_parallel(
+        item: WorkItem, queues: Dict[int, RunQueue], remaining: Dict[int, float]
+    ) -> None:
+        """Split a divisible item over cores proportionally to free capacity.
+
+        Any residue beyond total free capacity lands on the emptiest core
+        so it is accounted as that task's leftover.
+        """
+        total_free = sum(remaining.values())
+        pending = item.total_cycles
+        if total_free > 0:
+            for core_id in list(remaining):
+                share = pending * remaining[core_id] / total_free
+                if share > 0:
+                    queues[core_id].assign(item.task, share)
+                    remaining[core_id] = max(0.0, remaining[core_id] - share)
+            pending = 0.0
+        if pending > 0 or total_free <= 0:
+            overflow = item.total_cycles if total_free <= 0 else pending
+            if overflow > 0:
+                target = max(remaining, key=lambda cid: remaining[cid])
+                queues[target].assign(item.task, overflow)
+
+    def _store_backlog(
+        self,
+        leftover_by_task: Dict[int, float],
+        task_index: Dict[int, Task],
+        cluster: CpuCluster,
+        dt_seconds: float,
+    ) -> float:
+        """Persist leftovers as next-tick backlog, applying the cap."""
+        cap = (
+            cluster.opp_table.max_frequency_khz * 1000.0 * dt_seconds * self.backlog_cap_ticks
+        )
+        dropped = 0.0
+        for task_id, cycles in leftover_by_task.items():
+            kept = min(cycles, cap)
+            dropped += cycles - kept
+            if kept > 0:
+                self._backlog[task_id] = (task_index[task_id], kept)
+        return dropped

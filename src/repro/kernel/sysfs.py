@@ -1,0 +1,76 @@
+"""A sysfs-like knob tree.
+
+The paper tunes everything through the Android Linux sysfs interface
+("All CPU features that are tweaked are easily accessible and modifiable
+in the Android Linux architecture", section 5.3).  This module provides
+the same ergonomics for the simulation: subsystems register string paths
+with typed getters/setters, and examples or tests drive the system the
+way ``adb shell`` writes would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ConfigError
+
+__all__ = ["SysfsTree"]
+
+
+class SysfsTree:
+    """String-keyed registry of knobs with getter/setter callables."""
+
+    def __init__(self) -> None:
+        self._getters: Dict[str, Callable[[], Any]] = {}
+        self._setters: Dict[str, Callable[[str], None]] = {}
+
+    @staticmethod
+    def _normalise(path: str) -> str:
+        cleaned = path.strip().strip("/")
+        if not cleaned:
+            raise ConfigError("sysfs path must not be empty")
+        return cleaned
+
+    def register(
+        self,
+        path: str,
+        getter: Callable[[], Any],
+        setter: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        """Register a knob at *path*; read-only when no setter is given."""
+        key = self._normalise(path)
+        if key in self._getters:
+            raise ConfigError(f"sysfs path already registered: /{key}")
+        self._getters[key] = getter
+        if setter is not None:
+            self._setters[key] = setter
+
+    def read(self, path: str) -> str:
+        """Read a knob, rendered as a string (as ``cat`` would show it)."""
+        key = self._normalise(path)
+        try:
+            getter = self._getters[key]
+        except KeyError:
+            raise ConfigError(f"no such sysfs path: /{key}") from None
+        return str(getter())
+
+    def write(self, path: str, value: str) -> None:
+        """Write a knob (as ``echo value >`` would); setters parse the string."""
+        key = self._normalise(path)
+        if key not in self._getters:
+            raise ConfigError(f"no such sysfs path: /{key}")
+        setter = self._setters.get(key)
+        if setter is None:
+            raise ConfigError(f"sysfs path is read-only: /{key}")
+        setter(value)
+
+    def list(self, prefix: str = "") -> List[str]:
+        """All registered paths under *prefix*, sorted."""
+        if prefix.strip("/ ") == "":
+            return sorted(f"/{key}" for key in self._getters)
+        key_prefix = self._normalise(prefix)
+        return sorted(
+            f"/{key}"
+            for key in self._getters
+            if key == key_prefix or key.startswith(key_prefix + "/")
+        )

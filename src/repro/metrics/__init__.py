@@ -1,0 +1,23 @@
+"""Measurement: the simulation's Monsoon meter, FPS counter, and collectors.
+
+The paper measures with a Monsoon power monitor at the battery pins plus
+the in-house kernel app's log file.  Here :class:`PowerMeter` plays the
+Monsoon role, :class:`FpsMeter` the FPS counter of section 6.2, and the
+collectors compute the Figure 12/13 hardware-usage statistics.  All of
+them can ingest a finished session's :class:`~repro.kernel.tracing.TraceRecorder`.
+"""
+
+from .power_meter import PowerMeter
+from .fps_meter import FpsMeter
+from .collectors import FrequencyCollector, CoreCountCollector, LoadCollector
+from .summary import SessionSummary, summarize
+
+__all__ = [
+    "PowerMeter",
+    "FpsMeter",
+    "FrequencyCollector",
+    "CoreCountCollector",
+    "LoadCollector",
+    "SessionSummary",
+    "summarize",
+]

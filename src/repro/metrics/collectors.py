@@ -1,0 +1,97 @@
+"""Hardware-usage collectors: the Figure 12 and Figure 13 statistics.
+
+Figure 12 reports the average per-core frequency and the average number
+of active CPU cores per gaming session; Figure 13 the average global CPU
+load and its variation between policies.  These collectors compute all
+of them from a session trace (or live, sample by sample).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import MeterError
+from ..kernel.tracing import TraceRecorder
+
+__all__ = ["FrequencyCollector", "CoreCountCollector", "LoadCollector"]
+
+
+class _ScalarCollector:
+    """Shared mean/std/min/max accumulator."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(self, value: float) -> None:
+        """Record one observation."""
+        self._samples.append(value)
+
+    def _require(self) -> None:
+        if not self._samples:
+            raise MeterError(f"{type(self).__name__} has no samples yet")
+
+    def mean(self) -> float:
+        """Arithmetic mean over the session."""
+        self._require()
+        return sum(self._samples) / len(self._samples)
+
+    def std(self) -> float:
+        """Standard deviation over the session."""
+        self._require()
+        mean = self.mean()
+        return math.sqrt(sum((s - mean) ** 2 for s in self._samples) / len(self._samples))
+
+    def minimum(self) -> float:
+        """Smallest observation."""
+        self._require()
+        return min(self._samples)
+
+    def maximum(self) -> float:
+        """Largest observation."""
+        self._require()
+        return max(self._samples)
+
+
+class FrequencyCollector(_ScalarCollector):
+    """Average online-core frequency per tick, kHz (Figure 12 left)."""
+
+    @classmethod
+    def from_trace(cls, trace: TraceRecorder) -> "FrequencyCollector":
+        collector = cls()
+        for record in trace.measured:
+            collector.sample(record.mean_online_frequency_khz)
+        return collector
+
+    def mean_mhz(self) -> float:
+        """Session mean in MHz, for display."""
+        return self.mean() / 1000.0
+
+
+class CoreCountCollector(_ScalarCollector):
+    """Number of active CPU cores per tick (Figure 12 right)."""
+
+    @classmethod
+    def from_trace(cls, trace: TraceRecorder) -> "CoreCountCollector":
+        collector = cls()
+        for record in trace.measured:
+            collector.sample(float(record.online_count))
+        return collector
+
+
+class LoadCollector(_ScalarCollector):
+    """Global CPU load per tick, percent (Figure 13)."""
+
+    @classmethod
+    def from_trace(cls, trace: TraceRecorder) -> "LoadCollector":
+        collector = cls()
+        for record in trace.measured:
+            collector.sample(record.global_util_percent)
+        return collector
+
+    def variation(self) -> float:
+        """Figure 13(b)'s "load variation": the std of the load series."""
+        return self.std()

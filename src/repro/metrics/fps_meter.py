@@ -1,0 +1,98 @@
+"""FPS statistics for gaming sessions (Figure 11).
+
+Section 6.2 reports per-game *average* FPS and the FPS ratio between
+policies; section 5.1 establishes the acceptability band ("most of the
+games were running between 15 and 20 FPS though the gaming experience
+was unaffected").  :class:`FpsMeter` aggregates a session's per-tick FPS
+samples into exactly those statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import MeterError
+from ..kernel.tracing import TraceRecorder
+from ..units import require_non_negative
+
+__all__ = ["FpsMeter"]
+
+#: Section 5.1's acceptable band for gaming.
+ACCEPTABLE_FPS_LOW = 15.0
+ACCEPTABLE_FPS_HIGH = 20.0
+
+
+class FpsMeter:
+    """Accumulates per-tick FPS samples."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    @classmethod
+    def from_trace(cls, trace: TraceRecorder) -> "FpsMeter":
+        """Collect the FPS column of a finished session's measured ticks."""
+        meter = cls()
+        for record in trace.measured:
+            if record.fps is not None:
+                meter.sample(record.fps)
+        return meter
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def sample(self, fps: float) -> None:
+        """Record one tick's delivered FPS."""
+        require_non_negative(fps, "fps")
+        self._samples.append(fps)
+
+    def _require_samples(self) -> None:
+        if not self._samples:
+            raise MeterError("fps meter has no samples yet")
+
+    def mean(self) -> float:
+        """Session-average FPS (the Figure 11 bar)."""
+        self._require_samples()
+        return sum(self._samples) / len(self._samples)
+
+    def minimum(self) -> float:
+        """Worst tick (stutter depth)."""
+        self._require_samples()
+        return min(self._samples)
+
+    def maximum(self) -> float:
+        """Best tick."""
+        self._require_samples()
+        return max(self._samples)
+
+    def std(self) -> float:
+        """FPS jitter (standard deviation)."""
+        self._require_samples()
+        mean = self.mean()
+        return math.sqrt(sum((s - mean) ** 2 for s in self._samples) / len(self._samples))
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]), linear interpolation."""
+        if not 0.0 <= q <= 100.0:
+            raise MeterError(f"percentile must be in [0, 100], got {q}")
+        self._require_samples()
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100.0) * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def in_acceptable_band(self) -> bool:
+        """True when the session mean sits in (or above) the 15-20 band."""
+        return self.mean() >= ACCEPTABLE_FPS_LOW
+
+    @staticmethod
+    def ratio(ours: "FpsMeter", baseline: "FpsMeter") -> float:
+        """Figure 11's FPS ratio: our mean over the baseline's mean."""
+        base = baseline.mean()
+        if base == 0:
+            raise MeterError("baseline FPS mean is zero; ratio undefined")
+        return ours.mean() / base

@@ -1,0 +1,107 @@
+"""The power meter: the simulation's Monsoon Power Monitor.
+
+Section 3.1: "For power measurements, we used a power meter named Power
+Monsoon externally connected to the mobile device.  The battery of the
+phone has previously been removed and power consumption is measured
+directly at the power pins."  The meter integrates instantaneous power
+into averages and energy, exactly what every figure of the paper
+reports.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..errors import MeterError
+from ..kernel.tracing import TraceRecorder
+from ..units import require_non_negative, require_positive
+
+__all__ = ["PowerMeter"]
+
+
+class PowerMeter:
+    """Accumulates (power, duration) samples; reports averages and energy."""
+
+    def __init__(self) -> None:
+        self._samples_mw: List[float] = []
+        self._durations_s: List[float] = []
+
+    @classmethod
+    def from_trace(cls, trace: TraceRecorder, tick_seconds: float) -> "PowerMeter":
+        """Build a meter from a finished session's measured ticks."""
+        meter = cls()
+        for record in trace.measured:
+            meter.sample(record.power_mw, tick_seconds)
+        return meter
+
+    def __len__(self) -> int:
+        return len(self._samples_mw)
+
+    def sample(self, power_mw: float, duration_seconds: float) -> None:
+        """Record one observation of *power_mw* held for *duration_seconds*."""
+        require_non_negative(power_mw, "power_mw")
+        require_positive(duration_seconds, "duration_seconds")
+        self._samples_mw.append(power_mw)
+        self._durations_s.append(duration_seconds)
+
+    def _require_samples(self) -> None:
+        if not self._samples_mw:
+            raise MeterError("power meter has no samples yet")
+
+    @property
+    def total_seconds(self) -> float:
+        """Total observed time."""
+        return sum(self._durations_s)
+
+    def mean_mw(self) -> float:
+        """Duration-weighted average power (the Monsoon headline number)."""
+        self._require_samples()
+        total_time = self.total_seconds
+        weighted = sum(p * d for p, d in zip(self._samples_mw, self._durations_s))
+        return weighted / total_time
+
+    def peak_mw(self) -> float:
+        """Highest sampled power."""
+        self._require_samples()
+        return max(self._samples_mw)
+
+    def min_mw(self) -> float:
+        """Lowest sampled power."""
+        self._require_samples()
+        return min(self._samples_mw)
+
+    def std_mw(self) -> float:
+        """Duration-weighted standard deviation of power."""
+        self._require_samples()
+        mean = self.mean_mw()
+        total_time = self.total_seconds
+        variance = (
+            sum(d * (p - mean) ** 2 for p, d in zip(self._samples_mw, self._durations_s))
+            / total_time
+        )
+        return math.sqrt(variance)
+
+    def energy_mj(self) -> float:
+        """Total energy in millijoules (Eq. 5 over the session)."""
+        self._require_samples()
+        return sum(p * d for p, d in zip(self._samples_mw, self._durations_s))
+
+    def energy_j(self) -> float:
+        """Total energy in joules."""
+        return self.energy_mj() / 1000.0
+
+    def series_mw(self) -> List[float]:
+        """The raw sample series (for plotting / regression tests)."""
+        return list(self._samples_mw)
+
+    def downsampled_mw(self, bucket: int) -> List[float]:
+        """Average consecutive *bucket*-sized groups (coarser export)."""
+        if bucket < 1:
+            raise MeterError(f"bucket must be >= 1, got {bucket}")
+        self._require_samples()
+        out: List[float] = []
+        for start in range(0, len(self._samples_mw), bucket):
+            chunk = self._samples_mw[start:start + bucket]
+            out.append(sum(chunk) / len(chunk))
+        return out

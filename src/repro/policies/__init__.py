@@ -1,0 +1,28 @@
+"""Whole-system CPU policies: the paper's baselines and ablation variants.
+
+The central baseline is :class:`AndroidDefaultPolicy` -- the stock
+Android 6.0 behaviour the paper measures against: per-core ``ondemand``
+DVFS plus the default hotplug driver (with mpdecision disabled so
+offlining works, section 2.2.2).  :class:`StaticPolicy` pins an exact
+(cores, frequency) operating point for the characterisation sweeps of
+section 3; the single-mechanism policies isolate DVFS or DCS for the
+ablation benches.
+"""
+
+from .base import CpuPolicy, PolicyDecision, SystemObservation
+from .hotplug_driver import DefaultHotplugDriver
+from .android_default import AndroidDefaultPolicy
+from .static import StaticPolicy
+from .single_mechanism import DvfsOnlyPolicy, DcsOnlyPolicy, RaceToIdlePolicy
+
+__all__ = [
+    "CpuPolicy",
+    "PolicyDecision",
+    "SystemObservation",
+    "DefaultHotplugDriver",
+    "AndroidDefaultPolicy",
+    "StaticPolicy",
+    "DvfsOnlyPolicy",
+    "DcsOnlyPolicy",
+    "RaceToIdlePolicy",
+]

@@ -1,0 +1,96 @@
+"""The default hotplug driver: load-thresholded core-count decisions.
+
+Section 2.2.2: "This policy allocates the hardware resources depending
+on the amount of workload.  Basically, more cores for a high workload
+and less cores for a low workload ... the choice is not precise enough;
+it is either activate or inactivate cores which is a little abrupt."
+
+Reconstructed behaviour (from [8] and the Linux hotplug documentation
+[27]), working in fmax-normalised units so decisions are frequency
+invariant:
+
+* let ``total`` be the sum of per-core loads scaled to fmax capacity
+  (``load_i * f_i / fmax``, summed) -- "how many fmax-cores of demand
+  exist", in percent;
+* **online** one more core when ``total`` exceeds
+  ``online_count * up_threshold`` for ``hold_up_ticks`` ticks (every
+  online core is nearly saturated);
+* **offline** one core when one fewer core could still carry the demand
+  with headroom: ``total < (online_count - 1) * up_threshold *
+  down_headroom`` for ``hold_down_ticks`` ticks.
+
+The hold counters are the hysteresis that keeps the driver from
+ping-ponging -- and also what makes it react "a little abrupt[ly]" and
+late, the weakness MobiCore exploits.
+"""
+
+from __future__ import annotations
+
+from ..errors import HotplugError
+from ..units import require_non_negative, require_percent
+
+__all__ = ["DefaultHotplugDriver"]
+
+
+class DefaultHotplugDriver:
+    """Stateful core-count chooser driven by total fmax-normalised load."""
+
+    def __init__(
+        self,
+        up_threshold: float = 80.0,
+        down_headroom: float = 0.4,
+        hold_up_ticks: int = 2,
+        hold_down_ticks: int = 25,
+    ) -> None:
+        require_percent(up_threshold, "up_threshold")
+        if up_threshold <= 0:
+            raise HotplugError("up_threshold must be positive")
+        if not 0.0 < down_headroom <= 1.0:
+            raise HotplugError(f"down_headroom must be in (0, 1], got {down_headroom}")
+        if hold_up_ticks < 1 or hold_down_ticks < 1:
+            raise HotplugError("hold tick counts must be >= 1")
+        self.up_threshold = up_threshold
+        self.down_headroom = down_headroom
+        self.hold_up_ticks = hold_up_ticks
+        self.hold_down_ticks = hold_down_ticks
+        self._above_count = 0
+        self._below_count = 0
+
+    def reset(self) -> None:
+        """Clear hysteresis state for a new session."""
+        self._above_count = 0
+        self._below_count = 0
+
+    def target_count(
+        self, total_scaled_load_percent: float, online_count: int, num_cores: int
+    ) -> int:
+        """Return the core count to run next tick.
+
+        *total_scaled_load_percent* is the sum over cores of
+        ``load_i * f_i / fmax`` -- 100 means "one fully-busy fmax core"
+        of demand, 400 means four.
+        """
+        require_non_negative(total_scaled_load_percent, "total_scaled_load_percent")
+        if not 1 <= online_count <= num_cores:
+            raise HotplugError(
+                f"online_count {online_count} out of range 1..{num_cores}"
+            )
+        up_trigger = online_count * self.up_threshold
+        down_trigger = (online_count - 1) * self.up_threshold * self.down_headroom
+        if total_scaled_load_percent >= up_trigger:
+            self._above_count += 1
+            self._below_count = 0
+            if self._above_count >= self.hold_up_ticks and online_count < num_cores:
+                self._above_count = 0
+                return online_count + 1
+            return online_count
+        if online_count > 1 and total_scaled_load_percent <= down_trigger:
+            self._below_count += 1
+            self._above_count = 0
+            if self._below_count >= self.hold_down_ticks:
+                self._below_count = 0
+                return online_count - 1
+            return online_count
+        self._above_count = 0
+        self._below_count = 0
+        return online_count

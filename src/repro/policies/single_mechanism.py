@@ -1,0 +1,115 @@
+"""Single-mechanism policies: DVFS-only, DCS-only, and race-to-idle.
+
+These isolate the levers MobiCore unifies, for the ablation benches:
+
+* :class:`DvfsOnlyPolicy` -- all cores always online, a stock governor
+  adjusts frequency (what the default policy degenerates to when
+  mpdecision blocks offlining);
+* :class:`DcsOnlyPolicy` -- a fixed frequency, the hotplug driver adjusts
+  the core count (section 2.2.2's "alone it cannot be efficient" claim);
+* :class:`RaceToIdlePolicy` -- all cores online at fmax, finishing work
+  fast and idling, the principle section 4.1.2 argues against on
+  per-core-rail platforms.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .base import CpuPolicy, PolicyDecision, SystemObservation
+from .hotplug_driver import DefaultHotplugDriver
+from ..errors import ConfigError
+from ..governors.base import Governor, GovernorInput, create_governor
+
+__all__ = ["DvfsOnlyPolicy", "DcsOnlyPolicy", "RaceToIdlePolicy"]
+
+
+class DvfsOnlyPolicy(CpuPolicy):
+    """A stock governor on every core; core count never changes."""
+
+    def __init__(self, governor_name: str = "ondemand", num_cores: int = 4) -> None:
+        self.name = f"dvfs-only({governor_name})"
+        self.governor_name = governor_name
+        self._governors: List[Governor] = [
+            create_governor(governor_name) for _ in range(num_cores)
+        ]
+
+    def reset(self) -> None:
+        for governor in self._governors:
+            governor.reset()
+
+    def decide(self, observation: SystemObservation) -> PolicyDecision:
+        while len(self._governors) < observation.num_cores:
+            self._governors.append(create_governor(self.governor_name))
+        targets: List[Optional[float]] = []
+        for core_id in range(observation.num_cores):
+            if not observation.online_mask[core_id]:
+                targets.append(None)
+                continue
+            targets.append(
+                float(
+                    self._governors[core_id].select(
+                        GovernorInput(
+                            load_percent=observation.per_core_load_percent[core_id],
+                            current_khz=observation.frequencies_khz[core_id],
+                            opp_table=observation.opp_table,
+                            dt_seconds=observation.dt_seconds,
+                        )
+                    )
+                )
+            )
+        return PolicyDecision(target_frequencies_khz=targets, online_mask=None, quota=1.0)
+
+
+class DcsOnlyPolicy(CpuPolicy):
+    """Fixed frequency; only the core count tracks the load."""
+
+    def __init__(
+        self,
+        frequency_khz: Optional[int] = None,
+        hotplug: Optional[DefaultHotplugDriver] = None,
+    ) -> None:
+        self.frequency_khz = frequency_khz
+        self.hotplug = hotplug if hotplug is not None else DefaultHotplugDriver()
+        label = "fmax" if frequency_khz is None else f"{frequency_khz}kHz"
+        self.name = f"dcs-only({label})"
+
+    def reset(self) -> None:
+        self.hotplug.reset()
+
+    def decide(self, observation: SystemObservation) -> PolicyDecision:
+        frequency = self.frequency_khz
+        if frequency is None:
+            frequency = observation.opp_table.max_frequency_khz
+        elif frequency not in observation.opp_table:
+            raise ConfigError(f"DCS-only frequency {frequency} kHz is not an OPP")
+        count = self.hotplug.target_count(
+            observation.total_scaled_load_percent,
+            observation.online_count,
+            observation.num_cores,
+        )
+        mask = [core_id < count for core_id in range(observation.num_cores)]
+        return PolicyDecision(
+            target_frequencies_khz=[float(frequency)] * observation.num_cores,
+            online_mask=mask,
+            quota=1.0,
+        )
+
+
+class RaceToIdlePolicy(CpuPolicy):
+    """All cores online at fmax: finish fast, then leak in idle.
+
+    Section 4.1.2 measures 47-120 mW of per-core idle leakage on the
+    Nexus 5 and concludes "race-to-idle ... won't give an optimal
+    solution"; the ablation bench quantifies that against MobiCore.
+    """
+
+    name = "race-to-idle"
+
+    def decide(self, observation: SystemObservation) -> PolicyDecision:
+        fmax = float(observation.opp_table.max_frequency_khz)
+        return PolicyDecision(
+            target_frequencies_khz=[fmax] * observation.num_cores,
+            online_mask=[True] * observation.num_cores,
+            quota=1.0,
+        )

@@ -1,0 +1,41 @@
+"""Static operating-point policy: pin an exact (cores, frequency) pair.
+
+The section 3 characterisation experiments hold the hardware at a fixed
+operating point while the busy-loop app sweeps utilization; this policy
+is that pin.  It is also the vehicle for enumerating operating points in
+the Figure 5 experiment.
+"""
+
+from __future__ import annotations
+
+from .base import CpuPolicy, PolicyDecision, SystemObservation
+from ..errors import ConfigError
+
+__all__ = ["StaticPolicy"]
+
+
+class StaticPolicy(CpuPolicy):
+    """Holds *online_count* cores at *frequency_khz* with full bandwidth."""
+
+    def __init__(self, online_count: int, frequency_khz: int) -> None:
+        if online_count < 1:
+            raise ConfigError(f"online_count must be >= 1, got {online_count}")
+        self.online_count = online_count
+        self.frequency_khz = frequency_khz
+        self.name = f"static({online_count}c@{frequency_khz}kHz)"
+
+    def decide(self, observation: SystemObservation) -> PolicyDecision:
+        if self.online_count > observation.num_cores:
+            raise ConfigError(
+                f"static policy wants {self.online_count} cores, platform has "
+                f"{observation.num_cores}"
+            )
+        if self.frequency_khz not in observation.opp_table:
+            raise ConfigError(
+                f"static policy frequency {self.frequency_khz} kHz is not an OPP"
+            )
+        mask = [core_id < self.online_count for core_id in range(observation.num_cores)]
+        targets = [float(self.frequency_khz)] * observation.num_cores
+        return PolicyDecision(
+            target_frequencies_khz=targets, online_mask=mask, quota=1.0
+        )

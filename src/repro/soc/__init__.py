@@ -1,0 +1,66 @@
+"""Hardware substrate: CPU cores, OPP tables, power, thermal, and device catalog.
+
+This subpackage models everything below the OS in the paper's stack: the
+Snapdragon 800 style multicore CPU with its 14 operating performance
+points, the analytic power model of section 4.1, a first-order thermal
+node (Figure 2), the GPU and memory bus that section 3.2 pins at maximum,
+and the six-phone catalog used by Figure 1.
+"""
+
+from .core_state import CoreState, TRANSITION_LATENCY_SECONDS, can_transition
+from .opp import Opp, OppTable
+from .cpu_core import CpuCore
+from .cpu_cluster import CpuCluster
+from .power_model import PowerParams, CpuPowerModel, PowerBreakdown
+from .platform import PlatformSpec, Platform
+from .catalog import (
+    nexus5_spec,
+    nexus_s_spec,
+    motorola_mb810_spec,
+    galaxy_s2_spec,
+    nexus4_spec,
+    lg_g3_spec,
+    PHONE_CATALOG,
+    get_phone_spec,
+    fleet_specs,
+)
+from .gpu import GpuModel, GpuSpec
+from .memory import MemoryBusModel, MemorySpec
+from .thermal import ThermalModel, ThermalParams
+from .battery import PowerRail, RailTopology, build_rails
+from .calibration import nexus5_opp_table, nexus5_power_params
+
+__all__ = [
+    "CoreState",
+    "TRANSITION_LATENCY_SECONDS",
+    "can_transition",
+    "Opp",
+    "OppTable",
+    "CpuCore",
+    "CpuCluster",
+    "PowerParams",
+    "CpuPowerModel",
+    "PowerBreakdown",
+    "PlatformSpec",
+    "Platform",
+    "nexus5_spec",
+    "nexus_s_spec",
+    "motorola_mb810_spec",
+    "galaxy_s2_spec",
+    "nexus4_spec",
+    "lg_g3_spec",
+    "PHONE_CATALOG",
+    "get_phone_spec",
+    "GpuModel",
+    "GpuSpec",
+    "MemoryBusModel",
+    "MemorySpec",
+    "ThermalModel",
+    "ThermalParams",
+    "PowerRail",
+    "RailTopology",
+    "build_rails",
+    "fleet_specs",
+    "nexus5_opp_table",
+    "nexus5_power_params",
+]

@@ -1,0 +1,81 @@
+"""Power-rail topology: per-core rails vs a shared rail.
+
+Section 4.1.2 explains why off-lining beats idling on the Nexus 5: "each
+core in the Nexus 5 is powered with an independent supply (which allows
+per-core DVFS).  Idling cores in that configuration brings more power
+leakage as each core is a source of leakage.  However, if we consider a
+platform where all cores are connected to the same voltage supply, there
+is fewer sources of power leakage ... but that configuration does not
+allow per-core DVFS."
+
+This module captures that design axis so policies can ask the platform
+whether per-core DVFS is legal, and so the ablation experiments can flip
+the topology and watch the off-lining advantage shrink.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import PlatformError
+
+__all__ = ["RailTopology", "PowerRail"]
+
+
+class RailTopology(enum.Enum):
+    """How CPU cores attach to voltage supplies."""
+
+    PER_CORE = "per-core"
+    SHARED = "shared"
+
+    @property
+    def allows_per_core_dvfs(self) -> bool:
+        """Per-core DVFS requires independent rails."""
+        return self is RailTopology.PER_CORE
+
+
+@dataclass(frozen=True)
+class PowerRail:
+    """One voltage rail and the set of core ids it feeds.
+
+    With a SHARED topology a single rail feeds every core and must hold
+    the voltage required by the fastest core; with PER_CORE each rail
+    feeds one core at exactly its own OPP voltage.
+    """
+
+    name: str
+    core_ids: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if not self.core_ids:
+            raise PlatformError(f"rail {self.name!r} feeds no cores")
+        if len(set(self.core_ids)) != len(self.core_ids):
+            raise PlatformError(f"rail {self.name!r} lists duplicate cores: {self.core_ids}")
+
+    def required_voltage(self, per_core_voltages: Sequence[float]) -> float:
+        """The voltage this rail must supply, given each core's OPP voltage.
+
+        A shared rail must satisfy its hungriest core; that is why global
+        DVFS wastes power when loads are unbalanced.
+        """
+        voltages = []
+        for core_id in self.core_ids:
+            try:
+                voltages.append(per_core_voltages[core_id])
+            except IndexError:
+                raise PlatformError(
+                    f"rail {self.name!r} feeds core {core_id} but only "
+                    f"{len(per_core_voltages)} voltages were given"
+                ) from None
+        return max(voltages)
+
+
+def build_rails(topology: RailTopology, num_cores: int) -> Sequence[PowerRail]:
+    """Construct the rail set for *num_cores* under *topology*."""
+    if num_cores < 1:
+        raise PlatformError(f"num_cores must be positive, got {num_cores}")
+    if topology is RailTopology.PER_CORE:
+        return tuple(PowerRail(name=f"vdd-cpu{i}", core_ids=(i,)) for i in range(num_cores))
+    return (PowerRail(name="vdd-cpu", core_ids=tuple(range(num_cores))),)

@@ -1,0 +1,79 @@
+"""CPU core power states and their transition rules.
+
+Section 2.1 of the paper distinguishes three states:
+
+* **ACTIVE** -- executing instructions; power depends on frequency.
+* **IDLE** -- online and ready to execute but not executing; consumes
+  static (leakage) power only.  A "less-deep sleep".
+* **OFFLINE** -- hot-unplugged; "consumes almost nothing".
+
+The paper notes that transitions are "more or less long": waking an
+offline core is far slower than leaving idle.  We model that with a
+per-transition latency table used by the hotplug subsystem.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from ..errors import CoreStateError
+
+__all__ = ["CoreState", "TRANSITION_LATENCY_SECONDS", "can_transition", "require_transition"]
+
+
+class CoreState(enum.Enum):
+    """The three power states of a CPU core (paper section 2.1)."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    OFFLINE = "offline"
+
+    @property
+    def is_online(self) -> bool:
+        """True when the core is available to the scheduler (ACTIVE or IDLE)."""
+        return self is not CoreState.OFFLINE
+
+    @property
+    def consumes_static_power(self) -> bool:
+        """True when the core draws leakage power (any online state)."""
+        return self.is_online
+
+    @property
+    def consumes_dynamic_power(self) -> bool:
+        """True when the core draws switching power (ACTIVE only)."""
+        return self is CoreState.ACTIVE
+
+
+#: Transition latencies, seconds.  Idle<->active is effectively free at a
+#: 20 ms tick ("so little power consumption going from idle to active that
+#: we won't count it", section 4.1.1); hotplug transitions cost milliseconds.
+TRANSITION_LATENCY_SECONDS: Dict[Tuple[CoreState, CoreState], float] = {
+    (CoreState.IDLE, CoreState.ACTIVE): 0.0,
+    (CoreState.ACTIVE, CoreState.IDLE): 0.0,
+    (CoreState.OFFLINE, CoreState.IDLE): 0.005,
+    (CoreState.IDLE, CoreState.OFFLINE): 0.002,
+    (CoreState.OFFLINE, CoreState.ACTIVE): 0.005,
+    (CoreState.ACTIVE, CoreState.OFFLINE): 0.002,
+}
+
+
+def can_transition(src: CoreState, dst: CoreState) -> bool:
+    """Return True when the *src* -> *dst* transition is legal.
+
+    Every distinct-state transition in the latency table is legal; a
+    self-transition is also legal (and free).
+    """
+    if src is dst:
+        return True
+    return (src, dst) in TRANSITION_LATENCY_SECONDS
+
+
+def require_transition(src: CoreState, dst: CoreState) -> float:
+    """Return the latency of *src* -> *dst*, raising on an illegal transition."""
+    if src is dst:
+        return 0.0
+    try:
+        return TRANSITION_LATENCY_SECONDS[(src, dst)]
+    except KeyError:
+        raise CoreStateError(f"illegal core state transition {src.value} -> {dst.value}") from None

@@ -1,0 +1,170 @@
+"""A homogeneous CPU cluster: the set of identical cores the policies manage.
+
+The paper restricts itself to "a simple multicore architecture (embedding
+same type of cores)" (section 3.4), i.e. one homogeneous cluster -- the
+Nexus 5's four Krait 400 cores.  The cluster tracks the online mask,
+applies hotplug requests, and offers the aggregate views (global
+utilization, total capacity) that both the default Android policy and
+MobiCore consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .core_state import CoreState
+from .cpu_core import CpuCore
+from .opp import OppTable
+from ..errors import HotplugError
+from ..units import require_fraction
+
+__all__ = ["CpuCluster"]
+
+
+class CpuCluster:
+    """A group of identical cores sharing one OPP table.
+
+    Per-core DVFS is allowed (each core has an independent rail on the
+    Nexus 5); global DVFS is available through :meth:`set_all_frequencies`
+    for platforms with a shared rail.
+    """
+
+    def __init__(self, num_cores: int, opp_table: OppTable) -> None:
+        if num_cores < 1:
+            raise HotplugError(f"a cluster needs at least one core, got {num_cores}")
+        self.opp_table = opp_table
+        self._cores: List[CpuCore] = [CpuCore(i, opp_table) for i in range(num_cores)]
+
+    def __len__(self) -> int:
+        return len(self._cores)
+
+    def __iter__(self):
+        return iter(self._cores)
+
+    def __repr__(self) -> str:
+        return f"CpuCluster({len(self._cores)} cores, {self.online_count} online)"
+
+    @property
+    def cores(self) -> Sequence[CpuCore]:
+        """All cores, indexed by core id."""
+        return tuple(self._cores)
+
+    def core(self, core_id: int) -> CpuCore:
+        """Return the core with id *core_id*."""
+        try:
+            return self._cores[core_id]
+        except IndexError:
+            raise HotplugError(f"no core {core_id} in a {len(self._cores)}-core cluster") from None
+
+    # -- online mask -----------------------------------------------------
+
+    @property
+    def online_cores(self) -> List[CpuCore]:
+        """Cores currently available to the scheduler."""
+        return [c for c in self._cores if c.is_online]
+
+    @property
+    def online_count(self) -> int:
+        """Number of online cores."""
+        return sum(1 for c in self._cores if c.is_online)
+
+    @property
+    def online_mask(self) -> List[bool]:
+        """Per-core online flags, indexed by core id."""
+        return [c.is_online for c in self._cores]
+
+    def set_online_mask(self, mask: Sequence[bool]) -> float:
+        """Apply a full online/offline mask, returning total transition latency.
+
+        The mask must keep core 0 online and have one entry per core.
+        Offlined cores lose their work; the scheduler redistributes on the
+        next tick.
+        """
+        if len(mask) != len(self._cores):
+            raise HotplugError(
+                f"mask has {len(mask)} entries for a {len(self._cores)}-core cluster"
+            )
+        if not mask[0]:
+            raise HotplugError("core 0 is the boot core and cannot be offlined")
+        if not any(mask):
+            raise HotplugError("at least one core must stay online")
+        latency = 0.0
+        for core, online in zip(self._cores, mask):
+            if online and not core.is_online:
+                latency += core.set_state(CoreState.IDLE)
+            elif not online and core.is_online:
+                latency += core.set_state(CoreState.OFFLINE)
+        return latency
+
+    def set_online_count(self, count: int) -> float:
+        """Online exactly *count* cores (lowest ids first), offline the rest.
+
+        Matches the default hotplug driver's behaviour of plugging cores
+        in id order.  Returns total transition latency.
+        """
+        if not 1 <= count <= len(self._cores):
+            raise HotplugError(
+                f"online count must be in 1..{len(self._cores)}, got {count}"
+            )
+        mask = [i < count for i in range(len(self._cores))]
+        return self.set_online_mask(mask)
+
+    # -- frequency -------------------------------------------------------
+
+    @property
+    def frequencies_khz(self) -> List[int]:
+        """Per-core current frequencies, indexed by core id."""
+        return [c.frequency_khz for c in self._cores]
+
+    def set_all_frequencies(self, frequency_khz: int) -> None:
+        """Global DVFS: set every core (online or not) to one OPP."""
+        for core in self._cores:
+            core.set_frequency(frequency_khz)
+
+    def mean_online_frequency_khz(self) -> float:
+        """Average frequency over online cores (Figure 12 metric)."""
+        online = self.online_cores
+        if not online:
+            return 0.0
+        return sum(c.frequency_khz for c in online) / len(online)
+
+    # -- aggregate views ---------------------------------------------------
+
+    def total_capacity_cycles(self, dt_seconds: float, quota: float = 1.0) -> float:
+        """Cycles the whole cluster can execute in one tick under *quota*."""
+        require_fraction(quota, "quota")
+        return sum(c.capacity_cycles(dt_seconds, quota) for c in self._cores)
+
+    def max_capacity_cycles(self, dt_seconds: float) -> float:
+        """Cycles the cluster could execute with all cores online at fmax.
+
+        This is the denominator of the paper's "global CPU load": 100%
+        global load needs every core active at its highest frequency
+        (section 3.4).
+        """
+        fmax_hz = self.opp_table.max_frequency_khz * 1000.0
+        return fmax_hz * dt_seconds * len(self._cores)
+
+    def global_utilization_percent(self) -> float:
+        """Average busy percentage over online cores (section 2.2 definition).
+
+        "For the multi-core scenario, the overall CPU utilization is
+        defined as the average of the utilizations over all the CPU
+        cores."
+        """
+        online = self.online_cores
+        if not online:
+            return 0.0
+        return 100.0 * sum(c.busy_fraction for c in online) / len(online)
+
+    def per_core_utilization_percent(self) -> Dict[int, float]:
+        """Busy percentage per core id (offline cores report 0)."""
+        return {c.core_id: 100.0 * c.busy_fraction for c in self._cores}
+
+    def reset(self) -> None:
+        """Return the cluster to boot state: all cores online, idle, at fmin."""
+        for core in self._cores:
+            if not core.is_online:
+                core.set_state(CoreState.IDLE)
+            core.set_frequency(self.opp_table.min_frequency_khz)
+            core.account(0.0)

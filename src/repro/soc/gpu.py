@@ -1,0 +1,81 @@
+"""GPU model.
+
+Section 3.2 pins the GPU at its highest frequency so it "processes any
+requests from CPU cores as quick as possible" -- its power becomes a
+stable additive term the experiments can subtract.  We model exactly
+that: a device with a frequency range, a pinned-or-idle power draw, and
+no feedback into CPU scheduling (the paper assumes the GPU is never the
+bottleneck once pinned, section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import clamp, require_non_negative, require_positive
+
+__all__ = ["GpuSpec", "GpuModel"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a GPU.
+
+    Attributes:
+        name: Marketing name (e.g. "Adreno 330").
+        max_frequency_khz: Highest GPU clock (Table 1: 450 MHz).
+        idle_power_mw: Draw when clock-gated at minimum.
+        max_power_mw: Draw when pinned at the maximum frequency and busy.
+    """
+
+    name: str
+    max_frequency_khz: int
+    idle_power_mw: float
+    max_power_mw: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.max_frequency_khz, "max_frequency_khz")
+        require_non_negative(self.idle_power_mw, "idle_power_mw")
+        if self.max_power_mw < self.idle_power_mw:
+            raise ConfigError(
+                f"max_power_mw {self.max_power_mw} < idle_power_mw {self.idle_power_mw}"
+            )
+
+
+class GpuModel:
+    """Runtime GPU state: pinned-at-max or idle, with utilization scaling."""
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self.spec = spec
+        self._pinned_max = False
+        self._utilization = 0.0
+
+    @property
+    def pinned_max(self) -> bool:
+        """True when the experiment pinned the GPU at fmax (section 3.2)."""
+        return self._pinned_max
+
+    def pin_max(self) -> None:
+        """Pin the GPU at its highest frequency for the whole session."""
+        self._pinned_max = True
+
+    def unpin(self) -> None:
+        """Release the pin; the GPU idles unless given utilization."""
+        self._pinned_max = False
+
+    def set_utilization(self, fraction: float) -> None:
+        """Set the GPU busy fraction for the current tick (0-1, clamped)."""
+        self._utilization = clamp(fraction, 0.0, 1.0)
+
+    def power_mw(self) -> float:
+        """Current GPU power.
+
+        Pinned at max the GPU draws its full-power figure regardless of
+        load (the paper's "stable, removable" term); otherwise it draws
+        idle power plus a utilization-proportional share.
+        """
+        if self._pinned_max:
+            return self.spec.max_power_mw
+        span = self.spec.max_power_mw - self.spec.idle_power_mw
+        return self.spec.idle_power_mw + span * self._utilization

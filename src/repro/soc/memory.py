@@ -1,0 +1,90 @@
+"""Memory-bus model.
+
+Section 3.2: "Concerning the memory bandwidth, it will be setup to the
+highest.  By default, we can switch from one low to one high frequency;
+the highest frequency is always chosen when an application is launched."
+We model the bus as a two-point frequency switch with corresponding power
+levels, pinned high during experiments, plus a bandwidth-derived stall
+factor used by the performance model (the reason multi-core GeekBench
+performance saturates in Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..units import require_non_negative, require_positive
+
+__all__ = ["MemorySpec", "MemoryBusModel"]
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Static description of the memory subsystem.
+
+    Attributes:
+        low_frequency_khz / high_frequency_khz: The two bus points.
+        low_power_mw / high_power_mw: Bus power at each point.
+        bandwidth_cycles_per_second: Aggregate cycles/s of memory-side
+            work the bus can serve at the high point; contention beyond
+            this produces stalls (used by the benchmark performance
+            model, not by the busy-loop app which has "no memory
+            accesses", section 3.1).
+    """
+
+    low_frequency_khz: int
+    high_frequency_khz: int
+    low_power_mw: float
+    high_power_mw: float
+    bandwidth_cycles_per_second: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.low_frequency_khz, "low_frequency_khz")
+        require_positive(self.high_frequency_khz, "high_frequency_khz")
+        if self.high_frequency_khz < self.low_frequency_khz:
+            raise ConfigError("high_frequency_khz below low_frequency_khz")
+        require_non_negative(self.low_power_mw, "low_power_mw")
+        if self.high_power_mw < self.low_power_mw:
+            raise ConfigError("high_power_mw below low_power_mw")
+        require_positive(self.bandwidth_cycles_per_second, "bandwidth_cycles_per_second")
+
+
+class MemoryBusModel:
+    """Runtime memory-bus state: low or high point, pinned high by experiments."""
+
+    def __init__(self, spec: MemorySpec) -> None:
+        self.spec = spec
+        self._high = False
+
+    @property
+    def is_high(self) -> bool:
+        """True when the bus runs at its high point."""
+        return self._high
+
+    def pin_high(self) -> None:
+        """Select the high bus point (the launch-time default, section 3.2)."""
+        self._high = True
+
+    def set_low(self) -> None:
+        """Drop to the low bus point."""
+        self._high = False
+
+    def power_mw(self) -> float:
+        """Current bus power."""
+        return self.spec.high_power_mw if self._high else self.spec.low_power_mw
+
+    def stall_fraction(self, demanded_cycles_per_second: float) -> float:
+        """Fraction of demanded memory traffic the bus cannot serve.
+
+        Zero while demand fits within the configured bandwidth; grows
+        asymptotically toward 1 beyond it.  Memory-bound benchmark phases
+        scale their effective throughput by ``1 - stall``.
+        """
+        require_non_negative(demanded_cycles_per_second, "demanded_cycles_per_second")
+        bandwidth = self.spec.bandwidth_cycles_per_second
+        if not self._high:
+            bandwidth *= self.spec.low_frequency_khz / self.spec.high_frequency_khz
+        if demanded_cycles_per_second <= bandwidth:
+            return 0.0
+        return 1.0 - bandwidth / demanded_cycles_per_second

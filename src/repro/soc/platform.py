@@ -1,0 +1,155 @@
+"""Platform: the full device a simulation runs on.
+
+A :class:`PlatformSpec` is the static datasheet (Table 1 of the paper);
+:class:`Platform` is the runtime object bundling the CPU cluster, power
+model, GPU, memory bus, thermal node, and rail topology that the
+simulator drives each tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .battery import PowerRail, RailTopology, build_rails
+from .cpu_cluster import CpuCluster
+from .gpu import GpuModel, GpuSpec
+from .memory import MemoryBusModel, MemorySpec
+from .opp import OppTable
+from .power_model import CpuPowerModel, PowerBreakdown, PowerParams
+from .thermal import ThermalModel, ThermalParams
+from ..errors import PlatformError
+
+__all__ = ["PlatformSpec", "Platform"]
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Static description of one device (the Table 1 datasheet).
+
+    Attributes:
+        name: Device name ("Nexus 5").
+        soc: SoC name ("Snapdragon 800 (MSM8974)").
+        release_year: Used by the Figure 1 fleet comparison.
+        num_cores: Identical cores in the (single) cluster.
+        opp_table: The DVFS table shared by all cores.
+        power_params: Calibrated power-model constants.
+        gpu: GPU datasheet.
+        memory: Memory-bus datasheet.
+        rail_topology: Per-core rails (allows per-core DVFS) or shared.
+        thermal: Thermal node constants.
+        os_name: Operating system string (Table 1: "Android 6.0").
+        l2_cache_kb: L2 size, informational (Table 1: 2048 kB).
+    """
+
+    name: str
+    soc: str
+    release_year: int
+    num_cores: int
+    opp_table: OppTable
+    power_params: PowerParams
+    gpu: GpuSpec
+    memory: MemorySpec
+    rail_topology: RailTopology = RailTopology.PER_CORE
+    thermal: ThermalParams = ThermalParams()
+    os_name: str = "Android 6.0 (Marshmallow)"
+    l2_cache_kb: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise PlatformError(f"{self.name}: num_cores must be positive")
+        if self.release_year < 2000:
+            raise PlatformError(f"{self.name}: implausible release year {self.release_year}")
+
+    def spec_rows(self) -> Sequence[tuple]:
+        """Rows for rendering the Table 1 style spec sheet."""
+        return (
+            ("SoC", self.soc),
+            ("CPU", f"{self.num_cores} cores"),
+            ("Freq. min", f"{self.opp_table.min_frequency_khz / 1000.0:.1f} MHz"),
+            ("Freq. max", f"{self.opp_table.max_frequency_khz / 1000.0:.1f} MHz"),
+            ("Volt. min", f"{self.opp_table.min.voltage:.2f} V"),
+            ("Volt. max", f"{self.opp_table.max.voltage:.2f} V"),
+            ("GPU", self.gpu.name),
+            ("GPU freq. max", f"{self.gpu.max_frequency_khz / 1000.0:.0f} MHz"),
+            ("Cache (L2)", f"{self.l2_cache_kb} kB"),
+            ("OS", self.os_name),
+            ("Rails", self.rail_topology.value),
+        )
+
+
+class Platform:
+    """Runtime device: cluster + power model + GPU + memory + thermal.
+
+    Build one with :meth:`from_spec`; the simulator owns it for the
+    session and the power meter reads :meth:`power_breakdown` each tick.
+    """
+
+    def __init__(self, spec: PlatformSpec) -> None:
+        self.spec = spec
+        self.cluster = CpuCluster(spec.num_cores, spec.opp_table)
+        self.power_model = CpuPowerModel(spec.power_params, spec.opp_table)
+        self.gpu = GpuModel(spec.gpu)
+        self.memory = MemoryBusModel(spec.memory)
+        self.thermal = ThermalModel(spec.thermal, spec.opp_table)
+        self.rails: Sequence[PowerRail] = build_rails(spec.rail_topology, spec.num_cores)
+
+    @classmethod
+    def from_spec(cls, spec: PlatformSpec) -> "Platform":
+        """Instantiate the runtime object for *spec* (boot state)."""
+        return cls(spec)
+
+    def __repr__(self) -> str:
+        return f"Platform({self.spec.name}, {self.spec.num_cores} cores)"
+
+    @property
+    def allows_per_core_dvfs(self) -> bool:
+        """True when each core may run at its own OPP (per-core rails)."""
+        return self.spec.rail_topology.allows_per_core_dvfs
+
+    @property
+    def opp_table(self) -> OppTable:
+        """The cluster's DVFS table."""
+        return self.spec.opp_table
+
+    def pin_uncore_max(self) -> None:
+        """Apply the section 3.2 experiment constraints: GPU and memory at max."""
+        self.gpu.pin_max()
+        self.memory.pin_high()
+
+    def uncore_power_mw(self) -> float:
+        """GPU plus memory-bus power at their current settings."""
+        return self.gpu.power_mw() + self.memory.power_mw()
+
+    def power_breakdown(self) -> PowerBreakdown:
+        """Itemised platform power for the cluster's current tick state."""
+        return self.power_model.breakdown(self.cluster, uncore_mw=self.uncore_power_mw())
+
+    def effective_voltages(self) -> Sequence[float]:
+        """Voltage each core's rail actually supplies.
+
+        With per-core rails this is each core's own OPP voltage; with a
+        shared rail every core pays the maximum requested voltage (the
+        waste section 4.1.2 describes).
+        """
+        own = [core.voltage for core in self.cluster.cores]
+        if self.spec.rail_topology.allows_per_core_dvfs:
+            return own
+        shared = max(
+            (core.voltage for core in self.cluster.cores if core.is_online),
+            default=own[0],
+        )
+        return [shared] * len(own)
+
+    def step_thermal(self, dt_seconds: float) -> float:
+        """Advance the thermal node using the current CPU power; returns degC."""
+        cpu_mw = self.power_breakdown().cpu_mw
+        return self.thermal.step(cpu_mw, dt_seconds)
+
+    def reset(self) -> None:
+        """Return to boot state: cores online at fmin, ambient temperature."""
+        self.cluster.reset()
+        self.thermal.reset()
+        self.gpu.unpin()
+        self.gpu.set_utilization(0.0)
+        self.memory.set_low()

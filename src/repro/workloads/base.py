@@ -1,0 +1,116 @@
+"""The workload interface: demand generators the simulator drives.
+
+A :class:`Workload` owns a set of :class:`~repro.kernel.task.Task`
+objects and, each tick, emits the cycles each task wants to run.  After
+the scheduler executes the tick, the simulator reports back what actually
+ran via :meth:`Workload.record_execution`, which is how frame pipelines
+measure FPS and benchmarks measure completion.
+
+All randomness flows from the :class:`WorkloadContext` seed, so sessions
+replay exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..kernel.task import Task, TaskDemand
+from ..soc.opp import OppTable
+from ..units import require_positive
+
+__all__ = ["WorkloadContext", "Workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadContext:
+    """Everything a workload may know about the session it runs in.
+
+    Attributes:
+        num_cores: Platform core count.
+        opp_table: Platform DVFS table (for capacity-relative demand).
+        dt_seconds: Tick duration.
+        seed: Session seed; the workload derives its RNG from it.
+    """
+
+    num_cores: int
+    opp_table: OppTable
+    dt_seconds: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise WorkloadError(f"num_cores must be positive, got {self.num_cores}")
+        require_positive(self.dt_seconds, "dt_seconds")
+
+    @property
+    def core_max_cycles_per_tick(self) -> float:
+        """Cycles one core executes per tick at fmax."""
+        return self.opp_table.max_frequency_khz * 1000.0 * self.dt_seconds
+
+    @property
+    def platform_max_cycles_per_tick(self) -> float:
+        """Cycles the whole platform executes per tick with all cores at fmax.
+
+        The denominator of the paper's "global CPU load" (section 3.4):
+        100% global load needs all cores active at their highest
+        frequency.
+        """
+        return self.core_max_cycles_per_tick * self.num_cores
+
+    def rng(self) -> np.random.Generator:
+        """A fresh deterministic generator for this context's seed."""
+        return np.random.default_rng(self.seed)
+
+
+class Workload(abc.ABC):
+    """A demand generator driving one simulation session."""
+
+    #: Human-readable name used in reports.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._context: Optional[WorkloadContext] = None
+        self._rng: Optional[np.random.Generator] = None
+
+    @property
+    def context(self) -> WorkloadContext:
+        """The bound session context; raises before :meth:`prepare`."""
+        if self._context is None:
+            raise WorkloadError(f"workload {self.name!r} is not prepared yet")
+        return self._context
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The session RNG; raises before :meth:`prepare`."""
+        if self._rng is None:
+            raise WorkloadError(f"workload {self.name!r} is not prepared yet")
+        return self._rng
+
+    def prepare(self, context: WorkloadContext) -> None:
+        """Bind to a session.  Subclasses extend this to build their tasks."""
+        self._context = context
+        self._rng = context.rng()
+
+    @abc.abstractmethod
+    def tasks(self) -> List[Task]:
+        """All tasks this workload may ever schedule."""
+
+    @abc.abstractmethod
+    def demand(self, tick: int) -> List[TaskDemand]:
+        """Cycles each task wants during *tick* (omit idle tasks)."""
+
+    def record_execution(self, tick: int, executed_by_task: Mapping[int, float]) -> None:
+        """Learn what actually ran this tick (default: ignore)."""
+
+    def tick_fps(self) -> Optional[float]:
+        """FPS delivered over the last tick, if this workload renders frames."""
+        return None
+
+    def metrics(self) -> Dict[str, float]:
+        """Workload-specific end-of-session metrics (scores, FPS stats)."""
+        return {}

@@ -1,0 +1,84 @@
+"""The frame pipeline: how CPU cycles become frames per second.
+
+Section 5.1: "The performance of MobiCore is measured in frames per
+second (FPS) ... If the frequency at which the process is running is
+high, the FPS will be high as the execution time per frame will be
+shorter."  With the GPU pinned at max (no GPU bottleneck), delivered FPS
+is CPU-bound: each frame costs a fixed number of CPU cycles on the
+render thread, and the thread is single-threaded, so one core's
+throughput caps the frame rate -- which is why the paper's games sit at
+15-20 FPS even under the default policy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import WorkloadError
+from ..units import require_positive
+
+__all__ = ["FramePipeline"]
+
+
+class FramePipeline:
+    """Converts executed render cycles into delivered frames.
+
+    Args:
+        frame_cost_cycles: CPU cycles to prepare one frame.
+        target_fps: The rate the game *tries* to render at (60 for games
+            and movies, section 5.1); demand is generated at this rate
+            and delivery saturates at it.
+    """
+
+    def __init__(self, frame_cost_cycles: float, target_fps: float = 60.0) -> None:
+        require_positive(frame_cost_cycles, "frame_cost_cycles")
+        require_positive(target_fps, "target_fps")
+        self.frame_cost_cycles = frame_cost_cycles
+        self.target_fps = target_fps
+        self._partial_frame_cycles = 0.0
+        self._completed_frames = 0.0
+        self._elapsed_seconds = 0.0
+        self._tick_fps: List[float] = []
+
+    def reset(self) -> None:
+        """Start a fresh session."""
+        self._partial_frame_cycles = 0.0
+        self._completed_frames = 0.0
+        self._elapsed_seconds = 0.0
+        self._tick_fps.clear()
+
+    def demand_cycles(self, dt_seconds: float) -> float:
+        """Render cycles wanted this tick to hit the target FPS."""
+        require_positive(dt_seconds, "dt_seconds")
+        return self.frame_cost_cycles * self.target_fps * dt_seconds
+
+    def record(self, executed_cycles: float, dt_seconds: float) -> float:
+        """Account one tick of executed render cycles; returns the tick FPS."""
+        if executed_cycles < 0:
+            raise WorkloadError(f"executed_cycles must be non-negative, got {executed_cycles}")
+        require_positive(dt_seconds, "dt_seconds")
+        self._partial_frame_cycles += executed_cycles
+        frames = self._partial_frame_cycles // self.frame_cost_cycles
+        self._partial_frame_cycles -= frames * self.frame_cost_cycles
+        self._completed_frames += frames
+        self._elapsed_seconds += dt_seconds
+        fps = min(frames / dt_seconds, self.target_fps)
+        self._tick_fps.append(fps)
+        return fps
+
+    @property
+    def last_tick_fps(self) -> float:
+        """FPS delivered over the most recent tick (0 before any tick)."""
+        return self._tick_fps[-1] if self._tick_fps else 0.0
+
+    @property
+    def completed_frames(self) -> float:
+        """Frames fully rendered so far."""
+        return self._completed_frames
+
+    @property
+    def mean_fps(self) -> float:
+        """Session-average FPS (the Figure 11 quantity)."""
+        if self._elapsed_seconds == 0:
+            return 0.0
+        return min(self._completed_frames / self._elapsed_seconds, self.target_fps)

@@ -1,0 +1,190 @@
+"""Synthetic utilization patterns: controlled demand shapes for tests.
+
+All patterns express demand as a *global load percentage* (fraction of
+platform-max throughput, as in section 3.4) evaluated per tick, spread
+over one thread per core.  They are the unit-test vehicles for governor
+dynamics and MobiCore's burst/slow-mode detector.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence, Tuple
+
+from .base import Workload, WorkloadContext
+from ..errors import WorkloadError
+from ..kernel.task import Task, TaskDemand
+from ..units import clamp, require_percent
+
+__all__ = [
+    "SyntheticUtilizationWorkload",
+    "ConstantWorkload",
+    "StepWorkload",
+    "RampWorkload",
+    "SineWorkload",
+    "BurstWorkload",
+]
+
+
+class SyntheticUtilizationWorkload(Workload):
+    """Base class: subclasses define the load level at each tick."""
+
+    def __init__(self, num_threads: int = 0) -> None:
+        super().__init__()
+        self.num_threads = num_threads
+        self._tasks: List[Task] = []
+
+    def prepare(self, context: WorkloadContext) -> None:
+        super().prepare(context)
+        threads = self.num_threads if self.num_threads > 0 else context.num_cores
+        self._tasks = [
+            Task(task_id=i, name=f"{self.name}-{i}", parallel=False)
+            for i in range(threads)
+        ]
+
+    def tasks(self) -> List[Task]:
+        return list(self._tasks)
+
+    @abc.abstractmethod
+    def level_percent(self, tick: int) -> float:
+        """Global load percentage demanded at *tick*."""
+
+    def demand(self, tick: int) -> List[TaskDemand]:
+        level = clamp(self.level_percent(tick), 0.0, 100.0)
+        if level == 0.0:
+            return []
+        per_thread = (
+            (level / 100.0)
+            * self.context.platform_max_cycles_per_tick
+            / len(self._tasks)
+        )
+        return [TaskDemand(task=task, cycles=per_thread) for task in self._tasks]
+
+
+class ConstantWorkload(SyntheticUtilizationWorkload):
+    """A flat global load."""
+
+    def __init__(self, level_percent: float, num_threads: int = 0) -> None:
+        super().__init__(num_threads)
+        require_percent(level_percent, "level_percent")
+        self._level = level_percent
+        self.name = f"constant({level_percent:.0f}%)"
+
+    def level_percent(self, tick: int) -> float:
+        return self._level
+
+
+class StepWorkload(SyntheticUtilizationWorkload):
+    """Piecewise-constant levels: [(duration_seconds, percent), ...], looping."""
+
+    def __init__(self, steps: Sequence[Tuple[float, float]], num_threads: int = 0) -> None:
+        super().__init__(num_threads)
+        if not steps:
+            raise WorkloadError("StepWorkload needs at least one step")
+        for duration, percent in steps:
+            if duration <= 0:
+                raise WorkloadError(f"step duration must be positive, got {duration}")
+            require_percent(percent, "step percent")
+        self.steps = list(steps)
+        self._period = sum(duration for duration, _ in steps)
+        self.name = f"step({len(steps)} levels)"
+
+    def level_percent(self, tick: int) -> float:
+        time_in_period = (tick * self.context.dt_seconds) % self._period
+        elapsed = 0.0
+        for duration, percent in self.steps:
+            elapsed += duration
+            if time_in_period < elapsed:
+                return percent
+        return self.steps[-1][1]
+
+
+class RampWorkload(SyntheticUtilizationWorkload):
+    """Linear ramp from *start* to *end* percent over *ramp_seconds*, then hold."""
+
+    def __init__(
+        self, start_percent: float, end_percent: float, ramp_seconds: float,
+        num_threads: int = 0,
+    ) -> None:
+        super().__init__(num_threads)
+        require_percent(start_percent, "start_percent")
+        require_percent(end_percent, "end_percent")
+        if ramp_seconds <= 0:
+            raise WorkloadError("ramp_seconds must be positive")
+        self.start_percent = start_percent
+        self.end_percent = end_percent
+        self.ramp_seconds = ramp_seconds
+        self.name = f"ramp({start_percent:.0f}->{end_percent:.0f}%)"
+
+    def level_percent(self, tick: int) -> float:
+        progress = min(tick * self.context.dt_seconds / self.ramp_seconds, 1.0)
+        return self.start_percent + (self.end_percent - self.start_percent) * progress
+
+
+class SineWorkload(SyntheticUtilizationWorkload):
+    """Sinusoidal load around a mean: smooth periodic dynamics."""
+
+    def __init__(
+        self, mean_percent: float, amplitude_percent: float, period_seconds: float,
+        num_threads: int = 0,
+    ) -> None:
+        super().__init__(num_threads)
+        require_percent(mean_percent, "mean_percent")
+        if amplitude_percent < 0:
+            raise WorkloadError("amplitude_percent must be non-negative")
+        if period_seconds <= 0:
+            raise WorkloadError("period_seconds must be positive")
+        self.mean_percent = mean_percent
+        self.amplitude_percent = amplitude_percent
+        self.period_seconds = period_seconds
+        self.name = f"sine({mean_percent:.0f}+-{amplitude_percent:.0f}%)"
+
+    def level_percent(self, tick: int) -> float:
+        phase = 2.0 * math.pi * tick * self.context.dt_seconds / self.period_seconds
+        return self.mean_percent + self.amplitude_percent * math.sin(phase)
+
+
+class BurstWorkload(SyntheticUtilizationWorkload):
+    """A base load with random rectangular bursts (Markov on/off).
+
+    Each tick, an inactive burst starts with probability
+    ``burst_start_prob`` and then lasts a geometric number of ticks with
+    mean ``mean_burst_ticks``.  This is the "sudden change in workload"
+    dynamic the paper says prior schemes react too slowly to
+    (section 1.3).
+    """
+
+    def __init__(
+        self,
+        base_percent: float,
+        burst_percent: float,
+        burst_start_prob: float = 0.05,
+        mean_burst_ticks: int = 10,
+        num_threads: int = 0,
+    ) -> None:
+        super().__init__(num_threads)
+        require_percent(base_percent, "base_percent")
+        require_percent(burst_percent, "burst_percent")
+        if not 0.0 <= burst_start_prob <= 1.0:
+            raise WorkloadError("burst_start_prob must be in [0, 1]")
+        if mean_burst_ticks < 1:
+            raise WorkloadError("mean_burst_ticks must be >= 1")
+        self.base_percent = base_percent
+        self.burst_percent = burst_percent
+        self.burst_start_prob = burst_start_prob
+        self.mean_burst_ticks = mean_burst_ticks
+        self.name = f"burst({base_percent:.0f}|{burst_percent:.0f}%)"
+        self._in_burst = False
+
+    def prepare(self, context: WorkloadContext) -> None:
+        super().prepare(context)
+        self._in_burst = False
+
+    def level_percent(self, tick: int) -> float:
+        if self._in_burst:
+            if self.rng.random() < 1.0 / self.mean_burst_ticks:
+                self._in_burst = False
+        elif self.rng.random() < self.burst_start_prob:
+            self._in_burst = True
+        return self.burst_percent if self._in_burst else self.base_percent

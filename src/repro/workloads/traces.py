@@ -1,0 +1,163 @@
+"""Demand-trace record and replay.
+
+A :class:`DemandTrace` is a per-tick table of task demands -- the
+trace-driven side of "trace-driven simulation".  Record one from any
+workload with :meth:`DemandTrace.capture`, serialise it to CSV text, and
+replay it byte-identically with :class:`TraceWorkload`, e.g. to compare
+two policies on *exactly* the same demand sequence (stochastic workloads
+already replay per-seed; traces make the sequence portable and
+inspectable).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .base import Workload, WorkloadContext
+from ..errors import TraceError
+from ..kernel.task import Task, TaskDemand
+
+__all__ = ["DemandTrace", "TraceWorkload"]
+
+
+@dataclass(frozen=True)
+class _TraceTask:
+    """Task identity as stored in a trace."""
+
+    task_id: int
+    name: str
+    parallel: bool
+
+
+class DemandTrace:
+    """An immutable recording of per-tick task demands."""
+
+    def __init__(
+        self,
+        tasks: List[_TraceTask],
+        ticks: List[Dict[int, float]],
+        source_name: str = "trace",
+    ) -> None:
+        self._tasks = list(tasks)
+        self._ticks = [dict(t) for t in ticks]
+        self.source_name = source_name
+        known = {t.task_id for t in tasks}
+        for index, tick in enumerate(self._ticks):
+            unknown = set(tick) - known
+            if unknown:
+                raise TraceError(f"tick {index} references unknown tasks {sorted(unknown)}")
+
+    def __len__(self) -> int:
+        return len(self._ticks)
+
+    @property
+    def tasks(self) -> List[_TraceTask]:
+        """Task identities in the trace."""
+        return list(self._tasks)
+
+    def demand_at(self, tick: int) -> Dict[int, float]:
+        """task_id -> cycles at *tick* (ticks past the end are empty)."""
+        if tick < 0:
+            raise TraceError(f"tick must be non-negative, got {tick}")
+        if tick >= len(self._ticks):
+            return {}
+        return dict(self._ticks[tick])
+
+    @classmethod
+    def capture(cls, workload: Workload, context: WorkloadContext, ticks: int) -> "DemandTrace":
+        """Run *workload*'s demand generator for *ticks* and record it."""
+        if ticks < 1:
+            raise TraceError(f"ticks must be positive, got {ticks}")
+        workload.prepare(context)
+        tasks = [
+            _TraceTask(task_id=t.task_id, name=t.name, parallel=t.parallel)
+            for t in workload.tasks()
+        ]
+        rows: List[Dict[int, float]] = []
+        for tick in range(ticks):
+            demands = workload.demand(tick)
+            rows.append({d.task.task_id: d.cycles for d in demands})
+        return cls(tasks, rows, source_name=workload.name)
+
+    # -- CSV round trip ----------------------------------------------------
+
+    def to_csv(self) -> str:
+        """Serialise: a task header block, then one row per tick."""
+        out = io.StringIO()
+        out.write(f"#source,{self.source_name}\n")
+        for task in self._tasks:
+            out.write(f"#task,{task.task_id},{task.name},{int(task.parallel)}\n")
+        out.write("tick,task_id,cycles\n")
+        for tick, row in enumerate(self._ticks):
+            for task_id in sorted(row):
+                out.write(f"{tick},{task_id},{row[task_id]:.1f}\n")
+            if not row:
+                out.write(f"{tick},,\n")
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "DemandTrace":
+        """Parse :meth:`to_csv` output back into a trace."""
+        tasks: List[_TraceTask] = []
+        rows: Dict[int, Dict[int, float]] = {}
+        source = "trace"
+        max_tick = -1
+        for line_number, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line or line == "tick,task_id,cycles":
+                continue
+            if line.startswith("#source,"):
+                source = line.split(",", 1)[1]
+                continue
+            if line.startswith("#task,"):
+                parts = line.split(",")
+                if len(parts) != 4:
+                    raise TraceError(f"line {line_number}: malformed task header {line!r}")
+                tasks.append(
+                    _TraceTask(
+                        task_id=int(parts[1]), name=parts[2], parallel=bool(int(parts[3]))
+                    )
+                )
+                continue
+            parts = line.split(",")
+            if len(parts) != 3:
+                raise TraceError(f"line {line_number}: malformed row {line!r}")
+            tick = int(parts[0])
+            max_tick = max(max_tick, tick)
+            if parts[1] == "":
+                rows.setdefault(tick, {})
+                continue
+            rows.setdefault(tick, {})[int(parts[1])] = float(parts[2])
+        if max_tick < 0:
+            raise TraceError("trace has no ticks")
+        ordered = [rows.get(tick, {}) for tick in range(max_tick + 1)]
+        return cls(tasks, ordered, source_name=source)
+
+
+class TraceWorkload(Workload):
+    """Replays a :class:`DemandTrace` exactly (looping past the end if asked)."""
+
+    def __init__(self, trace: DemandTrace, loop: bool = False) -> None:
+        super().__init__()
+        self.trace = trace
+        self.loop = loop
+        self.name = f"replay({trace.source_name})"
+        self._tasks = [
+            Task(task_id=t.task_id, name=t.name, parallel=t.parallel)
+            for t in trace.tasks
+        ]
+        self._by_id = {t.task_id: t for t in self._tasks}
+
+    def tasks(self) -> List[Task]:
+        return list(self._tasks)
+
+    def demand(self, tick: int) -> List[TaskDemand]:
+        if self.loop and len(self.trace):
+            tick = tick % len(self.trace)
+        row = self.trace.demand_at(tick)
+        return [
+            TaskDemand(task=self._by_id[task_id], cycles=cycles)
+            for task_id, cycles in sorted(row.items())
+        ]

@@ -1,0 +1,90 @@
+"""Battery-life projection and the schedutil extension baseline."""
+
+import pytest
+
+from repro.analysis.battery import (
+    NEXUS5_BATTERY,
+    BatterySpec,
+    battery_life_hours,
+    extra_minutes,
+)
+from repro.errors import ConfigError, GovernorError
+from repro.governors.base import GovernorInput
+from repro.governors.schedutil import SchedutilGovernor
+
+
+class TestBattery:
+    def test_nexus5_energy(self):
+        assert NEXUS5_BATTERY.energy_mwh == pytest.approx(2300 * 3.8 * 0.95)
+
+    def test_life_hours(self):
+        battery = BatterySpec(1000.0, nominal_voltage=4.0, usable_fraction=1.0)
+        assert battery_life_hours(400.0, battery) == pytest.approx(10.0)
+
+    def test_extra_minutes_sign(self):
+        assert extra_minutes(2500.0, 2400.0) > 0
+        assert extra_minutes(2400.0, 2500.0) < 0
+
+    def test_extra_minutes_gaming_scale(self):
+        """A 5% saving on a ~2.5 W gaming session buys ~10 minutes."""
+        gained = extra_minutes(2500.0, 2375.0)
+        assert 5.0 < gained < 25.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BatterySpec(1000.0, usable_fraction=0.0)
+        with pytest.raises(Exception):
+            battery_life_hours(0.0)
+
+
+def observe(opp_table, load, current):
+    return GovernorInput(
+        load_percent=load, current_khz=current, opp_table=opp_table, dt_seconds=0.02
+    )
+
+
+class TestSchedutil:
+    def test_idle_goes_to_fmin(self, opp_table):
+        governor = SchedutilGovernor(down_rate_limit_s=0.0)
+        assert governor.select(
+            observe(opp_table, 0.0, opp_table.max_frequency_khz)
+        ) == opp_table.min_frequency_khz
+
+    def test_full_load_at_fmax_stays(self, opp_table):
+        governor = SchedutilGovernor()
+        assert governor.select(
+            observe(opp_table, 100.0, opp_table.max_frequency_khz)
+        ) == opp_table.max_frequency_khz
+
+    def test_headroom_margin(self, opp_table):
+        """At 60% of fmax-normalised utilization the target is 75% fmax."""
+        governor = SchedutilGovernor(margin=1.25, down_rate_limit_s=0.0)
+        fmax = opp_table.max_frequency_khz
+        chosen = governor.select(observe(opp_table, 60.0, fmax))
+        assert chosen == opp_table.ceil(fmax * 0.75).frequency_khz
+
+    def test_frequency_invariance(self, opp_table):
+        """Equal demand observed at different OPPs converges to one target."""
+        governor = SchedutilGovernor(down_rate_limit_s=0.0)
+        fmax = opp_table.max_frequency_khz
+        # 50% busy at fmax == 100% busy at fmax/2: same fmax-normalised util
+        at_fmax = governor.select(observe(opp_table, 50.0, fmax))
+        governor.reset()
+        half = opp_table.ceil(fmax / 2).frequency_khz
+        at_half = governor.select(
+            observe(opp_table, 50.0 * fmax / half, half)
+        )
+        assert at_fmax == at_half
+
+    def test_down_rate_limit(self, opp_table):
+        governor = SchedutilGovernor(down_rate_limit_s=0.05)
+        current = opp_table.max_frequency_khz
+        first = governor.select(observe(opp_table, 10.0, current))
+        assert first == current  # rate limited
+        for _ in range(3):
+            current = governor.select(observe(opp_table, 10.0, current))
+        assert current < opp_table.max_frequency_khz
+
+    def test_bad_margin(self):
+        with pytest.raises(GovernorError):
+            SchedutilGovernor(margin=0.9)

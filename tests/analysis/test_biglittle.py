@@ -1,0 +1,87 @@
+"""The section 3.4 big.LITTLE analytical exploration."""
+
+import pytest
+
+from repro.analysis.biglittle import (
+    ClusterModel,
+    compare_clusters,
+    default_big_cluster,
+    default_little_cluster,
+    render_comparison,
+)
+from repro.errors import ExperimentError
+from repro.soc.opp import OppTable
+from repro.soc.power_model import PowerParams
+
+
+@pytest.fixture
+def little():
+    return default_little_cluster()
+
+
+@pytest.fixture
+def big():
+    return default_big_cluster()
+
+
+class TestClusterModel:
+    def test_throughput_scales_with_ipc(self, little, big):
+        assert little.max_throughput_ips() == pytest.approx(
+            4 * 1_200_000e3 * 0.6
+        )
+        assert big.max_throughput_ips() > little.max_throughput_ips()
+
+    def test_validation(self):
+        table = OppTable.linear([300_000], 0.9, 0.9)
+        params = PowerParams(ceff_mw_per_ghz_v2=10.0, leak_coefficient_mw=1.0,
+                             leak_exponent=1.0)
+        with pytest.raises(Exception):
+            ClusterModel("bad", table, params, ipc_scale=0.0, num_cores=4)
+        with pytest.raises(ExperimentError):
+            ClusterModel("bad", table, params, ipc_scale=1.0, num_cores=0)
+
+
+class TestComparison:
+    def test_paper_claim_little_wins_where_feasible(self, little, big):
+        """Section 3.4: more little cores improve energy efficiency when
+        correct operating points are selected (sustained, no idleness)."""
+        points = compare_clusters(little, big, [0.05, 0.1, 0.2, 0.3])
+        for point in points:
+            assert point.little is not None
+            assert point.winner == "little"
+            assert point.little.power_mw < point.big.power_mw
+
+    def test_big_needed_beyond_little_ceiling(self, little, big):
+        points = compare_clusters(little, big, [0.5, 1.0])
+        for point in points:
+            assert point.little is None
+            assert point.big is not None
+            assert "big" in point.winner
+
+    def test_points_cover_demand(self, little, big):
+        for point in compare_clusters(little, big, [0.1, 0.25]):
+            for best, cluster in ((point.little, little), (point.big, big)):
+                throughput = (
+                    best.online_count
+                    * best.frequency_khz
+                    * 1000.0
+                    * cluster.ipc_scale
+                )
+                assert throughput + 1e-6 >= point.demand_ips
+
+    def test_little_spreads_wide_under_load(self, little, big):
+        """'the use of little cores (and thus more of them)': the little
+        optimum uses all four cores before reaching its top OPP."""
+        point = compare_clusters(little, big, [0.25])[0]
+        assert point.little.online_count == 4
+        assert point.little.frequency_khz < little.opp_table.max_frequency_khz
+
+    def test_render(self, little, big):
+        text = render_comparison(compare_clusters(little, big, [0.1, 1.0]))
+        assert "little" in text and "infeasible" in text
+
+    def test_validation(self, little, big):
+        with pytest.raises(ExperimentError):
+            compare_clusters(little, big, [])
+        with pytest.raises(ExperimentError):
+            compare_clusters(little, big, [-0.1])

@@ -1,0 +1,143 @@
+"""Model fitting: recovering PowerParams from measurements."""
+
+import pytest
+
+from repro.analysis.fitting import (
+    PowerSample,
+    collect_samples,
+    fit_power_params,
+)
+from repro.config import SimulationConfig
+from repro.errors import ExperimentError
+from repro.soc.calibration import nexus5_opp_table, nexus5_power_params
+from repro.soc.power_model import CpuPowerModel
+
+
+def synthetic_samples(params=None, noise=None):
+    """Samples generated straight from the analytic model (no cache/overhead)."""
+    if params is None:
+        params = nexus5_power_params()
+    table = nexus5_opp_table()
+    model = CpuPowerModel(params, table)
+    samples = []
+    index = 0
+    for opp in table.representative_five():
+        for busy in (0.1, 0.4, 0.7, 1.0):
+            power = (
+                busy * model.dynamic_power_mw(opp)
+                + model.static_power_mw(opp)
+                + params.platform_base_mw
+            )
+            if noise is not None:
+                power *= 1.0 + noise[index % len(noise)]
+            samples.append(
+                PowerSample(
+                    frequency_khz=opp.frequency_khz,
+                    voltage=opp.voltage,
+                    busy_fraction=busy,
+                    online_count=1,
+                    power_mw=power,
+                )
+            )
+            index += 1
+    return samples
+
+
+class TestFitRecovery:
+    def test_exact_samples_recover_parameters(self):
+        truth = nexus5_power_params()
+        fit = fit_power_params(synthetic_samples())
+        assert fit.params.ceff_mw_per_ghz_v2 == pytest.approx(
+            truth.ceff_mw_per_ghz_v2, rel=0.02
+        )
+        assert fit.params.platform_base_mw == pytest.approx(
+            truth.platform_base_mw, rel=0.05
+        )
+        assert fit.rmse_mw < 1.0
+
+    def test_recovers_static_anchors(self):
+        fit = fit_power_params(synthetic_samples())
+        assert fit.static_power_mw(0.9) == pytest.approx(47.0, rel=0.05)
+        assert fit.static_power_mw(1.2) == pytest.approx(120.0, rel=0.05)
+
+    def test_tolerates_measurement_noise(self):
+        noise = [0.01, -0.012, 0.008, -0.006, 0.011, -0.009]
+        truth = nexus5_power_params()
+        fit = fit_power_params(synthetic_samples(noise=noise))
+        assert fit.params.ceff_mw_per_ghz_v2 == pytest.approx(
+            truth.ceff_mw_per_ghz_v2, rel=0.15
+        )
+        assert fit.static_power_mw(1.2) == pytest.approx(120.0, rel=0.20)
+
+
+class TestFitValidation:
+    def test_too_few_samples(self):
+        with pytest.raises(ExperimentError):
+            fit_power_params(synthetic_samples()[:3])
+
+    def test_needs_frequency_diversity(self):
+        samples = [s for s in synthetic_samples() if s.frequency_khz == 300_000]
+        with pytest.raises(ExperimentError):
+            fit_power_params(samples)
+
+    def test_needs_busy_diversity(self):
+        samples = [s for s in synthetic_samples() if s.busy_fraction == 1.0]
+        with pytest.raises(ExperimentError):
+            fit_power_params(samples)
+
+    def test_sample_validation(self):
+        with pytest.raises(Exception):
+            PowerSample(300_000, 0.9, 1.5, 1, 500.0)
+
+
+class TestEndToEndCalibration:
+    def test_fit_from_simulated_sweep(self, spec):
+        """The full loop: characterise the device, fit, and check the
+        recovered model predicts the sweep within a few percent."""
+        config = SimulationConfig(duration_seconds=3.0, warmup_seconds=0.5)
+        samples = collect_samples(
+            spec,
+            utilization_percents=(20.0, 60.0, 100.0),
+            config=config,
+        )
+        fit = fit_power_params(samples)
+        # The simulated sweep includes cache power the core fit folds
+        # into its terms; prediction error stays small anyway.
+        for sample in samples:
+            predicted = (
+                sample.busy_fraction
+                * fit.params.ceff_mw_per_ghz_v2
+                * (sample.frequency_khz / 1e6)
+                * sample.voltage ** 2
+                + fit.static_power_mw(sample.voltage)
+                + fit.params.platform_base_mw
+            )
+            assert predicted == pytest.approx(sample.power_mw, rel=0.05)
+
+    def test_fitted_model_drives_mobicore(self, spec):
+        """A MobiCore built from the *fitted* parameters behaves like one
+        built from the ground truth."""
+        from repro.analysis.sweep import run_session
+        from repro.core.mobicore import MobiCorePolicy
+        from repro.metrics.summary import summarize
+        from repro.workloads.busyloop import BusyLoopApp
+
+        config = SimulationConfig(duration_seconds=3.0, warmup_seconds=0.5)
+        samples = collect_samples(
+            spec, utilization_percents=(20.0, 60.0, 100.0), config=config
+        )
+        fit = fit_power_params(samples)
+        session_config = SimulationConfig(duration_seconds=5.0, seed=1, warmup_seconds=1.0)
+
+        def run(params):
+            policy = MobiCorePolicy(
+                power_params=params, opp_table=spec.opp_table, num_cores=spec.num_cores
+            )
+            return summarize(
+                run_session(spec, BusyLoopApp(30.0), policy, session_config,
+                            pin_uncore_max=False)
+            ).mean_power_mw
+
+        truth_power = run(spec.power_params)
+        fitted_power = run(fit.params)
+        assert fitted_power == pytest.approx(truth_power, rel=0.05)

@@ -1,0 +1,83 @@
+"""Trial statistics: confidence intervals over repeated seeds."""
+
+import pytest
+
+from repro.analysis.stats import TrialStats, trial_statistics
+from repro.errors import ExperimentError
+
+
+class TestTrialStatistics:
+    def test_single_trial_degenerates(self):
+        stats = trial_statistics([5.0])
+        assert stats.mean == 5.0
+        assert stats.std == 0.0
+        assert stats.ci_low == stats.ci_high == 5.0
+        assert "single trial" in str(stats)
+
+    def test_mean_and_std(self):
+        stats = trial_statistics([2.0, 4.0, 6.0])
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.std == pytest.approx(2.0)
+        assert stats.n == 3
+
+    def test_interval_symmetric_around_mean(self):
+        stats = trial_statistics([1.0, 2.0, 3.0, 4.0])
+        assert (stats.ci_low + stats.ci_high) / 2 == pytest.approx(stats.mean)
+        assert stats.contains(stats.mean)
+
+    def test_known_t_interval(self):
+        """n=4, std=1 -> half width = t(0.975, 3) * 1/2 = 1.5912."""
+        stats = trial_statistics([-1.0, 0.0, 0.0, 1.0])
+        # std of [-1, 0, 0, 1] = sqrt(2/3)
+        expected_half = 3.1824 * (2.0 / 3.0) ** 0.5 / 2.0
+        assert stats.half_width == pytest.approx(expected_half, rel=1e-3)
+
+    def test_wider_confidence_wider_interval(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = trial_statistics(values, confidence=0.80)
+        wide = trial_statistics(values, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_interval_shrinks_with_more_trials(self):
+        few = trial_statistics([1.0, 3.0])
+        many = trial_statistics([1.0, 3.0] * 8)
+        assert many.half_width < few.half_width
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            trial_statistics([])
+        with pytest.raises(ExperimentError):
+            trial_statistics([1.0], confidence=1.0)
+
+    def test_contains(self):
+        stats = trial_statistics([10.0, 12.0, 14.0])
+        assert stats.contains(12.0)
+        assert not stats.contains(100.0)
+
+
+class TestWithComparisons:
+    def test_saving_interval_over_seeds(self):
+        """Integration: game savings over seeds yield a finite interval."""
+        from repro.analysis.comparison import PolicyComparison
+        from repro.config import SimulationConfig
+        from repro.core.mobicore import MobiCorePolicy
+        from repro.policies.android_default import AndroidDefaultPolicy
+        from repro.soc.catalog import nexus5_spec
+        from repro.workloads.games import game_workload
+
+        spec = nexus5_spec()
+        comparison = PolicyComparison(
+            spec,
+            baseline_factory=AndroidDefaultPolicy,
+            candidate_factory=lambda: MobiCorePolicy(
+                power_params=spec.power_params,
+                opp_table=spec.opp_table,
+                num_cores=spec.num_cores,
+            ),
+            config=SimulationConfig(duration_seconds=10.0, warmup_seconds=2.0),
+        )
+        rows = comparison.compare_seeds(lambda: game_workload("Badland"), [1, 2, 3])
+        stats = trial_statistics([row.power_saving_percent for row in rows])
+        assert stats.n == 3
+        assert stats.ci_low < stats.mean < stats.ci_high
+        assert stats.mean > 0.0

@@ -1,0 +1,39 @@
+"""Shared fixtures: the calibrated Nexus 5 and short session configs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.soc.catalog import nexus5_spec
+from repro.soc.platform import Platform
+
+
+@pytest.fixture
+def spec():
+    """A fresh Nexus 5 spec (the paper's platform, Table 1)."""
+    return nexus5_spec()
+
+
+@pytest.fixture
+def platform(spec):
+    """A fresh Nexus 5 runtime platform in boot state."""
+    return Platform.from_spec(spec)
+
+
+@pytest.fixture
+def opp_table(spec):
+    """The Nexus 5's 14-point OPP ladder."""
+    return spec.opp_table
+
+
+@pytest.fixture
+def short_config():
+    """A 5-second session: long enough for policies to settle."""
+    return SimulationConfig(duration_seconds=5.0, seed=0, warmup_seconds=1.0)
+
+
+@pytest.fixture
+def tiny_config():
+    """A 1-second session for cheap smoke checks."""
+    return SimulationConfig(duration_seconds=1.0, seed=0)

@@ -1,0 +1,81 @@
+"""The Table 2 quota controller."""
+
+import pytest
+
+from repro.core.bandwidth import QuotaController
+from repro.errors import BandwidthError
+
+
+class TestValidation:
+    def test_threshold_ordering(self):
+        with pytest.raises(BandwidthError):
+            QuotaController(down_threshold=5.0, up_threshold=1.0)
+
+    def test_scaling_factor_bounds(self):
+        with pytest.raises(BandwidthError):
+            QuotaController(scaling_factor=1.0)
+        with pytest.raises(BandwidthError):
+            QuotaController(scaling_factor=0.0)
+
+    def test_min_quota_bounds(self):
+        with pytest.raises(BandwidthError):
+            QuotaController(min_quota=0.0)
+
+
+class TestTable2Branches:
+    def test_starts_full(self):
+        assert QuotaController().quota == 1.0
+
+    def test_slow_mode_shrinks_by_scaling_factor(self):
+        """Table 2 line 5-6: scaling_factor = 0.9; quota *= scaling_factor."""
+        controller = QuotaController()
+        quota = controller.update(20.0, -5.0)
+        assert quota == pytest.approx(0.9)
+
+    def test_slow_mode_compounds_to_floor(self):
+        controller = QuotaController(min_quota=0.81)
+        for _ in range(10):
+            quota = controller.update(20.0, -5.0)
+        assert quota == pytest.approx(0.81)
+
+    def test_burst_mode_restores_full(self):
+        """Table 2 line 8-10: a rising load gets the entire bandwidth."""
+        controller = QuotaController()
+        controller.update(20.0, -5.0)
+        quota = controller.update(30.0, +10.0)
+        assert quota == 1.0
+
+    def test_high_load_bypasses_analysis(self):
+        """The util(t) < 40 guard: high load always gets full bandwidth."""
+        controller = QuotaController(load_threshold=40.0)
+        controller.update(20.0, -5.0)
+        quota = controller.update(70.0, -5.0)  # falling but high
+        assert quota == 1.0
+
+    def test_steady_band_holds_quota(self):
+        controller = QuotaController(down_threshold=-2.0, up_threshold=2.0)
+        controller.update(20.0, -5.0)
+        quota = controller.update(20.0, 0.0)  # between thresholds
+        assert quota == pytest.approx(0.9)
+
+    def test_threshold_exactness(self):
+        controller = QuotaController(down_threshold=0.5, up_threshold=5.0)
+        # exactly at the down threshold: not a shrink
+        assert controller.update(20.0, 0.5) == 1.0
+        # just below: shrink
+        assert controller.update(20.0, 0.49) == pytest.approx(0.9)
+
+    def test_boost(self):
+        controller = QuotaController()
+        controller.update(20.0, -5.0)
+        assert controller.boost() == 1.0
+
+    def test_reset(self):
+        controller = QuotaController()
+        controller.update(20.0, -5.0)
+        controller.reset()
+        assert controller.quota == 1.0
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(Exception):
+            QuotaController().update(150.0, 0.0)

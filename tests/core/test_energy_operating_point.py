@@ -1,0 +1,117 @@
+"""The Eq. 10 energy model and the operating-point optimizer."""
+
+import pytest
+
+from repro.core.energy_model import EnergyModel
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def model(spec):
+    return EnergyModel(spec.power_params, spec.opp_table)
+
+
+@pytest.fixture
+def optimizer(model):
+    return OperatingPointOptimizer(model, max_cores=4)
+
+
+class TestEnergyModel:
+    def test_eq10_per_core_power(self, model, opp_table):
+        """Eq. (10): busy-weighted dynamic plus static."""
+        fmax = opp_table.max_frequency_khz
+        idle = model.per_core_power_mw(fmax, 0.0)
+        busy = model.per_core_power_mw(fmax, 1.0)
+        assert idle == pytest.approx(120.0, abs=0.1)  # static anchor
+        assert busy > idle
+
+    def test_combination_excludes_base(self, model, opp_table):
+        """Base power cannot change the argmin; it is excluded."""
+        one = model.combination_power_mw(1, opp_table.min_frequency_khz, 0.0)
+        assert one == pytest.approx(47.0, abs=0.5)
+
+    def test_combination_monotone_in_cores(self, model, opp_table):
+        fmax = opp_table.max_frequency_khz
+        values = [model.combination_power_mw(n, fmax, 1.0) for n in (1, 2, 3, 4)]
+        assert values == sorted(values)
+
+    def test_throughput(self, model):
+        assert model.throughput_cycles_per_second(2, 300_000) == pytest.approx(6e8)
+        assert model.throughput_cycles_per_second(2, 300_000, quota=0.5) == (
+            pytest.approx(3e8)
+        )
+
+    def test_minimizing_frequency_is_lowest_admissible(self, model, opp_table):
+        """Section 4.2's derivative argument: the minimum is the lowest
+        OPP that still covers the load."""
+        opp = model.minimizing_frequency(0.9, required_khz_per_core=900_000)
+        assert opp.frequency_khz == opp_table.ceil(900_000).frequency_khz
+
+    def test_minimizing_frequency_infeasible_returns_max(self, model, opp_table):
+        opp = model.minimizing_frequency(1.0, required_khz_per_core=9e9)
+        assert opp.frequency_khz == opp_table.max_frequency_khz
+
+    def test_bad_core_count_rejected(self, model, opp_table):
+        with pytest.raises(ConfigError):
+            model.combination_power_mw(0, opp_table.min_frequency_khz, 1.0)
+
+
+class TestOperatingPointOptimizer:
+    def test_required_throughput_definition(self, optimizer, opp_table):
+        """100% global load = all cores at fmax (section 3.4)."""
+        full = optimizer.required_throughput_cps(100.0)
+        assert full == pytest.approx(4 * opp_table.max_frequency_khz * 1000.0)
+
+    def test_admissible_points_cover_demand(self, optimizer):
+        for load in (10.0, 30.0, 50.0, 70.0):
+            demand = optimizer.required_throughput_cps(load)
+            for point in optimizer.admissible_points(load):
+                throughput = optimizer.model.throughput_cycles_per_second(
+                    point.online_count, point.frequency_khz
+                )
+                assert throughput + 1e-6 >= demand
+
+    def test_more_points_at_lower_load(self, optimizer):
+        assert len(optimizer.admissible_points(10.0)) > len(
+            optimizer.admissible_points(70.0)
+        )
+
+    def test_full_load_single_point(self, optimizer, opp_table):
+        points = optimizer.admissible_points(100.0)
+        assert len(points) == 1
+        assert points[0].online_count == 4
+        assert points[0].frequency_khz == opp_table.max_frequency_khz
+
+    def test_best_point_is_minimum(self, optimizer):
+        best = optimizer.best_point(30.0)
+        for point in optimizer.admissible_points(30.0):
+            assert best.predicted_power_mw <= point.predicted_power_mw + 1e-9
+
+    def test_scar_curve_core_counts_non_decreasing(self, optimizer):
+        """Section 4.2's curve: climbing load never sheds cores."""
+        loads = list(range(5, 101, 5))
+        counts = [p.online_count for p in optimizer.optimal_curve(loads)]
+        assert counts == sorted(counts)
+        assert counts[0] == 1
+        assert counts[-1] == 4
+
+    def test_low_load_prefers_one_core(self, optimizer):
+        """Section 3.4: at low load a single core (others offline) wins."""
+        assert optimizer.best_core_count(8.0) == 1
+
+    def test_best_count_between_range(self, optimizer):
+        count = optimizer.best_count_between(50.0, 2, 3)
+        assert count in (2, 3)
+
+    def test_best_count_between_infeasible_low(self, optimizer):
+        """Demand that saturates 3 cores forces the higher count."""
+        assert optimizer.best_count_between(90.0, 3, 4) == 4
+
+    def test_best_count_between_empty_range_rejected(self, optimizer):
+        with pytest.raises(ConfigError):
+            optimizer.best_count_between(50.0, 4, 2)
+
+    def test_bad_max_cores_rejected(self, model):
+        with pytest.raises(ConfigError):
+            OperatingPointOptimizer(model, max_cores=0)

@@ -1,0 +1,62 @@
+"""Eq. (9): the per-core frequency re-evaluation."""
+
+import pytest
+
+from repro.core.frequency_law import reevaluate_frequency
+from repro.errors import GovernorError
+
+
+class TestEq9:
+    def test_full_load_keeps_ondemand_choice(self, opp_table):
+        fmax = opp_table.max_frequency_khz
+        assert reevaluate_frequency(fmax, 100.0, 4, 4, opp_table) == fmax
+
+    def test_scales_down_with_utilization(self, opp_table):
+        fmax = opp_table.max_frequency_khz
+        chosen = reevaluate_frequency(fmax, 50.0, 4, 4, opp_table)
+        assert chosen == opp_table.ceil(fmax * 0.5).frequency_khz
+        assert chosen < fmax
+
+    def test_nmax_over_n_redistributes(self, opp_table):
+        """Fewer active cores -> higher per-core frequency for the same K."""
+        fmax = opp_table.max_frequency_khz
+        with_four = reevaluate_frequency(fmax, 40.0, 4, 4, opp_table)
+        with_two = reevaluate_frequency(fmax, 40.0, 2, 4, opp_table)
+        assert with_two > with_four
+
+    def test_active_mean_capped_at_one(self, opp_table):
+        """K * nmax / n can exceed 1 transiently; frequency never exceeds
+        the ondemand choice then."""
+        mid = opp_table.frequencies_khz[7]
+        chosen = reevaluate_frequency(mid, 80.0, 2, 4, opp_table)
+        assert chosen <= opp_table.max_frequency_khz
+        assert chosen == mid  # 80 * 4/2 = 160% -> capped at 100%
+
+    def test_rounds_up_to_cover_workload(self, opp_table):
+        fmax = opp_table.max_frequency_khz
+        chosen = reevaluate_frequency(fmax, 45.0, 4, 4, opp_table)
+        assert chosen >= fmax * 0.45
+
+    def test_zero_utilization_floors(self, opp_table):
+        fmax = opp_table.max_frequency_khz
+        assert reevaluate_frequency(fmax, 0.0, 1, 4, opp_table) == (
+            opp_table.min_frequency_khz
+        )
+
+    def test_result_is_always_an_opp(self, opp_table):
+        for k in (0.0, 13.0, 37.0, 61.0, 88.0, 100.0):
+            for n in (1, 2, 3, 4):
+                chosen = reevaluate_frequency(
+                    opp_table.max_frequency_khz, k, n, 4, opp_table
+                )
+                assert chosen in opp_table
+
+    def test_bad_active_cores_rejected(self, opp_table):
+        with pytest.raises(GovernorError):
+            reevaluate_frequency(opp_table.max_frequency_khz, 50.0, 0, 4, opp_table)
+        with pytest.raises(GovernorError):
+            reevaluate_frequency(opp_table.max_frequency_khz, 50.0, 5, 4, opp_table)
+
+    def test_non_opp_ondemand_rejected(self, opp_table):
+        with pytest.raises(GovernorError):
+            reevaluate_frequency(123, 50.0, 4, 4, opp_table)

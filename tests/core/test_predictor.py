@@ -1,0 +1,64 @@
+"""The burst/slow-mode classifier and the one-step forecast."""
+
+import pytest
+
+from repro.core.predictor import WorkloadMode, WorkloadPredictor
+from repro.errors import ConfigError
+
+
+class TestClassification:
+    def test_high_load(self):
+        predictor = WorkloadPredictor(load_threshold=40.0)
+        assert predictor.classify(60.0, 0.0) is WorkloadMode.HIGH
+
+    def test_burst(self):
+        predictor = WorkloadPredictor(up_threshold=2.0)
+        assert predictor.classify(20.0, 5.0) is WorkloadMode.BURST
+
+    def test_slow(self):
+        predictor = WorkloadPredictor(down_threshold=-2.0)
+        assert predictor.classify(20.0, -5.0) is WorkloadMode.SLOW
+
+    def test_steady(self):
+        predictor = WorkloadPredictor(up_threshold=2.0, down_threshold=-2.0)
+        assert predictor.classify(20.0, 0.0) is WorkloadMode.STEADY
+
+    def test_threshold_ordering(self):
+        with pytest.raises(ConfigError):
+            WorkloadPredictor(up_threshold=-1.0, down_threshold=1.0)
+
+
+class TestForecast:
+    def test_no_history_forecasts_current(self):
+        predictor = WorkloadPredictor()
+        assert predictor.forecast(30.0) == pytest.approx(30.0)
+
+    def test_trend_tracks_deltas(self):
+        predictor = WorkloadPredictor(smoothing=1.0)
+        predictor.observe(4.0)
+        assert predictor.trend_percent_per_tick == pytest.approx(4.0)
+        assert predictor.forecast(30.0) == pytest.approx(34.0)
+
+    def test_smoothing_averages(self):
+        predictor = WorkloadPredictor(smoothing=0.5)
+        predictor.observe(4.0)
+        predictor.observe(0.0)
+        assert predictor.trend_percent_per_tick == pytest.approx(1.0)
+
+    def test_forecast_clamped(self):
+        predictor = WorkloadPredictor(smoothing=1.0)
+        predictor.observe(50.0)
+        assert predictor.forecast(90.0) == 100.0
+        predictor.observe(-300.0)
+        predictor.observe(-300.0)
+        assert predictor.forecast(10.0) == 0.0
+
+    def test_reset(self):
+        predictor = WorkloadPredictor(smoothing=1.0)
+        predictor.observe(10.0)
+        predictor.reset()
+        assert predictor.trend_percent_per_tick == 0.0
+
+    def test_bad_smoothing(self):
+        with pytest.raises(ConfigError):
+            WorkloadPredictor(smoothing=0.0)

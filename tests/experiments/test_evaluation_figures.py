@@ -1,0 +1,144 @@
+"""Figures 9-13: the MobiCore evaluation, shape assertions.
+
+One shared short configuration keeps the game matrix cached across all
+five figure drivers (they derive from the same sessions).
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import (
+    fig09_benchmarks,
+    fig10_game_power,
+    fig11_fps,
+    fig12_hw_usage,
+    fig13_stress,
+)
+from repro.experiments.common import GAME_NAMES
+
+CFG = SimulationConfig(duration_seconds=20.0, seed=0, warmup_seconds=2.0)
+SEEDS = (1, 2)
+
+
+@pytest.fixture(scope="module")
+def fig9a():
+    return fig09_benchmarks.run_busyloop(CFG, loads=(10.0, 30.0, 50.0, 70.0, 100.0))
+
+
+@pytest.fixture(scope="module")
+def fig9b():
+    return fig09_benchmarks.run_geekbench(CFG)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return fig10_game_power.run(CFG, seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def fig11():
+    return fig11_fps.run(CFG, seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def fig12():
+    return fig12_hw_usage.run(CFG, seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    return fig13_stress.run(CFG, seeds=SEEDS)
+
+
+class TestFig09a:
+    def test_mobicore_always_saves(self, fig9a):
+        """Paper: power reduction at every workload level."""
+        assert fig9a.always_saves()
+
+    def test_mean_saving_band(self, fig9a):
+        """Paper: 13.9% average; model: high single digits or better."""
+        assert 5.0 <= fig9a.mean_saving_percent <= 25.0
+
+    def test_best_saving_at_low_load(self, fig9a):
+        """Paper: the best case (20.9%) is at a low load (20%)."""
+        assert fig9a.best_saving_load <= 40.0
+        assert fig9a.best_saving_percent >= 12.0
+
+    def test_saving_vanishes_at_full_load(self, fig9a):
+        assert abs(fig9a.savings_percent()[-1]) < 2.0
+
+    def test_render(self, fig9a):
+        assert "mean saving" in fig9a.render()
+
+
+class TestFig09b:
+    def test_power_saving_positive(self, fig9b):
+        """Paper: ~23% power saving; model: clearly positive."""
+        assert fig9b.power_saving_percent > 5.0
+
+    def test_score_close_to_baseline(self, fig9b):
+        """MobiCore trades some score, but not proportionally more than
+        the power it saves."""
+        assert fig9b.mobicore_score >= 0.8 * fig9b.android_score
+
+    def test_render(self, fig9b):
+        assert "GeekBench" in fig9b.render()
+
+
+class TestFig10:
+    def test_all_games_present(self, fig10):
+        assert [row.game for row in fig10.rows] == list(GAME_NAMES)
+
+    def test_mean_saving_near_paper(self, fig10):
+        """Paper: 5.3% average across the games."""
+        assert fig10.mean_saving_percent == pytest.approx(5.3, abs=3.0)
+
+    def test_subway_surf_best(self, fig10):
+        """Paper: Subway Surf saves the most (11.7%)."""
+        assert fig10.best_game == "Subway Surf"
+
+    def test_real_racing_worst(self, fig10):
+        """Paper: Real Racing 3 saves the least (0.04%)."""
+        assert fig10.worst_game == "Real Racing 3"
+
+    def test_never_worse(self, fig10):
+        assert fig10.always_saves()
+
+
+class TestFig11:
+    def test_default_always_higher_fps(self, fig11):
+        assert fig11.default_always_higher()
+
+    def test_mobicore_in_acceptable_band(self, fig11):
+        """Paper: MobiCore's FPS stays in the 15-20 band."""
+        assert fig11.mobicore_in_acceptable_band()
+
+    def test_mean_ratio_band(self, fig11):
+        """Paper: ~0.78; model: 0.75-0.95."""
+        assert 0.70 <= fig11.mean_ratio <= 0.97
+
+
+class TestFig12:
+    def test_mobicore_uses_fewer_cores(self, fig12):
+        """Paper: 2.52 vs 2.75 average cores."""
+        assert fig12.mobicore_uses_fewer_cores()
+
+    def test_real_racing_frequency_increases(self, fig12):
+        """Paper: Real Racing 3 is the negative-reduction game."""
+        assert fig12.real_racing_frequency_increases()
+
+    def test_render(self, fig12):
+        assert "cores" in fig12.render()
+
+
+class TestFig13:
+    def test_default_does_more_work(self, fig13):
+        """Paper: the default's cores are busier (executed-work view)."""
+        assert fig13.default_does_more_work()
+
+    def test_work_difference_modest(self, fig13):
+        """The gap is a few points, not an order of magnitude."""
+        assert 0.0 <= fig13.mean_work_difference_points <= 20.0
+
+    def test_render(self, fig13):
+        assert "load" in fig13.render()

@@ -1,0 +1,45 @@
+"""The shared game-session matrix and its cache (Figures 10-13 backbone)."""
+
+import time
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.experiments import game_eval
+from repro.experiments.common import GAME_NAMES
+
+
+CFG = SimulationConfig(duration_seconds=8.0, seed=0, warmup_seconds=1.0)
+
+
+class TestRunGames:
+    def test_matrix_shape(self):
+        sessions = game_eval.run_games(CFG, seeds=(5,))
+        assert set(sessions) == set(GAME_NAMES)
+        for rows in sessions.values():
+            assert len(rows) == 1
+            assert rows[0].baseline.policy.startswith("android")
+            assert rows[0].candidate.policy == "mobicore"
+
+    def test_cache_hit_is_instant_and_identical(self):
+        first = game_eval.run_games(CFG, seeds=(5,))
+        started = time.perf_counter()
+        second = game_eval.run_games(CFG, seeds=(5,))
+        elapsed = time.perf_counter() - started
+        assert second is first  # same object: served from the cache
+        assert elapsed < 0.01
+
+    def test_different_seeds_miss_the_cache(self):
+        first = game_eval.run_games(CFG, seeds=(5,))
+        other = game_eval.run_games(CFG, seeds=(6,))
+        assert other is not first
+        for game in GAME_NAMES:
+            assert (
+                other[game][0].baseline.mean_power_mw
+                != first[game][0].baseline.mean_power_mw
+            )
+
+    def test_mean_rows_skips_none(self):
+        rows = game_eval.run_games(CFG, seeds=(5,))["Badland"]
+        value = game_eval.mean_rows(rows, lambda r: r.power_saving_percent)
+        assert value == pytest.approx(rows[0].power_saving_percent)

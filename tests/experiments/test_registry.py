@@ -1,0 +1,48 @@
+"""The experiment registry covers every table and figure."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import EXPERIMENTS, get_experiment, list_experiments
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "table1",
+            "table2",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup(self):
+        experiment = get_experiment("fig3")
+        assert "utilization" in experiment.description
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_list_order(self):
+        ids = list_experiments()
+        assert ids[0] == "table1"
+        assert ids[-1] == "fig13"
+
+    def test_cheap_experiments_run_via_registry(self):
+        """The zero-simulation drivers run directly from the registry."""
+        for experiment_id in ("table1", "table2", "fig8"):
+            result = get_experiment(experiment_id).run()
+            assert result.render()

@@ -1,0 +1,78 @@
+"""Table 1, Table 2, and the Figure 8 flow trace."""
+
+import pytest
+
+from repro.core.predictor import WorkloadMode
+from repro.experiments import fig08_flow, table1_specs, table2_quota
+
+
+class TestTable1:
+    def test_fourteen_opps(self):
+        result = table1_specs.run()
+        assert result.opp_count == 14
+
+    def test_render_contains_table1_facts(self):
+        text = table1_specs.run().render()
+        assert "Snapdragon 800" in text
+        assert "2265.6 MHz" in text
+        assert "Adreno 330" in text
+        assert "Android 6.0" in text
+
+    def test_rows_are_pairs(self):
+        result = table1_specs.run()
+        assert all(len(row) == 2 for row in result.rows)
+
+
+class TestTable2:
+    def test_demo_profile_covers_all_branches(self):
+        result = table2_quota.run()
+        modes = {row.mode for row in result.rows}
+        assert WorkloadMode.SLOW in modes
+        assert WorkloadMode.HIGH in modes or WorkloadMode.BURST in modes
+
+    def test_quota_shrinks_to_floor(self):
+        result = table2_quota.run()
+        assert result.min_quota < 1.0
+
+    def test_quota_recovers_full(self):
+        result = table2_quota.run()
+        assert result.recovered_full
+
+    def test_quota_never_out_of_bounds(self):
+        for row in table2_quota.run().rows:
+            assert 0.0 < row.quota <= 1.0
+
+    def test_render(self):
+        text = table2_quota.run().render()
+        assert "quota" in text
+        assert "slow" in text
+
+    def test_custom_profile(self):
+        result = table2_quota.run(utilization_profile=(50.0, 50.0, 50.0))
+        assert all(row.quota == 1.0 for row in result.rows)
+
+
+class TestFig08Flow:
+    def test_default_trace_exercises_all_steps(self):
+        trace = fig08_flow.run()
+        # step 2: slow mode shrinks the quota
+        assert trace.quota < 1.0
+        # step 3: the two sub-10% cores offline
+        assert trace.active_cores == 2
+        assert trace.online_mask == [True, True, False, False]
+        # step 4: every surviving core has a frequency
+        for core_id, online in enumerate(trace.online_mask):
+            if online:
+                assert trace.final_targets_khz[core_id] is not None
+
+    def test_high_load_keeps_everything(self):
+        trace = fig08_flow.run(
+            per_core_load_percent=(90.0, 88.0, 85.0, 92.0), delta_util_percent=1.0
+        )
+        assert trace.active_cores == 4
+        assert trace.quota == 1.0
+
+    def test_render(self):
+        text = fig08_flow.run().render()
+        assert "step 1" in text or "ondemand" in text
+        assert "quota" in text

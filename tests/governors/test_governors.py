@@ -1,0 +1,195 @@
+"""The six stock governors (paper section 2.2.1 behaviours)."""
+
+import pytest
+
+from repro.errors import GovernorError
+from repro.governors import (
+    GOVERNOR_REGISTRY,
+    ConservativeGovernor,
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    UserspaceGovernor,
+    create_governor,
+)
+from repro.governors.base import GovernorInput
+
+
+def observe(opp_table, load, current=None, dt=0.02):
+    if current is None:
+        current = opp_table.min_frequency_khz
+    return GovernorInput(
+        load_percent=load, current_khz=current, opp_table=opp_table, dt_seconds=dt
+    )
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(GOVERNOR_REGISTRY) == {
+            "ondemand",
+            "interactive",
+            "conservative",
+            "powersave",
+            "performance",
+            "userspace",
+            "schedutil",  # modern extension baseline, not in the paper
+        }
+
+    def test_create_by_name(self):
+        assert isinstance(create_governor("ondemand"), OndemandGovernor)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GovernorError):
+            create_governor("warpspeed")
+
+    def test_create_with_kwargs(self):
+        governor = create_governor("ondemand", up_threshold=70.0)
+        assert governor.up_threshold == 70.0
+
+
+class TestGovernorInput:
+    def test_validates_current_is_opp(self, opp_table):
+        with pytest.raises(GovernorError):
+            GovernorInput(50.0, 12345, opp_table, 0.02)
+
+    def test_validates_load_range(self, opp_table):
+        with pytest.raises(Exception):
+            GovernorInput(120.0, opp_table.min_frequency_khz, opp_table, 0.02)
+
+
+class TestOndemand:
+    """Section 2.2.1: jump to max over the threshold, proportional below."""
+
+    def test_jumps_to_max_over_threshold(self, opp_table):
+        governor = OndemandGovernor()
+        chosen = governor.select(observe(opp_table, 85.0))
+        assert chosen == opp_table.max_frequency_khz
+
+    def test_exact_threshold_jumps(self, opp_table):
+        assert OndemandGovernor(up_threshold=80.0).select(
+            observe(opp_table, 80.0)
+        ) == opp_table.max_frequency_khz
+
+    def test_scales_down_proportionally(self, opp_table):
+        governor = OndemandGovernor(sampling_down_factor=1)
+        fmax = opp_table.max_frequency_khz
+        chosen = governor.select(observe(opp_table, 40.0, current=fmax))
+        expected = opp_table.floor(fmax * 40.0 / 80.0).frequency_khz
+        assert chosen == expected
+
+    def test_holds_max_for_sampling_down_factor(self, opp_table):
+        governor = OndemandGovernor(sampling_down_factor=2)
+        fmax = opp_table.max_frequency_khz
+        governor.select(observe(opp_table, 90.0))
+        assert governor.select(observe(opp_table, 10.0, current=fmax)) == fmax
+        assert governor.select(observe(opp_table, 10.0, current=fmax)) == fmax
+        third = governor.select(observe(opp_table, 10.0, current=fmax))
+        assert third < fmax
+
+    def test_reset_clears_hold(self, opp_table):
+        governor = OndemandGovernor(sampling_down_factor=3)
+        governor.select(observe(opp_table, 90.0))
+        governor.reset()
+        fmax = opp_table.max_frequency_khz
+        assert governor.select(observe(opp_table, 10.0, current=fmax)) < fmax
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(GovernorError):
+            OndemandGovernor(sampling_down_factor=0)
+
+
+class TestInteractive:
+    def test_hispeed_jump(self, opp_table):
+        governor = InteractiveGovernor()
+        chosen = governor.select(observe(opp_table, 90.0))
+        span = opp_table.max_frequency_khz - opp_table.min_frequency_khz
+        hispeed = opp_table.ceil(
+            opp_table.min_frequency_khz + span * 0.6
+        ).frequency_khz
+        assert chosen >= hispeed
+
+    def test_aggressive_target_above_ondemand(self, opp_table):
+        """Interactive ramps harder than ondemand below the jump threshold."""
+        interactive = InteractiveGovernor()
+        ondemand = OndemandGovernor(sampling_down_factor=1)
+        mid = opp_table.frequencies_khz[len(opp_table) // 2]
+        load = 60.0
+        i_choice = interactive.select(observe(opp_table, load, current=mid))
+        o_choice = ondemand.select(observe(opp_table, load, current=mid))
+        assert i_choice >= o_choice
+
+    def test_min_sample_time_blocks_quick_drop(self, opp_table):
+        governor = InteractiveGovernor(min_sample_time_s=0.08)
+        fmax = opp_table.max_frequency_khz
+        governor.select(observe(opp_table, 90.0, current=fmax))
+        # load collapses; the drop is deferred for min_sample_time
+        first = governor.select(observe(opp_table, 5.0, current=fmax))
+        assert first == fmax
+        for _ in range(3):
+            last = governor.select(observe(opp_table, 5.0, current=fmax))
+        assert last < fmax
+
+    def test_bad_hispeed_fraction(self):
+        with pytest.raises(GovernorError):
+            InteractiveGovernor(hispeed_fraction=0.0)
+
+
+class TestConservative:
+    def test_steps_up_smoothly(self, opp_table):
+        governor = ConservativeGovernor()
+        fmin = opp_table.min_frequency_khz
+        chosen = governor.select(observe(opp_table, 95.0, current=fmin))
+        assert chosen > fmin
+        assert chosen < opp_table.max_frequency_khz  # no jump to max
+
+    def test_steps_down(self, opp_table):
+        governor = ConservativeGovernor()
+        fmax = opp_table.max_frequency_khz
+        chosen = governor.select(observe(opp_table, 5.0, current=fmax))
+        assert chosen < fmax
+
+    def test_holds_between_thresholds(self, opp_table):
+        governor = ConservativeGovernor()
+        mid = opp_table.frequencies_khz[7]
+        assert governor.select(observe(opp_table, 50.0, current=mid)) == mid
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(GovernorError):
+            ConservativeGovernor(up_threshold=20.0, down_threshold=30.0)
+
+
+class TestStaticGovernors:
+    def test_powersave_always_min(self, opp_table):
+        governor = PowersaveGovernor()
+        for load in (0.0, 50.0, 100.0):
+            assert governor.select(observe(opp_table, load)) == (
+                opp_table.min_frequency_khz
+            )
+
+    def test_performance_always_max(self, opp_table):
+        governor = PerformanceGovernor()
+        for load in (0.0, 50.0, 100.0):
+            assert governor.select(observe(opp_table, load)) == (
+                opp_table.max_frequency_khz
+            )
+
+
+class TestUserspace:
+    def test_honours_setspeed(self, opp_table):
+        governor = UserspaceGovernor()
+        governor.set_speed(960_000)
+        assert governor.select(observe(opp_table, 50.0)) == 960_000
+
+    def test_quantises_setspeed(self, opp_table):
+        governor = UserspaceGovernor()
+        governor.set_speed(961_000)
+        assert governor.select(observe(opp_table, 50.0)) == 1_036_800
+
+    def test_no_setspeed_keeps_current(self, opp_table):
+        governor = UserspaceGovernor()
+        assert governor.select(observe(opp_table, 50.0, current=960_000)) == 960_000
+
+    def test_bad_setspeed_rejected(self):
+        with pytest.raises(GovernorError):
+            UserspaceGovernor().set_speed(0)

@@ -1,0 +1,75 @@
+"""Seed robustness: the evaluation's qualitative findings hold across seeds.
+
+The figure drivers use seeds (1, 2, 3); these tests re-check the
+headline orderings on a disjoint seed set so the reproduction is not an
+artifact of one random draw.
+"""
+
+import pytest
+
+from repro.analysis.comparison import PolicyComparison
+from repro.config import SimulationConfig
+from repro.core.mobicore import MobiCorePolicy
+from repro.policies.android_default import AndroidDefaultPolicy
+from repro.soc.catalog import nexus5_spec
+from repro.workloads.games import game_workload
+
+FRESH_SEEDS = (11, 12)
+CFG = SimulationConfig(duration_seconds=25.0, seed=0, warmup_seconds=2.0)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    spec = nexus5_spec()
+    return PolicyComparison(
+        spec,
+        baseline_factory=AndroidDefaultPolicy,
+        candidate_factory=lambda: MobiCorePolicy(
+            power_params=spec.power_params,
+            opp_table=spec.opp_table,
+            num_cores=spec.num_cores,
+        ),
+        config=CFG,
+        pin_uncore_max=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def fresh_rows(comparison):
+    rows = {}
+    for game in ("Real Racing 3", "Subway Surf"):
+        per_seed = comparison.compare_seeds(
+            lambda game=game: game_workload(game), FRESH_SEEDS
+        )
+        rows[game] = per_seed
+    return rows
+
+
+def mean_saving(per_seed):
+    return sum(row.power_saving_percent for row in per_seed) / len(per_seed)
+
+
+class TestOrderingAcrossSeeds:
+    def test_subway_surf_beats_real_racing(self, fresh_rows):
+        """The extreme games keep their ordering on unseen seeds."""
+        assert mean_saving(fresh_rows["Subway Surf"]) > mean_saving(
+            fresh_rows["Real Racing 3"]
+        )
+
+    def test_mobicore_never_clearly_worse(self, fresh_rows):
+        for per_seed in fresh_rows.values():
+            for row in per_seed:
+                assert row.power_saving_percent > -1.5
+
+    def test_fps_ratio_band_holds(self, fresh_rows):
+        for per_seed in fresh_rows.values():
+            for row in per_seed:
+                assert 0.7 <= row.fps_ratio <= 1.02
+
+    def test_mobicore_uses_fewer_cores(self, fresh_rows):
+        for per_seed in fresh_rows.values():
+            for row in per_seed:
+                assert (
+                    row.candidate.mean_online_cores
+                    <= row.baseline.mean_online_cores + 0.05
+                )

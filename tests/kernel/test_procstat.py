@@ -1,0 +1,74 @@
+"""Utilization accounting and the delta signal."""
+
+import pytest
+
+from repro.errors import MeterError
+from repro.kernel.procstat import ProcStat, TickUtilization
+
+
+class TestTickUtilization:
+    def test_global_averages_online_only(self):
+        snapshot = TickUtilization(
+            tick=0,
+            per_core_percent=(100.0, 50.0, 0.0, 0.0),
+            online_mask=(True, True, False, False),
+        )
+        assert snapshot.global_percent == pytest.approx(75.0)
+        assert snapshot.online_count == 2
+
+    def test_all_offline_is_zero(self):
+        snapshot = TickUtilization(0, (0.0,), (False,))
+        assert snapshot.global_percent == 0.0
+
+
+class TestProcStat:
+    def test_record_and_latest(self):
+        stat = ProcStat()
+        stat.record(0, [10.0, 20.0], [True, True])
+        assert stat.latest.global_percent == pytest.approx(15.0)
+        assert stat.previous is None
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(MeterError):
+            ProcStat().record(0, [10.0], [True, True])
+
+    def test_out_of_range_percent_rejected(self):
+        with pytest.raises(Exception):
+            ProcStat().record(0, [120.0], [True])
+
+    def test_delta_between_last_two(self):
+        stat = ProcStat()
+        stat.record(0, [20.0], [True])
+        stat.record(1, [35.0], [True])
+        assert stat.delta_global_percent() == pytest.approx(15.0)
+
+    def test_delta_zero_before_two_ticks(self):
+        stat = ProcStat()
+        assert stat.delta_global_percent() == 0.0
+        stat.record(0, [20.0], [True])
+        assert stat.delta_global_percent() == 0.0
+
+    def test_mean_over_window(self):
+        stat = ProcStat()
+        for tick, level in enumerate([10.0, 20.0, 30.0, 40.0]):
+            stat.record(tick, [level], [True])
+        assert stat.mean_global_percent() == pytest.approx(25.0)
+        assert stat.mean_global_percent(last_n=2) == pytest.approx(35.0)
+
+    def test_history_bounded(self):
+        stat = ProcStat(history_limit=4)
+        for tick in range(10):
+            stat.record(tick, [10.0], [True])
+        assert stat.latest.tick == 9
+        assert stat.mean_global_percent() == pytest.approx(10.0)
+
+    def test_tiny_history_rejected(self):
+        with pytest.raises(MeterError):
+            ProcStat(history_limit=1)
+
+    def test_reset(self):
+        stat = ProcStat()
+        stat.record(0, [10.0], [True])
+        stat.reset()
+        assert stat.latest is None
+        assert stat.mean_global_percent() == 0.0

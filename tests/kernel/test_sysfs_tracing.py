@@ -1,0 +1,129 @@
+"""The sysfs knob tree and the trace recorder."""
+
+import pytest
+
+from repro.errors import ConfigError, TraceError
+from repro.kernel.sysfs import SysfsTree
+from repro.kernel.tracing import TickRecord, TraceRecorder
+
+
+def record(tick, power=1000.0, fps=None, online=(True, True, True, True)):
+    return TickRecord(
+        tick=tick,
+        time_seconds=tick * 0.02,
+        frequencies_khz=(300_000, 960_000, 960_000, 2_265_600),
+        online_mask=online,
+        busy_fractions=(0.5, 0.5, 0.0, 1.0),
+        global_util_percent=50.0,
+        quota=0.9,
+        power_mw=power,
+        cpu_power_mw=power * 0.6,
+        temperature_c=30.0,
+        fps=fps,
+        scaled_load_percent=40.0,
+    )
+
+
+class TestSysfs:
+    def test_register_read(self):
+        tree = SysfsTree()
+        tree.register("sys/devices/cpu/cpu0/cpufreq/scaling_cur_freq", lambda: 300000)
+        assert tree.read("/sys/devices/cpu/cpu0/cpufreq/scaling_cur_freq") == "300000"
+
+    def test_write_through_setter(self):
+        tree = SysfsTree()
+        box = {"governor": "ondemand"}
+        tree.register(
+            "cpufreq/scaling_governor",
+            lambda: box["governor"],
+            lambda value: box.__setitem__("governor", value),
+        )
+        tree.write("cpufreq/scaling_governor", "userspace")
+        assert box["governor"] == "userspace"
+
+    def test_read_only_write_rejected(self):
+        tree = SysfsTree()
+        tree.register("a/b", lambda: 1)
+        with pytest.raises(ConfigError):
+            tree.write("a/b", "2")
+
+    def test_unknown_path_rejected(self):
+        tree = SysfsTree()
+        with pytest.raises(ConfigError):
+            tree.read("nope")
+
+    def test_duplicate_registration_rejected(self):
+        tree = SysfsTree()
+        tree.register("a", lambda: 1)
+        with pytest.raises(ConfigError):
+            tree.register("a", lambda: 2)
+
+    def test_list_prefix(self):
+        tree = SysfsTree()
+        tree.register("cpu/cpu0/online", lambda: 1)
+        tree.register("cpu/cpu1/online", lambda: 1)
+        tree.register("other", lambda: 1)
+        assert tree.list("cpu") == ["/cpu/cpu0/online", "/cpu/cpu1/online"]
+        assert len(tree.list()) == 3
+
+
+class TestTickRecord:
+    def test_online_count_and_mean_freq(self):
+        r = record(0, online=(True, True, False, False))
+        assert r.online_count == 2
+        assert r.mean_online_frequency_khz == pytest.approx((300_000 + 960_000) / 2)
+
+
+class TestTraceRecorder:
+    def test_appends_in_order(self):
+        trace = TraceRecorder()
+        trace.append(record(0))
+        trace.append(record(1))
+        with pytest.raises(TraceError):
+            trace.append(record(1))
+
+    def test_warmup_excluded_from_summaries(self):
+        trace = TraceRecorder(warmup_ticks=1)
+        trace.append(record(0, power=9999.0))
+        trace.append(record(1, power=1000.0))
+        trace.append(record(2, power=2000.0))
+        assert trace.mean_power_mw() == pytest.approx(1500.0)
+        assert len(trace.records) == 3
+        assert len(trace.measured) == 2
+
+    def test_summary_requires_measured_ticks(self):
+        trace = TraceRecorder(warmup_ticks=5)
+        trace.append(record(0))
+        with pytest.raises(TraceError):
+            trace.mean_power_mw()
+
+    def test_means(self):
+        trace = TraceRecorder()
+        trace.append(record(0, power=1000.0, fps=20.0))
+        trace.append(record(1, power=2000.0, fps=10.0))
+        assert trace.mean_power_mw() == pytest.approx(1500.0)
+        assert trace.mean_fps() == pytest.approx(15.0)
+        assert trace.mean_online_cores() == pytest.approx(4.0)
+        assert trace.mean_quota() == pytest.approx(0.9)
+        assert trace.mean_global_util_percent() == pytest.approx(50.0)
+        assert trace.mean_scaled_load_percent() == pytest.approx(40.0)
+
+    def test_fps_none_when_absent(self):
+        trace = TraceRecorder()
+        trace.append(record(0, fps=None))
+        assert trace.mean_fps() is None
+
+    def test_energy(self):
+        trace = TraceRecorder()
+        trace.append(record(0, power=1000.0))
+        trace.append(record(1, power=1000.0))
+        assert trace.energy_mj(0.02) == pytest.approx(40.0)
+
+    def test_csv_roundtrip_columns(self):
+        trace = TraceRecorder()
+        trace.append(record(0, fps=12.5))
+        csv = trace.to_csv()
+        header, row = csv.strip().splitlines()
+        assert header.split(",")[0] == "tick"
+        assert len(row.split(",")) == len(header.split(","))
+        assert "12.50" in row

@@ -1,0 +1,141 @@
+"""Power meter, FPS meter, and hardware-usage collectors."""
+
+import pytest
+
+from repro.errors import MeterError
+from repro.kernel.tracing import TickRecord, TraceRecorder
+from repro.metrics.collectors import (
+    CoreCountCollector,
+    FrequencyCollector,
+    LoadCollector,
+)
+from repro.metrics.fps_meter import FpsMeter
+from repro.metrics.power_meter import PowerMeter
+
+
+def make_trace():
+    trace = TraceRecorder()
+    for tick in range(4):
+        trace.append(
+            TickRecord(
+                tick=tick,
+                time_seconds=tick * 0.02,
+                frequencies_khz=(960_000,) * 4,
+                online_mask=(True, True, True, tick % 2 == 0),
+                busy_fractions=(0.5,) * 4,
+                global_util_percent=50.0 + tick,
+                quota=1.0,
+                power_mw=1000.0 + 100.0 * tick,
+                cpu_power_mw=600.0,
+                temperature_c=30.0,
+                fps=15.0 + tick,
+                scaled_load_percent=20.0,
+            )
+        )
+    return trace
+
+
+class TestPowerMeter:
+    def test_weighted_mean(self):
+        meter = PowerMeter()
+        meter.sample(1000.0, 1.0)
+        meter.sample(2000.0, 3.0)
+        assert meter.mean_mw() == pytest.approx(1750.0)
+
+    def test_energy(self):
+        meter = PowerMeter()
+        meter.sample(1000.0, 2.0)
+        assert meter.energy_mj() == pytest.approx(2000.0)
+        assert meter.energy_j() == pytest.approx(2.0)
+
+    def test_extremes_and_std(self):
+        meter = PowerMeter()
+        for value in (500.0, 1500.0):
+            meter.sample(value, 1.0)
+        assert meter.peak_mw() == 1500.0
+        assert meter.min_mw() == 500.0
+        assert meter.std_mw() == pytest.approx(500.0)
+
+    def test_empty_meter_raises(self):
+        with pytest.raises(MeterError):
+            PowerMeter().mean_mw()
+
+    def test_from_trace(self):
+        meter = PowerMeter.from_trace(make_trace(), tick_seconds=0.02)
+        assert len(meter) == 4
+        assert meter.mean_mw() == pytest.approx(1150.0)
+
+    def test_downsampling(self):
+        meter = PowerMeter()
+        for value in (1.0, 3.0, 5.0, 7.0):
+            meter.sample(value, 1.0)
+        assert meter.downsampled_mw(2) == [pytest.approx(2.0), pytest.approx(6.0)]
+
+    def test_bad_bucket(self):
+        meter = PowerMeter()
+        meter.sample(1.0, 1.0)
+        with pytest.raises(MeterError):
+            meter.downsampled_mw(0)
+
+
+class TestFpsMeter:
+    def test_stats(self):
+        meter = FpsMeter()
+        for value in (10.0, 20.0, 30.0):
+            meter.sample(value)
+        assert meter.mean() == pytest.approx(20.0)
+        assert meter.minimum() == 10.0
+        assert meter.maximum() == 30.0
+        assert meter.percentile(50) == pytest.approx(20.0)
+        assert meter.percentile(0) == 10.0
+
+    def test_ratio(self):
+        ours = FpsMeter()
+        ours.sample(15.0)
+        baseline = FpsMeter()
+        baseline.sample(20.0)
+        assert FpsMeter.ratio(ours, baseline) == pytest.approx(0.75)
+
+    def test_acceptable_band(self):
+        meter = FpsMeter()
+        meter.sample(17.0)
+        assert meter.in_acceptable_band()
+        low = FpsMeter()
+        low.sample(10.0)
+        assert not low.in_acceptable_band()
+
+    def test_from_trace(self):
+        meter = FpsMeter.from_trace(make_trace())
+        assert meter.mean() == pytest.approx(16.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(MeterError):
+            FpsMeter().mean()
+
+    def test_bad_percentile(self):
+        meter = FpsMeter()
+        meter.sample(10.0)
+        with pytest.raises(MeterError):
+            meter.percentile(101.0)
+
+
+class TestCollectors:
+    def test_frequency_collector(self):
+        collector = FrequencyCollector.from_trace(make_trace())
+        assert collector.mean() == pytest.approx(960_000.0)
+        assert collector.mean_mhz() == pytest.approx(960.0)
+
+    def test_core_count_collector(self):
+        collector = CoreCountCollector.from_trace(make_trace())
+        assert collector.mean() == pytest.approx(3.5)
+        assert collector.minimum() == 3.0
+        assert collector.maximum() == 4.0
+
+    def test_load_collector_variation(self):
+        collector = LoadCollector.from_trace(make_trace())
+        assert collector.mean() == pytest.approx(51.5)
+        assert collector.variation() == pytest.approx(collector.std())
+
+    def test_empty_collector_raises(self):
+        with pytest.raises(MeterError):
+            LoadCollector().mean()

@@ -1,0 +1,82 @@
+"""SessionSummary construction and the paper's comparison deltas."""
+
+import pytest
+
+from repro.analysis.sweep import run_session
+from repro.config import SimulationConfig
+from repro.errors import MeterError
+from repro.metrics.summary import summarize
+from repro.policies.static import StaticPolicy
+from repro.soc.catalog import nexus5_spec
+from repro.workloads.busyloop import BusyLoopApp
+from repro.workloads.games import game_workload
+
+
+@pytest.fixture(scope="module")
+def pair():
+    spec = nexus5_spec()
+    config = SimulationConfig(duration_seconds=4.0, seed=1, warmup_seconds=1.0)
+    heavy = summarize(
+        run_session(spec, BusyLoopApp(80.0), StaticPolicy(4, 2_265_600), config,
+                    pin_uncore_max=False)
+    )
+    light = summarize(
+        run_session(spec, BusyLoopApp(80.0), StaticPolicy(4, 960_000), config,
+                    pin_uncore_max=False)
+    )
+    return heavy, light
+
+
+class TestSummaryFields:
+    def test_identity(self, pair):
+        heavy, _ = pair
+        assert heavy.platform == "Nexus 5"
+        assert heavy.policy.startswith("static")
+        assert heavy.workload.startswith("busyloop")
+        assert heavy.seed == 1
+
+    def test_quantities_positive(self, pair):
+        heavy, _ = pair
+        assert heavy.mean_power_mw > 0
+        assert heavy.energy_mj > 0
+        assert heavy.mean_frequency_khz == pytest.approx(2_265_600)
+        assert heavy.mean_online_cores == pytest.approx(4.0)
+        assert 0 < heavy.mean_load_percent <= 100
+        assert heavy.mean_scaled_load_percent <= heavy.mean_load_percent + 1e-9
+
+    def test_no_fps_for_busyloop(self, pair):
+        heavy, _ = pair
+        assert heavy.mean_fps is None
+
+
+class TestComparisons:
+    def test_power_saving_sign(self, pair):
+        heavy, light = pair
+        assert light.power_saving_percent(heavy) > 0
+        assert heavy.power_saving_percent(light) < 0
+
+    def test_frequency_reduction(self, pair):
+        heavy, light = pair
+        reduction = light.frequency_reduction_percent(heavy)
+        assert reduction == pytest.approx(100.0 * (1 - 960_000 / 2_265_600))
+
+    def test_load_reduction_points(self, pair):
+        heavy, light = pair
+        # the lighter frequency runs busier for the same demand
+        assert light.load_reduction_percent_points(heavy) < 0
+
+    def test_fps_ratio_requires_fps(self, pair):
+        heavy, light = pair
+        with pytest.raises(MeterError):
+            light.fps_ratio(heavy)
+
+    def test_fps_ratio_for_games(self):
+        spec = nexus5_spec()
+        config = SimulationConfig(duration_seconds=4.0, seed=1, warmup_seconds=1.0)
+        fast = summarize(
+            run_session(spec, game_workload("Badland"), StaticPolicy(4, 2_265_600), config)
+        )
+        slow = summarize(
+            run_session(spec, game_workload("Badland"), StaticPolicy(4, 960_000), config)
+        )
+        assert 0 < slow.fps_ratio(fast) <= 1.0

@@ -1,0 +1,98 @@
+"""The default hotplug driver's threshold and hysteresis behaviour."""
+
+import pytest
+
+from repro.errors import HotplugError
+from repro.policies.hotplug_driver import DefaultHotplugDriver
+
+
+def drive(driver, total, online, num_cores=4, ticks=1):
+    count = online
+    for _ in range(ticks):
+        count = driver.target_count(total, count, num_cores)
+    return count
+
+
+class TestValidation:
+    def test_bad_headroom(self):
+        with pytest.raises(HotplugError):
+            DefaultHotplugDriver(down_headroom=0.0)
+
+    def test_bad_holds(self):
+        with pytest.raises(HotplugError):
+            DefaultHotplugDriver(hold_up_ticks=0)
+
+    def test_bad_online_count(self):
+        with pytest.raises(HotplugError):
+            DefaultHotplugDriver().target_count(50.0, 0, 4)
+
+
+class TestOnlining:
+    def test_onlines_after_hold(self):
+        driver = DefaultHotplugDriver(hold_up_ticks=2)
+        assert driver.target_count(100.0, 1, 4) == 1  # first hot tick
+        assert driver.target_count(100.0, 1, 4) == 2  # second: online
+
+    def test_saturated_demand_grows_to_all_cores(self):
+        driver = DefaultHotplugDriver(hold_up_ticks=1)
+        count = 1
+        for _ in range(10):
+            count = driver.target_count(400.0, count, 4)
+        assert count == 4
+
+    def test_never_exceeds_num_cores(self):
+        driver = DefaultHotplugDriver(hold_up_ticks=1)
+        assert driver.target_count(400.0, 4, 4) == 4
+
+    def test_hold_interrupted_by_calm_tick(self):
+        driver = DefaultHotplugDriver(hold_up_ticks=2)
+        driver.target_count(100.0, 1, 4)
+        driver.target_count(50.0, 1, 4)  # calm: resets the counter
+        assert driver.target_count(100.0, 1, 4) == 1
+
+
+class TestOfflining:
+    def test_offlines_after_hold(self):
+        driver = DefaultHotplugDriver(
+            hold_down_ticks=3, down_headroom=0.9, up_threshold=80.0
+        )
+        count = 4
+        for _ in range(2):
+            count = driver.target_count(10.0, count, 4)
+            assert count == 4
+        count = driver.target_count(10.0, count, 4)
+        assert count == 3
+
+    def test_never_below_one(self):
+        driver = DefaultHotplugDriver(hold_down_ticks=1)
+        count = 2
+        for _ in range(10):
+            count = driver.target_count(0.0, count, 4)
+        assert count == 1
+
+    def test_no_offline_when_demand_needs_cores(self):
+        """Removing a core must leave headroom; 300% needs all four."""
+        driver = DefaultHotplugDriver(hold_down_ticks=1)
+        assert drive(driver, 300.0, 4, ticks=20) == 4
+
+
+class TestStability:
+    def test_mid_band_holds_count(self):
+        driver = DefaultHotplugDriver()
+        assert drive(driver, 150.0, 3, ticks=50) == 3
+
+    def test_reset_clears_counters(self):
+        driver = DefaultHotplugDriver(hold_up_ticks=2)
+        driver.target_count(100.0, 1, 4)
+        driver.reset()
+        assert driver.target_count(100.0, 1, 4) == 1
+
+    def test_frequency_invariance(self):
+        """The driver sees fmax-normalised load: same demand, same answer,
+        regardless of the frequency the cores happen to run at (the
+        caller normalises)."""
+        driver_a = DefaultHotplugDriver(hold_up_ticks=1)
+        driver_b = DefaultHotplugDriver(hold_up_ticks=1)
+        assert driver_a.target_count(200.0, 2, 4) == driver_b.target_count(
+            200.0, 2, 4
+        )

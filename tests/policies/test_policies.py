@@ -1,0 +1,166 @@
+"""Whole-system policies: observation plumbing and decisions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policies import (
+    AndroidDefaultPolicy,
+    DcsOnlyPolicy,
+    DvfsOnlyPolicy,
+    PolicyDecision,
+    RaceToIdlePolicy,
+    StaticPolicy,
+    SystemObservation,
+)
+
+
+def observation(opp_table, loads, freqs=None, online=None, delta=0.0, quota=1.0):
+    n = len(loads)
+    if freqs is None:
+        freqs = (opp_table.min_frequency_khz,) * n
+    if online is None:
+        online = (True,) * n
+    active = [l for l, on in zip(loads, online) if on]
+    return SystemObservation(
+        tick=0,
+        dt_seconds=0.02,
+        per_core_load_percent=tuple(loads),
+        global_util_percent=sum(active) / len(active) if active else 0.0,
+        delta_util_percent=delta,
+        frequencies_khz=tuple(freqs),
+        online_mask=tuple(online),
+        quota=quota,
+        opp_table=opp_table,
+    )
+
+
+class TestSystemObservation:
+    def test_scaled_load(self, opp_table):
+        obs = observation(
+            opp_table,
+            loads=(100.0, 0.0, 0.0, 0.0),
+            freqs=(opp_table.max_frequency_khz,) + (opp_table.min_frequency_khz,) * 3,
+        )
+        assert obs.scaled_load_percent(0) == pytest.approx(100.0)
+        fraction = opp_table.min_frequency_khz / opp_table.max_frequency_khz
+        assert obs.scaled_load_percent(1) == pytest.approx(0.0)
+        assert obs.total_scaled_load_percent == pytest.approx(100.0)
+        assert obs.global_scaled_load_percent == pytest.approx(25.0)
+
+    def test_online_count(self, opp_table):
+        obs = observation(opp_table, (10.0,) * 4, online=(True, True, False, False))
+        assert obs.online_count == 2
+        assert obs.num_cores == 4
+
+
+class TestStaticPolicy:
+    def test_pins_point(self, opp_table):
+        policy = StaticPolicy(2, 960_000)
+        decision = policy.decide(observation(opp_table, (50.0,) * 4))
+        assert decision.online_mask == [True, True, False, False]
+        assert decision.target_frequencies_khz == [960_000.0] * 4
+
+    def test_non_opp_rejected(self, opp_table):
+        policy = StaticPolicy(2, 961_001)
+        with pytest.raises(ConfigError):
+            policy.decide(observation(opp_table, (50.0,) * 4))
+
+    def test_too_many_cores_rejected(self, opp_table):
+        policy = StaticPolicy(8, 960_000)
+        with pytest.raises(ConfigError):
+            policy.decide(observation(opp_table, (50.0,) * 4))
+
+
+class TestAndroidDefault:
+    def test_high_load_goes_to_fmax(self, opp_table):
+        policy = AndroidDefaultPolicy()
+        decision = policy.decide(observation(opp_table, (95.0,) * 4))
+        assert decision.target_frequencies_khz[0] == float(
+            opp_table.max_frequency_khz
+        )
+
+    def test_nohz_idle_core_keeps_frequency(self, opp_table):
+        policy = AndroidDefaultPolicy()
+        decision = policy.decide(
+            observation(
+                opp_table,
+                loads=(95.0, 0.0, 0.0, 0.0),
+                freqs=(opp_table.max_frequency_khz,) * 4,
+            )
+        )
+        assert decision.target_frequencies_khz[1] is None
+
+    def test_quota_always_full(self, opp_table):
+        policy = AndroidDefaultPolicy()
+        decision = policy.decide(observation(opp_table, (50.0,) * 4))
+        assert decision.quota == 1.0
+
+    def test_hotplug_disabled_variant(self, opp_table):
+        policy = AndroidDefaultPolicy(enable_hotplug=False)
+        decision = policy.decide(observation(opp_table, (1.0,) * 4))
+        assert decision.online_mask is None
+
+    def test_offline_core_gets_no_target(self, opp_table):
+        policy = AndroidDefaultPolicy()
+        decision = policy.decide(
+            observation(opp_table, (50.0, 50.0, 0.0, 0.0), online=(True, True, False, False))
+        )
+        assert decision.target_frequencies_khz[2] is None
+
+    def test_newly_onlined_core_gets_target(self, opp_table):
+        policy = AndroidDefaultPolicy(
+        )
+        policy.hotplug.hold_up_ticks = 1
+        obs = observation(
+            opp_table,
+            loads=(100.0, 0.0, 0.0, 0.0),
+            freqs=(opp_table.max_frequency_khz,) + (opp_table.min_frequency_khz,) * 3,
+            online=(True, False, False, False),
+        )
+        decision = policy.decide(obs)
+        assert decision.online_mask[1]
+        assert decision.target_frequencies_khz[1] is not None
+
+    def test_grows_governor_list(self, opp_table):
+        policy = AndroidDefaultPolicy(num_cores=1)
+        decision = policy.decide(observation(opp_table, (50.0,) * 4))
+        assert len(decision.target_frequencies_khz) == 4
+
+    def test_validate_decision_shape(self, opp_table):
+        policy = AndroidDefaultPolicy()
+        obs = observation(opp_table, (50.0,) * 4)
+        bad = PolicyDecision(target_frequencies_khz=[1.0])
+        with pytest.raises(ConfigError):
+            policy.validate_decision(bad, obs)
+
+
+class TestSingleMechanism:
+    def test_dvfs_only_never_touches_mask(self, opp_table):
+        policy = DvfsOnlyPolicy()
+        decision = policy.decide(observation(opp_table, (1.0,) * 4))
+        assert decision.online_mask is None
+
+    def test_dcs_only_fixed_frequency(self, opp_table):
+        policy = DcsOnlyPolicy(frequency_khz=960_000)
+        decision = policy.decide(observation(opp_table, (50.0,) * 4))
+        assert decision.target_frequencies_khz == [960_000.0] * 4
+
+    def test_dcs_only_defaults_to_fmax(self, opp_table):
+        policy = DcsOnlyPolicy()
+        decision = policy.decide(observation(opp_table, (50.0,) * 4))
+        assert decision.target_frequencies_khz == [
+            float(opp_table.max_frequency_khz)
+        ] * 4
+
+    def test_dcs_only_non_opp_rejected(self, opp_table):
+        policy = DcsOnlyPolicy(frequency_khz=111)
+        with pytest.raises(ConfigError):
+            policy.decide(observation(opp_table, (50.0,) * 4))
+
+    def test_race_to_idle_everything_on_max(self, opp_table):
+        policy = RaceToIdlePolicy()
+        decision = policy.decide(observation(opp_table, (1.0,) * 4))
+        assert decision.online_mask == [True] * 4
+        assert decision.target_frequencies_khz == [
+            float(opp_table.max_frequency_khz)
+        ] * 4

@@ -1,0 +1,69 @@
+"""Property-based invariants shared by every registered governor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.governors import GOVERNOR_REGISTRY, create_governor
+from repro.governors.base import GovernorInput
+from repro.soc.calibration import nexus5_opp_table
+
+TABLE = nexus5_opp_table()
+
+loads = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+frequencies = st.sampled_from(TABLE.frequencies_khz)
+governor_names = st.sampled_from(sorted(GOVERNOR_REGISTRY))
+
+
+def observe(load, current):
+    return GovernorInput(
+        load_percent=load, current_khz=current, opp_table=TABLE, dt_seconds=0.02
+    )
+
+
+class TestUniversalGovernorInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(name=governor_names, load=loads, current=frequencies)
+    def test_selection_is_always_a_table_entry(self, name, load, current):
+        governor = create_governor(name)
+        chosen = governor.select(observe(load, current))
+        assert chosen in TABLE
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        name=governor_names,
+        sequence=st.lists(st.tuples(loads, frequencies), min_size=1, max_size=30),
+    )
+    def test_stateful_sequences_never_crash(self, name, sequence):
+        governor = create_governor(name)
+        current = TABLE.min_frequency_khz
+        for load, _ in sequence:
+            current = governor.select(observe(load, current))
+            assert TABLE.min_frequency_khz <= current <= TABLE.max_frequency_khz
+
+    @settings(max_examples=60, deadline=None)
+    @given(name=governor_names, load=loads, current=frequencies)
+    def test_reset_then_select_matches_fresh_instance(self, name, load, current):
+        """reset() returns a governor to constructor state."""
+        warmed = create_governor(name)
+        for _ in range(5):
+            warmed.select(observe(93.0, TABLE.max_frequency_khz))
+        warmed.reset()
+        fresh = create_governor(name)
+        assert warmed.select(observe(load, current)) == fresh.select(
+            observe(load, current)
+        )
+
+
+class TestOndemandSpecificProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(load=st.floats(min_value=80.0, max_value=100.0), current=frequencies)
+    def test_threshold_always_jumps_to_max(self, load, current):
+        governor = create_governor("ondemand")
+        assert governor.select(observe(load, current)) == TABLE.max_frequency_khz
+
+    @settings(max_examples=60, deadline=None)
+    @given(load=st.floats(min_value=0.0, max_value=79.9), current=frequencies)
+    def test_below_threshold_never_exceeds_current(self, load, current):
+        governor = create_governor("ondemand", sampling_down_factor=1)
+        assert governor.select(observe(load, current)) <= current

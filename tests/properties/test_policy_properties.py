@@ -1,0 +1,105 @@
+"""Property-based invariants of policies and the quota controller."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bandwidth import QuotaController
+from repro.core.frequency_law import reevaluate_frequency
+from repro.core.mobicore import MobiCorePolicy
+from repro.policies.android_default import AndroidDefaultPolicy
+from repro.policies.base import SystemObservation
+from repro.soc.calibration import nexus5_opp_table, nexus5_power_params
+
+TABLE = nexus5_opp_table()
+
+loads = st.tuples(*([st.floats(min_value=0.0, max_value=100.0)] * 4))
+deltas = st.floats(min_value=-100.0, max_value=100.0)
+frequencies = st.sampled_from(TABLE.frequencies_khz)
+
+
+def observation(per_core, freqs, delta=0.0, quota=1.0):
+    return SystemObservation(
+        tick=1,
+        dt_seconds=0.02,
+        per_core_load_percent=per_core,
+        global_util_percent=sum(per_core) / len(per_core),
+        delta_util_percent=delta,
+        frequencies_khz=(freqs,) * 4 if isinstance(freqs, int) else freqs,
+        online_mask=(True,) * 4,
+        quota=quota,
+        opp_table=TABLE,
+    )
+
+
+class TestQuotaInvariant:
+    @given(
+        utils=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60)
+    )
+    def test_quota_always_in_bounds(self, utils):
+        controller = QuotaController()
+        previous = utils[0]
+        for util in utils:
+            quota = controller.update(util, util - previous)
+            assert controller.min_quota - 1e-12 <= quota <= 1.0
+            previous = util
+
+    @given(util=st.floats(min_value=40.0, max_value=100.0), delta=deltas)
+    def test_high_load_always_full_quota(self, util, delta):
+        controller = QuotaController(load_threshold=40.0)
+        controller.update(20.0, -5.0)  # shrink first
+        assert controller.update(util, delta) == 1.0
+
+
+class TestEq9Invariants:
+    @given(
+        ondemand=frequencies,
+        k=st.floats(min_value=0.0, max_value=100.0),
+        n=st.integers(min_value=1, max_value=4),
+    )
+    def test_result_is_opp_and_never_above_ondemand_choice_ceiling(self, ondemand, k, n):
+        chosen = reevaluate_frequency(ondemand, k, n, 4, TABLE)
+        assert chosen in TABLE
+        # the active-mean fraction is capped at 1, so the result can be at
+        # most one quantisation step above the ondemand choice
+        assert chosen <= TABLE.ceil(ondemand).frequency_khz
+
+    @given(ondemand=frequencies, n=st.integers(min_value=1, max_value=4))
+    def test_monotone_in_utilization(self, ondemand, n):
+        previous = 0
+        for k in (0.0, 25.0, 50.0, 75.0, 100.0):
+            chosen = reevaluate_frequency(ondemand, k, n, 4, TABLE)
+            assert chosen >= previous
+            previous = chosen
+
+
+class TestPolicyDecisionInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(per_core=loads, freqs=frequencies, delta=deltas)
+    def test_mobicore_decisions_well_formed(self, per_core, freqs, delta):
+        policy = MobiCorePolicy(
+            power_params=nexus5_power_params(), opp_table=TABLE, num_cores=4
+        )
+        policy.reset()
+        decision = policy.decide(observation(per_core, freqs, delta))
+        assert decision.online_mask[0]  # boot core stays
+        assert 1 <= sum(decision.online_mask) <= 4
+        assert 0.0 < decision.quota <= 1.0
+        for core_id, online in enumerate(decision.online_mask):
+            if online:
+                target = decision.target_frequencies_khz[core_id]
+                assert target is not None
+                assert TABLE.min_frequency_khz <= target <= TABLE.max_frequency_khz
+
+    @settings(max_examples=50, deadline=None)
+    @given(per_core=loads, freqs=frequencies)
+    def test_android_default_decisions_well_formed(self, per_core, freqs):
+        policy = AndroidDefaultPolicy()
+        policy.reset()
+        decision = policy.decide(observation(per_core, freqs))
+        assert decision.quota == 1.0
+        if decision.online_mask is not None:
+            assert decision.online_mask[0]
+        for target in decision.target_frequencies_khz:
+            if target is not None:
+                assert TABLE.min_frequency_khz <= target <= TABLE.max_frequency_khz

@@ -1,0 +1,58 @@
+"""Property-based invariants of the power model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.calibration import nexus5_opp_table, nexus5_power_params
+from repro.soc.power_model import CpuPowerModel
+
+TABLE = nexus5_opp_table()
+MODEL = CpuPowerModel(nexus5_power_params(), TABLE)
+
+frequencies = st.sampled_from(TABLE.frequencies_khz)
+busy = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+cores = st.integers(min_value=1, max_value=4)
+
+
+class TestPowerInvariants:
+    @given(frequency=frequencies, fraction=busy, n=cores)
+    def test_power_is_positive(self, frequency, fraction, n):
+        assert MODEL.predict_total_mw(n, frequency, fraction) > 0.0
+
+    @given(frequency=frequencies, n=cores)
+    def test_monotone_in_busy_fraction(self, frequency, n):
+        low = MODEL.predict_total_mw(n, frequency, 0.2)
+        high = MODEL.predict_total_mw(n, frequency, 0.8)
+        assert high >= low
+
+    @given(fraction=busy, n=cores)
+    def test_monotone_in_frequency(self, fraction, n):
+        values = [
+            MODEL.predict_total_mw(n, opp.frequency_khz, fraction) for opp in TABLE
+        ]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(frequency=frequencies, fraction=busy)
+    def test_monotone_in_cores(self, frequency, fraction):
+        values = [MODEL.predict_total_mw(n, frequency, fraction) for n in range(1, 5)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    @given(frequency=frequencies, fraction=busy, n=cores)
+    def test_cpu_power_below_total(self, frequency, fraction, n):
+        total = MODEL.predict_total_mw(n, frequency, fraction)
+        cpu = MODEL.predict_cpu_mw(n, frequency, fraction)
+        assert 0.0 < cpu < total
+
+    @given(frequency=frequencies, fraction=busy, n=cores,
+           seconds=st.floats(min_value=0.0, max_value=600.0))
+    def test_energy_scales_linearly_with_time(self, frequency, fraction, n, seconds):
+        one = MODEL.energy_global_dvfs_mj(n, frequency, fraction, 1.0)
+        many = MODEL.energy_global_dvfs_mj(n, frequency, fraction, seconds)
+        assert many == pytest.approx(one * seconds, rel=1e-9, abs=1e-6)
+
+    @given(frequency=frequencies)
+    def test_static_power_within_anchor_band(self, frequency):
+        """Every OPP's leakage sits between the two measured anchors."""
+        value = MODEL.static_power_mw(TABLE.at(frequency))
+        assert 47.0 - 1e-6 <= value <= 120.0 + 1e-6

@@ -1,0 +1,71 @@
+"""Stateful property test: the quota controller under arbitrary inputs.
+
+A hypothesis rule-based machine feeds the Table 2 controller random
+utilization trajectories, boosts, and resets, checking the safety
+invariants after every step: the quota stays in [floor, 1], a high load
+or a burst always restores the full bandwidth, and shrinks only ever
+move by the scaling factor.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.bandwidth import QuotaController
+
+
+class QuotaMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.controller = QuotaController()
+        self.last_quota = self.controller.quota
+
+    def _update(self, utilization, delta):
+        before = self.controller.quota
+        after = self.controller.update(utilization, delta)
+        # a single update changes the quota by at most one scaling step
+        # downward, or restores it fully upward
+        if after < before:
+            assert after == pytest.approx(
+                max(before * self.controller.scaling_factor, self.controller.min_quota)
+            )
+        elif after > before:
+            assert after == 1.0
+        self.last_quota = after
+
+    @rule(
+        utilization=st.floats(min_value=0.0, max_value=39.9),
+        delta=st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def low_load_update(self, utilization, delta):
+        self._update(utilization, delta)
+        if delta > self.controller.up_threshold:
+            assert self.controller.quota == 1.0
+
+    @rule(
+        utilization=st.floats(min_value=40.0, max_value=100.0),
+        delta=st.floats(min_value=-50.0, max_value=50.0),
+    )
+    def high_load_update(self, utilization, delta):
+        self._update(utilization, delta)
+        assert self.controller.quota == 1.0
+
+    @rule()
+    def boost(self):
+        assert self.controller.boost() == 1.0
+
+    @rule()
+    def reset(self):
+        self.controller.reset()
+        assert self.controller.quota == 1.0
+
+    @invariant()
+    def quota_in_bounds(self):
+        assert self.controller.min_quota - 1e-12 <= self.controller.quota <= 1.0
+
+
+TestQuotaMachine = QuotaMachine.TestCase
+TestQuotaMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

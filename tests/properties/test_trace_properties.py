@@ -1,0 +1,75 @@
+"""Property-based round trips: demand traces and frame accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.frames import FramePipeline
+from repro.workloads.traces import DemandTrace, _TraceTask
+
+
+@st.composite
+def traces(draw):
+    task_count = draw(st.integers(min_value=1, max_value=5))
+    tasks = [
+        _TraceTask(task_id=i, name=f"task-{i}", parallel=draw(st.booleans()))
+        for i in range(task_count)
+    ]
+    tick_count = draw(st.integers(min_value=1, max_value=20))
+    ticks = []
+    for _ in range(tick_count):
+        row = {}
+        for task in tasks:
+            if draw(st.booleans()):
+                row[task.task_id] = round(
+                    draw(st.floats(min_value=0.0, max_value=1e8)), 1
+                )
+        ticks.append(row)
+    return DemandTrace(tasks, ticks, source_name="property")
+
+
+class TestTraceRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces())
+    def test_csv_round_trip_preserves_demands(self, trace):
+        parsed = DemandTrace.from_csv(trace.to_csv())
+        assert len(parsed) == len(trace)
+        for tick in range(len(trace)):
+            assert parsed.demand_at(tick) == pytest.approx(trace.demand_at(tick))
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=traces())
+    def test_csv_round_trip_preserves_tasks(self, trace):
+        parsed = DemandTrace.from_csv(trace.to_csv())
+        assert parsed.tasks == trace.tasks
+        assert parsed.source_name == trace.source_name
+
+
+class TestFrameConservation:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        executed=st.lists(
+            st.floats(min_value=0.0, max_value=5e7), min_size=1, max_size=60
+        ),
+        cost=st.floats(min_value=1e5, max_value=1e7),
+    )
+    def test_frames_never_exceed_cycles_over_cost(self, executed, cost):
+        """Completed frames equal executed cycles // cost, cumulatively."""
+        pipeline = FramePipeline(frame_cost_cycles=cost, target_fps=60.0)
+        for cycles in executed:
+            pipeline.record(cycles, 0.02)
+        total = sum(executed)
+        assert pipeline.completed_frames <= total / cost + 1e-9
+        assert pipeline.completed_frames >= total / cost - 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        executed=st.lists(
+            st.floats(min_value=0.0, max_value=5e7), min_size=1, max_size=60
+        )
+    )
+    def test_mean_fps_never_exceeds_target(self, executed):
+        pipeline = FramePipeline(frame_cost_cycles=1e5, target_fps=60.0)
+        for cycles in executed:
+            pipeline.record(cycles, 0.02)
+        assert pipeline.mean_fps <= 60.0

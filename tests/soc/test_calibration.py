@@ -1,0 +1,66 @@
+"""The Nexus 5 calibration anchors (DESIGN.md section 3)."""
+
+import pytest
+
+from repro.soc.calibration import (
+    NEXUS5_FREQUENCIES_KHZ,
+    NEXUS5_FULL_STRESS_MW,
+    nexus5_opp_table,
+    nexus5_power_params,
+)
+from repro.soc.power_model import CpuPowerModel
+
+
+@pytest.fixture
+def model():
+    return CpuPowerModel(nexus5_power_params(), nexus5_opp_table())
+
+
+class TestOppLadder:
+    def test_fourteen_frequencies(self):
+        assert len(NEXUS5_FREQUENCIES_KHZ) == 14
+
+    def test_table1_range(self):
+        table = nexus5_opp_table()
+        assert table.min_frequency_khz == 300_000
+        assert table.max_frequency_khz == 2_265_600
+
+    def test_voltage_bounds(self):
+        table = nexus5_opp_table()
+        assert table.min.voltage == pytest.approx(0.9)
+        assert table.max.voltage == pytest.approx(1.2)
+
+
+class TestAnchors:
+    def test_static_power_anchors_exact(self, model):
+        """Section 4.1.2: 47 mW at fmin, 120 mW at fmax, per core."""
+        table = nexus5_opp_table()
+        assert model.static_power_mw(table.min) == pytest.approx(47.0, abs=0.01)
+        assert model.static_power_mw(table.max) == pytest.approx(120.0, abs=0.01)
+
+    def test_full_stress_anchor(self, model):
+        """Figure 1: 2403.82 mW at full stress (with ~70 mW idle uncore)."""
+        table = nexus5_opp_table()
+        idle_uncore_mw = 70.0
+        full = model.predict_total_mw(
+            4, table.max_frequency_khz, 1.0, uncore_mw=idle_uncore_mw
+        )
+        assert full == pytest.approx(NEXUS5_FULL_STRESS_MW, rel=0.01)
+
+    def test_figure3_growth_band(self, model):
+        """Power growth 10% -> 100% load at fmax lands near the paper's +74%."""
+        table = nexus5_opp_table()
+        idle_uncore_mw = 70.0
+        low = model.predict_total_mw(1, table.max_frequency_khz, 0.1, idle_uncore_mw)
+        high = model.predict_total_mw(1, table.max_frequency_khz, 1.0, idle_uncore_mw)
+        growth = 100.0 * (high / low - 1.0)
+        assert 50.0 < growth < 90.0
+
+    def test_figure3_saving_band(self, model):
+        """fmax -> fmin at 100% load saves within the paper's 28-72% band."""
+        table = nexus5_opp_table()
+        idle_uncore_mw = 70.0
+        high = model.predict_total_mw(1, table.max_frequency_khz, 1.0, idle_uncore_mw)
+        low = model.predict_total_mw(1, table.min_frequency_khz, 1.0, idle_uncore_mw)
+        saving = 100.0 * (1.0 - low / high)
+        assert 28.2 <= saving <= 71.9

@@ -1,0 +1,56 @@
+"""CPU core state machine rules (paper section 2.1)."""
+
+import pytest
+
+from repro.errors import CoreStateError
+from repro.soc.core_state import (
+    CoreState,
+    can_transition,
+    require_transition,
+)
+
+
+class TestStateProperties:
+    def test_active_is_online(self):
+        assert CoreState.ACTIVE.is_online
+
+    def test_idle_is_online(self):
+        assert CoreState.IDLE.is_online
+
+    def test_offline_is_not_online(self):
+        assert not CoreState.OFFLINE.is_online
+
+    def test_static_power_while_online(self):
+        assert CoreState.ACTIVE.consumes_static_power
+        assert CoreState.IDLE.consumes_static_power
+        assert not CoreState.OFFLINE.consumes_static_power
+
+    def test_dynamic_power_only_when_active(self):
+        assert CoreState.ACTIVE.consumes_dynamic_power
+        assert not CoreState.IDLE.consumes_dynamic_power
+        assert not CoreState.OFFLINE.consumes_dynamic_power
+
+
+class TestTransitions:
+    def test_self_transition_free(self):
+        for state in CoreState:
+            assert can_transition(state, state)
+            assert require_transition(state, state) == 0.0
+
+    def test_idle_active_free(self):
+        assert require_transition(CoreState.IDLE, CoreState.ACTIVE) == 0.0
+        assert require_transition(CoreState.ACTIVE, CoreState.IDLE) == 0.0
+
+    def test_hotplug_costs_time(self):
+        assert require_transition(CoreState.OFFLINE, CoreState.IDLE) > 0.0
+        assert require_transition(CoreState.IDLE, CoreState.OFFLINE) > 0.0
+
+    def test_wake_slower_than_offline(self):
+        wake = require_transition(CoreState.OFFLINE, CoreState.ACTIVE)
+        sleep = require_transition(CoreState.ACTIVE, CoreState.OFFLINE)
+        assert wake > sleep
+
+    def test_all_pairs_legal(self):
+        for src in CoreState:
+            for dst in CoreState:
+                assert can_transition(src, dst)

@@ -1,0 +1,113 @@
+"""Single-core state, frequency, and accounting behaviour."""
+
+import pytest
+
+from repro.errors import CoreStateError, OppError
+from repro.soc.core_state import CoreState
+from repro.soc.cpu_core import CpuCore
+
+
+@pytest.fixture
+def core(opp_table):
+    return CpuCore(1, opp_table)
+
+
+class TestConstruction:
+    def test_boots_idle_at_fmin(self, core, opp_table):
+        assert core.state is CoreState.IDLE
+        assert core.frequency_khz == opp_table.min_frequency_khz
+
+    def test_negative_id_rejected(self, opp_table):
+        with pytest.raises(CoreStateError):
+            CpuCore(-1, opp_table)
+
+
+class TestStateMachine:
+    def test_offline_then_online(self, core):
+        core.set_state(CoreState.OFFLINE)
+        assert not core.is_online
+        core.set_state(CoreState.IDLE)
+        assert core.is_online
+
+    def test_boot_core_cannot_offline(self, opp_table):
+        boot = CpuCore(0, opp_table)
+        with pytest.raises(CoreStateError):
+            boot.set_state(CoreState.OFFLINE)
+
+    def test_transition_count_tracks_changes(self, core):
+        assert core.transition_count == 0
+        core.set_state(CoreState.ACTIVE)
+        core.set_state(CoreState.ACTIVE)  # self-transition: not counted
+        core.set_state(CoreState.OFFLINE)
+        assert core.transition_count == 2
+
+    def test_offline_clears_busy(self, core):
+        core.account(0.5)
+        core.set_state(CoreState.OFFLINE)
+        assert core.busy_fraction == 0.0
+
+
+class TestFrequency:
+    def test_set_exact_opp(self, core):
+        core.set_frequency(960_000)
+        assert core.frequency_khz == 960_000
+        assert core.voltage == core.opp_table.at(960_000).voltage
+
+    def test_set_non_opp_rejected(self, core):
+        with pytest.raises(OppError):
+            core.set_frequency(123_456)
+
+    def test_target_rounds_up_by_default(self, core):
+        applied = core.set_target_frequency(961_000)
+        assert applied == 1_036_800
+
+    def test_target_rounds_down_when_asked(self, core):
+        applied = core.set_target_frequency(961_000, round_up=False)
+        assert applied == 960_000
+
+    def test_offline_core_keeps_frequency_setting(self, core):
+        core.set_frequency(960_000)
+        core.set_state(CoreState.OFFLINE)
+        assert core.frequency_khz == 960_000
+
+
+class TestCapacityAndAccounting:
+    def test_capacity_scales_with_frequency(self, core):
+        core.set_frequency(300_000)
+        low = core.capacity_cycles(0.02)
+        core.set_frequency(2_265_600)
+        high = core.capacity_cycles(0.02)
+        assert high / low == pytest.approx(2_265_600 / 300_000)
+
+    def test_capacity_scales_with_quota(self, core):
+        full = core.capacity_cycles(0.02, quota=1.0)
+        half = core.capacity_cycles(0.02, quota=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_capacity_exact_value(self, core):
+        core.set_frequency(300_000)
+        assert core.capacity_cycles(0.02) == pytest.approx(300_000 * 1000 * 0.02)
+
+    def test_offline_capacity_zero(self, core):
+        core.set_state(CoreState.OFFLINE)
+        assert core.capacity_cycles(0.02) == 0.0
+
+    def test_busy_account_sets_active(self, core):
+        core.account(0.7)
+        assert core.state is CoreState.ACTIVE
+        assert core.busy_fraction == pytest.approx(0.7)
+
+    def test_zero_account_sets_idle(self, core):
+        core.account(0.5)
+        core.account(0.0)
+        assert core.state is CoreState.IDLE
+
+    def test_offline_account_busy_rejected(self, core):
+        core.set_state(CoreState.OFFLINE)
+        with pytest.raises(CoreStateError):
+            core.account(0.1)
+
+    def test_offline_account_zero_allowed(self, core):
+        core.set_state(CoreState.OFFLINE)
+        core.account(0.0)
+        assert core.busy_fraction == 0.0

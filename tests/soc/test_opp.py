@@ -1,0 +1,137 @@
+"""OPP table invariants and lookups."""
+
+import pytest
+
+from repro.errors import OppError, UnitsError
+from repro.soc.opp import Opp, OppTable
+
+
+def small_table():
+    return OppTable(
+        [
+            Opp(300_000, 0.90),
+            Opp(960_000, 1.00),
+            Opp(1_574_400, 1.10),
+            Opp(2_265_600, 1.20),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(OppError):
+            OppTable([])
+
+    def test_duplicate_frequency_rejected(self):
+        with pytest.raises(OppError):
+            OppTable([Opp(300_000, 0.9), Opp(300_000, 1.0)])
+
+    def test_decreasing_voltage_rejected(self):
+        with pytest.raises(OppError):
+            OppTable([Opp(300_000, 1.0), Opp(960_000, 0.9)])
+
+    def test_sorts_by_frequency(self):
+        table = OppTable([Opp(960_000, 1.0), Opp(300_000, 0.9)])
+        assert table.frequencies_khz == (300_000, 960_000)
+
+    def test_negative_voltage_rejected(self):
+        with pytest.raises(UnitsError):
+            Opp(300_000, -0.1)
+
+    def test_linear_interpolates_voltage(self):
+        table = OppTable.linear([300_000, 1_282_800, 2_265_600], 0.9, 1.2)
+        assert table.min.voltage == pytest.approx(0.9)
+        assert table.max.voltage == pytest.approx(1.2)
+        assert table.at(1_282_800).voltage == pytest.approx(1.05)
+
+    def test_linear_single_point(self):
+        table = OppTable.linear([300_000], 0.9, 1.2)
+        assert table.min.voltage == pytest.approx(0.9)
+
+    def test_linear_inverted_voltages_rejected(self):
+        with pytest.raises(OppError):
+            OppTable.linear([300_000, 600_000], 1.2, 0.9)
+
+
+class TestLookups:
+    def test_contains(self):
+        table = small_table()
+        assert 960_000 in table
+        assert 961_000 not in table
+
+    def test_at_exact(self):
+        assert small_table().at(960_000).voltage == pytest.approx(1.0)
+
+    def test_at_missing_raises(self):
+        with pytest.raises(OppError):
+            small_table().at(1)
+
+    def test_index_of(self):
+        assert small_table().index_of(300_000) == 0
+        assert small_table().index_of(2_265_600) == 3
+
+    def test_by_index_bounds(self):
+        table = small_table()
+        assert table.by_index(0).frequency_khz == 300_000
+        assert table.by_index(-1).frequency_khz == 2_265_600
+        with pytest.raises(OppError):
+            table.by_index(4)
+
+    def test_floor_picks_highest_not_above(self):
+        assert small_table().floor(1_000_000).frequency_khz == 960_000
+
+    def test_floor_below_min_clamps(self):
+        assert small_table().floor(100).frequency_khz == 300_000
+
+    def test_ceil_picks_lowest_not_below(self):
+        assert small_table().ceil(961_000).frequency_khz == 1_574_400
+
+    def test_ceil_above_max_clamps(self):
+        assert small_table().ceil(9e9).frequency_khz == 2_265_600
+
+    def test_ceil_exact_match(self):
+        assert small_table().ceil(960_000).frequency_khz == 960_000
+
+    def test_step_up_and_down(self):
+        table = small_table()
+        assert table.step_up(300_000).frequency_khz == 960_000
+        assert table.step_up(2_265_600).frequency_khz == 2_265_600
+        assert table.step_down(960_000).frequency_khz == 300_000
+        assert table.step_down(300_000).frequency_khz == 300_000
+
+    def test_step_multiple(self):
+        assert small_table().step_up(300_000, steps=2).frequency_khz == 1_574_400
+
+    def test_span_fraction_endpoints(self):
+        table = small_table()
+        assert table.span_fraction(300_000) == pytest.approx(0.0)
+        assert table.span_fraction(2_265_600) == pytest.approx(1.0)
+
+
+class TestNexus5Table:
+    def test_has_14_points(self, opp_table):
+        assert len(opp_table) == 14
+
+    def test_range_matches_table1(self, opp_table):
+        assert opp_table.min_frequency_khz == 300_000
+        assert opp_table.max_frequency_khz == 2_265_600
+        assert opp_table.min.voltage == pytest.approx(0.9)
+        assert opp_table.max.voltage == pytest.approx(1.2)
+
+    def test_representative_five(self, opp_table):
+        five = opp_table.representative_five()
+        assert len(five) == 5
+        assert five[0].frequency_khz == 300_000
+        assert five[-1].frequency_khz == 2_265_600
+        # two low, one middle, two high
+        assert five[1].frequency_khz == 422_400
+        assert five[3].frequency_khz == 1_958_400
+
+    def test_representative_five_small_table(self):
+        table = OppTable.linear([1, 2, 3], 0.9, 1.0)
+        assert len(table.representative_five()) == 3
+
+    def test_equality_and_hash(self, opp_table, spec):
+        assert opp_table == spec.opp_table
+        assert hash(opp_table) == hash(spec.opp_table)
+        assert opp_table != small_table()

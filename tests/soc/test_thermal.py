@@ -1,0 +1,103 @@
+"""The RC thermal node and throttling (Figure 2, Figure 4 regime)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.soc.opp import OppTable
+from repro.soc.thermal import ThermalModel, ThermalParams
+
+
+@pytest.fixture
+def table():
+    return OppTable.linear([300_000, 960_000, 1_574_400, 2_265_600], 0.9, 1.2)
+
+
+@pytest.fixture
+def node(table):
+    params = ThermalParams(
+        ambient_c=24.0, resistance_c_per_w=9.0, time_constant_s=10.0
+    )
+    return ThermalModel(params, table)
+
+
+class TestRcNode:
+    def test_starts_at_ambient(self, node):
+        assert node.temperature_c == pytest.approx(24.0)
+
+    def test_steady_state_formula(self, node):
+        assert node.steady_state_c(2000.0) == pytest.approx(24.0 + 9.0 * 2.0)
+
+    def test_converges_to_steady_state(self, node):
+        for _ in range(5000):
+            node.step(2000.0, 0.02)
+        assert node.temperature_c == pytest.approx(42.0, abs=0.2)
+
+    def test_first_order_lag(self, node):
+        """After one time constant, ~63% of the step is reached."""
+        for _ in range(500):  # 10 s at 20 ms
+            node.step(2000.0, 0.02)
+        progress = (node.temperature_c - 24.0) / 18.0
+        assert progress == pytest.approx(0.63, abs=0.05)
+
+    def test_cooling(self, node):
+        for _ in range(5000):
+            node.step(2000.0, 0.02)
+        for _ in range(5000):
+            node.step(0.0, 0.02)
+        assert node.temperature_c == pytest.approx(24.0, abs=0.2)
+
+    def test_reset(self, node):
+        node.step(5000.0, 1.0)
+        node.reset()
+        assert node.temperature_c == pytest.approx(24.0)
+        assert node.throttle_steps == 0
+
+    def test_large_dt_does_not_overshoot(self, node):
+        node.step(2000.0, 100.0)  # dt >> tau
+        assert node.temperature_c <= 42.0 + 1e-9
+
+
+class TestThrottling:
+    def make(self, table, throttle=40.0, release=38.0):
+        params = ThermalParams(
+            ambient_c=24.0,
+            resistance_c_per_w=9.0,
+            time_constant_s=1.0,
+            throttle_temp_c=throttle,
+            release_temp_c=release,
+        )
+        return ThermalModel(params, table)
+
+    def test_no_throttle_below_threshold(self, table):
+        node = self.make(table)
+        for _ in range(100):
+            node.step(1000.0, 0.1)  # steady 33 degC
+        assert node.throttle_steps == 0
+        assert node.max_allowed_frequency_khz == table.max_frequency_khz
+
+    def test_throttle_engages(self, table):
+        node = self.make(table)
+        for _ in range(100):
+            node.step(3000.0, 0.1)  # steady 51 degC
+        assert node.throttle_steps > 0
+        assert node.max_allowed_frequency_khz < table.max_frequency_khz
+
+    def test_throttle_bounded_by_table(self, table):
+        node = self.make(table)
+        for _ in range(1000):
+            node.step(10000.0, 0.1)
+        assert node.throttle_steps <= len(table) - 1
+        assert node.max_allowed_frequency_khz == table.min_frequency_khz
+
+    def test_throttle_releases_on_cooldown(self, table):
+        node = self.make(table)
+        for _ in range(100):
+            node.step(3000.0, 0.1)
+        engaged = node.throttle_steps
+        for _ in range(1000):
+            node.step(0.0, 0.1)
+        assert node.throttle_steps < engaged
+
+    def test_release_must_be_below_throttle(self, table):
+        with pytest.raises(ConfigError):
+            ThermalParams(throttle_temp_c=40.0, release_temp_c=41.0)

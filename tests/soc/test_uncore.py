@@ -1,0 +1,111 @@
+"""GPU, memory bus, and power-rail models (section 3.2 constraints)."""
+
+import pytest
+
+from repro.errors import ConfigError, PlatformError
+from repro.soc.battery import PowerRail, RailTopology, build_rails
+from repro.soc.gpu import GpuModel, GpuSpec
+from repro.soc.memory import MemoryBusModel, MemorySpec
+
+
+@pytest.fixture
+def gpu():
+    return GpuModel(GpuSpec("Adreno 330", 450_000, 40.0, 650.0))
+
+
+@pytest.fixture
+def memory():
+    return MemoryBusModel(MemorySpec(200_000, 800_000, 30.0, 220.0, 4.5e9))
+
+
+class TestGpu:
+    def test_idle_by_default(self, gpu):
+        assert gpu.power_mw() == pytest.approx(40.0)
+
+    def test_pinned_max_is_stable(self, gpu):
+        gpu.pin_max()
+        assert gpu.power_mw() == pytest.approx(650.0)
+        gpu.set_utilization(0.1)  # pinned power ignores utilization
+        assert gpu.power_mw() == pytest.approx(650.0)
+
+    def test_utilization_scales_unpinned(self, gpu):
+        gpu.set_utilization(0.5)
+        assert gpu.power_mw() == pytest.approx(40.0 + 0.5 * 610.0)
+
+    def test_unpin_returns_to_utilization(self, gpu):
+        gpu.pin_max()
+        gpu.unpin()
+        assert gpu.power_mw() == pytest.approx(40.0)
+
+    def test_utilization_clamped(self, gpu):
+        gpu.set_utilization(2.0)
+        assert gpu.power_mw() == pytest.approx(650.0)
+
+    def test_inverted_power_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuSpec("bad", 450_000, 650.0, 40.0)
+
+
+class TestMemory:
+    def test_low_by_default(self, memory):
+        assert not memory.is_high
+        assert memory.power_mw() == pytest.approx(30.0)
+
+    def test_pin_high(self, memory):
+        memory.pin_high()
+        assert memory.power_mw() == pytest.approx(220.0)
+
+    def test_no_stall_within_bandwidth(self, memory):
+        memory.pin_high()
+        assert memory.stall_fraction(4.0e9) == 0.0
+
+    def test_stall_grows_beyond_bandwidth(self, memory):
+        memory.pin_high()
+        stall = memory.stall_fraction(9.0e9)
+        assert stall == pytest.approx(1.0 - 4.5 / 9.0)
+
+    def test_low_point_has_less_bandwidth(self, memory):
+        memory.pin_high()
+        high_stall = memory.stall_fraction(2.0e9)
+        memory.set_low()
+        low_stall = memory.stall_fraction(2.0e9)
+        assert low_stall > high_stall
+
+    def test_inverted_frequencies_rejected(self):
+        with pytest.raises(ConfigError):
+            MemorySpec(800_000, 200_000, 30.0, 220.0, 1e9)
+
+
+class TestRails:
+    def test_per_core_topology(self):
+        rails = build_rails(RailTopology.PER_CORE, 4)
+        assert len(rails) == 4
+        assert all(len(rail.core_ids) == 1 for rail in rails)
+        assert RailTopology.PER_CORE.allows_per_core_dvfs
+
+    def test_shared_topology(self):
+        rails = build_rails(RailTopology.SHARED, 4)
+        assert len(rails) == 1
+        assert tuple(rails[0].core_ids) == (0, 1, 2, 3)
+        assert not RailTopology.SHARED.allows_per_core_dvfs
+
+    def test_shared_rail_pays_max_voltage(self):
+        rail = PowerRail("vdd", (0, 1, 2, 3))
+        assert rail.required_voltage([0.9, 1.2, 1.0, 0.9]) == pytest.approx(1.2)
+
+    def test_rail_needs_cores(self):
+        with pytest.raises(PlatformError):
+            PowerRail("vdd", ())
+
+    def test_rail_duplicate_cores_rejected(self):
+        with pytest.raises(PlatformError):
+            PowerRail("vdd", (0, 0))
+
+    def test_rail_out_of_range_core(self):
+        rail = PowerRail("vdd", (0, 5))
+        with pytest.raises(PlatformError):
+            rail.required_voltage([0.9])
+
+    def test_build_rails_needs_cores(self):
+        with pytest.raises(PlatformError):
+            build_rails(RailTopology.SHARED, 0)

@@ -1,0 +1,78 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ("table1", "fig3", "fig9a", "fig13"):
+            assert experiment_id in out
+
+
+class TestRun:
+    def test_runs_cheap_experiment(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth reduction" in out
+        assert "quota" in out
+
+    def test_unknown_id_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestSpecs:
+    def test_single_phone(self, capsys):
+        assert main(["specs", "Nexus 5"]) == 0
+        out = capsys.readouterr().out
+        assert "Snapdragon 800" in out
+
+    def test_all_phones(self, capsys):
+        assert main(["specs"]) == 0
+        out = capsys.readouterr().out
+        assert "Nexus S" in out and "LG G3" in out
+
+    def test_unknown_phone(self, capsys):
+        assert main(["specs", "iPhone"]) == 2
+        assert "unknown phone" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_busyloop_comparison(self, capsys):
+        code = main(
+            ["compare", "--workload", "busyloop:30", "--duration", "5", "--warmup", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "power saving" in out
+        assert "mobicore" in out
+
+    def test_game_comparison_reports_fps(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--workload",
+                "game:Badland",
+                "--duration",
+                "5",
+                "--warmup",
+                "1",
+                "--pin-uncore",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FPS" in out
+        assert "fps ratio" in out
+
+    def test_unknown_workload_kind(self, capsys):
+        assert main(["compare", "--workload", "doom:3"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_game_without_title(self, capsys):
+        assert main(["compare", "--workload", "game:"]) == 2
+        assert "needs a title" in capsys.readouterr().err

@@ -1,0 +1,68 @@
+"""SimulationConfig validation and derived quantities."""
+
+import pytest
+
+from repro.config import SimulationConfig, short_session
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = SimulationConfig()
+        assert config.tick_seconds == pytest.approx(0.020)
+        assert config.duration_seconds == pytest.approx(120.0)
+
+    def test_zero_tick_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(tick_seconds=0.0)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(duration_seconds=0.0)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(warmup_seconds=-1.0)
+
+    def test_warmup_longer_than_session_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(duration_seconds=10.0, warmup_seconds=10.0)
+
+    def test_tick_longer_than_session_rejected(self):
+        with pytest.raises(ConfigError):
+            SimulationConfig(tick_seconds=2.0, duration_seconds=1.0)
+
+
+class TestDerived:
+    def test_total_ticks(self):
+        config = SimulationConfig(tick_seconds=0.02, duration_seconds=1.0)
+        assert config.total_ticks == 50
+
+    def test_warmup_ticks(self):
+        config = SimulationConfig(
+            tick_seconds=0.02, duration_seconds=1.0, warmup_seconds=0.2
+        )
+        assert config.warmup_ticks == 10
+
+    def test_with_seed_copies(self):
+        config = SimulationConfig(seed=1)
+        other = config.with_seed(2)
+        assert other.seed == 2
+        assert config.seed == 1
+        assert other.duration_seconds == config.duration_seconds
+
+    def test_with_duration_copies(self):
+        other = SimulationConfig().with_duration(30.0)
+        assert other.duration_seconds == pytest.approx(30.0)
+
+    def test_with_label(self):
+        assert SimulationConfig().with_label("x").label == "x"
+
+    def test_short_session_helper(self):
+        config = short_session(seconds=3.0, seed=9)
+        assert config.duration_seconds == pytest.approx(3.0)
+        assert config.seed == 9
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimulationConfig().seed = 5

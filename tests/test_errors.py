@@ -1,0 +1,46 @@
+"""The exception hierarchy: every subsystem error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigError,
+    errors.UnitsError,
+    errors.PlatformError,
+    errors.OppError,
+    errors.CoreStateError,
+    errors.SchedulerError,
+    errors.GovernorError,
+    errors.HotplugError,
+    errors.BandwidthError,
+    errors.WorkloadError,
+    errors.TraceError,
+    errors.MeterError,
+    errors.ExperimentError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_subclasses_repro_error(self, error_cls):
+        assert issubclass(error_cls, errors.ReproError)
+        assert issubclass(error_cls, Exception)
+
+    def test_all_exported(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name)
+
+    def test_base_catch_at_api_boundary(self):
+        """One except clause catches any library error."""
+        from repro.soc.opp import OppTable
+
+        with pytest.raises(errors.ReproError):
+            OppTable([])
+
+    def test_errors_carry_messages(self):
+        try:
+            raise errors.GovernorError("governor misconfigured")
+        except errors.ReproError as caught:
+            assert "governor misconfigured" in str(caught)

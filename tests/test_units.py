@@ -1,0 +1,81 @@
+"""Unit-convention helpers."""
+
+import pytest
+
+from repro.errors import UnitsError
+from repro import units
+
+
+class TestFrequencyConstructors:
+    def test_khz_rounds_to_int(self):
+        assert units.khz(300_000.4) == 300_000
+
+    def test_mhz_scales(self):
+        assert units.mhz(300) == 300_000
+
+    def test_ghz_scales(self):
+        assert units.ghz(2.2656) == 2_265_600
+
+    def test_zero_rejected(self):
+        with pytest.raises(UnitsError):
+            units.khz(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(UnitsError):
+            units.mhz(-1)
+
+    def test_khz_to_mhz_roundtrip(self):
+        assert units.khz_to_mhz(units.mhz(422.4)) == pytest.approx(422.4)
+
+    def test_khz_to_ghz_roundtrip(self):
+        assert units.khz_to_ghz(units.ghz(1.5)) == pytest.approx(1.5)
+
+
+class TestClamp:
+    def test_inside_unchanged(self):
+        assert units.clamp(5.0, 0.0, 10.0) == 5.0
+
+    def test_below_clamps(self):
+        assert units.clamp(-1.0, 0.0, 10.0) == 0.0
+
+    def test_above_clamps(self):
+        assert units.clamp(11.0, 0.0, 10.0) == 10.0
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(UnitsError):
+            units.clamp(1.0, 2.0, 1.0)
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert units.require_positive(1.0, "x") == 1.0
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(UnitsError):
+            units.require_positive(0.0, "x")
+
+    def test_require_non_negative_accepts_zero(self):
+        assert units.require_non_negative(0.0, "x") == 0.0
+
+    def test_require_non_negative_rejects(self):
+        with pytest.raises(UnitsError):
+            units.require_non_negative(-0.1, "x")
+
+    def test_require_fraction_bounds(self):
+        assert units.require_fraction(0.0, "x") == 0.0
+        assert units.require_fraction(1.0, "x") == 1.0
+        with pytest.raises(UnitsError):
+            units.require_fraction(1.01, "x")
+
+    def test_require_percent_bounds(self):
+        assert units.require_percent(100.0, "x") == 100.0
+        with pytest.raises(UnitsError):
+            units.require_percent(-0.1, "x")
+
+    def test_percent_fraction_roundtrip(self):
+        assert units.percent_to_fraction(40.0) == pytest.approx(0.4)
+        assert units.fraction_to_percent(0.4) == pytest.approx(40.0)
+
+    def test_validator_message_names_quantity(self):
+        with pytest.raises(UnitsError, match="voltage"):
+            units.require_positive(-1.0, "voltage")

@@ -1,0 +1,122 @@
+"""The frame pipeline and the GeekBench-like benchmark."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import WorkloadContext
+from repro.workloads.frames import FramePipeline
+from repro.workloads.geekbench import (
+    DEFAULT_PHASES,
+    GeekbenchPhase,
+    GeekbenchWorkload,
+)
+
+DT = 0.02
+
+
+@pytest.fixture
+def context(opp_table):
+    return WorkloadContext(num_cores=4, opp_table=opp_table, dt_seconds=DT, seed=1)
+
+
+class TestFramePipeline:
+    def test_demand_at_target_fps(self):
+        pipeline = FramePipeline(frame_cost_cycles=1e8, target_fps=60.0)
+        assert pipeline.demand_cycles(DT) == pytest.approx(1e8 * 60 * DT)
+
+    def test_full_execution_hits_target(self):
+        pipeline = FramePipeline(frame_cost_cycles=1e6, target_fps=60.0)
+        for _ in range(50):
+            pipeline.record(1e6 * 60 * DT, DT)
+        assert pipeline.mean_fps == pytest.approx(60.0, abs=1.0)
+
+    def test_half_execution_halves_fps(self):
+        pipeline = FramePipeline(frame_cost_cycles=1e6, target_fps=60.0)
+        for _ in range(100):
+            pipeline.record(1e6 * 30 * DT, DT)
+        assert pipeline.mean_fps == pytest.approx(30.0, abs=1.0)
+
+    def test_partial_frames_carry(self):
+        pipeline = FramePipeline(frame_cost_cycles=100.0, target_fps=60.0)
+        pipeline.record(50.0, DT)
+        assert pipeline.completed_frames == 0
+        pipeline.record(50.0, DT)
+        assert pipeline.completed_frames == 1
+
+    def test_fps_capped_at_target(self):
+        pipeline = FramePipeline(frame_cost_cycles=1.0, target_fps=60.0)
+        fps = pipeline.record(1e9, DT)
+        assert fps == 60.0
+
+    def test_reset(self):
+        pipeline = FramePipeline(frame_cost_cycles=100.0)
+        pipeline.record(1000.0, DT)
+        pipeline.reset()
+        assert pipeline.completed_frames == 0
+        assert pipeline.last_tick_fps == 0.0
+
+    def test_negative_execution_rejected(self):
+        with pytest.raises(WorkloadError):
+            FramePipeline(100.0).record(-1.0, DT)
+
+
+class TestGeekbench:
+    def test_default_rotation_interleaves(self):
+        modes = [phase.multicore for phase in DEFAULT_PHASES]
+        assert True in modes and False in modes
+        # no two consecutive phases share a mode (interleaved)
+        assert all(a != b for a, b in zip(modes, modes[1:]))
+
+    def test_phase_lookup_repeats(self, context):
+        workload = GeekbenchWorkload()
+        workload.prepare(context)
+        rotation_ticks = int(sum(p.duration_seconds for p in DEFAULT_PHASES) / DT)
+        assert workload.phase_at(0).name == workload.phase_at(rotation_ticks).name
+
+    def test_single_core_phase_demands_one_thread(self, context):
+        workload = GeekbenchWorkload()
+        workload.prepare(context)
+        single_tick = 0  # sc-crypto first
+        demands = workload.demand(single_tick)
+        assert len(demands) == 1
+
+    def test_multicore_phase_demands_all_threads(self, context):
+        workload = GeekbenchWorkload()
+        workload.prepare(context)
+        mc_tick = int(1.2 / DT)  # inside mc-crypto
+        assert workload.phase_at(mc_tick).multicore
+        assert len(workload.demand(mc_tick)) == 4
+
+    def test_score_scales_with_execution(self, context):
+        fast = GeekbenchWorkload()
+        fast.prepare(context)
+        slow = GeekbenchWorkload()
+        slow.prepare(context)
+        for tick in range(100):
+            fast.record_execution(tick, {0: 4e7})
+            slow.record_execution(tick, {0: 1e7})
+        assert fast.score() > slow.score()
+
+    def test_memory_roofline_discounts_high_rates(self, context):
+        """Twice the raw rate yields less than twice the effective score
+        in a memory-intense phase."""
+        phases = (GeekbenchPhase("mem", True, 1.0, 0.8),)
+        low = GeekbenchWorkload(phases=phases, memory_bandwidth_cps=4.5e9)
+        low.prepare(context)
+        high = GeekbenchWorkload(phases=phases, memory_bandwidth_cps=4.5e9)
+        high.prepare(context)
+        low.record_execution(0, {0: 4.5e9 * DT})
+        high.record_execution(0, {0: 9.0e9 * DT})
+        assert high.score() < 2 * low.score()
+
+    def test_empty_phases_rejected(self):
+        with pytest.raises(WorkloadError):
+            GeekbenchWorkload(phases=())
+
+    def test_metrics_keys(self, context):
+        workload = GeekbenchWorkload()
+        workload.prepare(context)
+        workload.record_execution(0, {0: 1e7})
+        metrics = workload.metrics()
+        assert set(metrics) == {"score", "effective_cycles", "raw_cycles"}
+        assert metrics["effective_cycles"] <= metrics["raw_cycles"]

@@ -1,0 +1,77 @@
+"""Statistical intent of the game profiles (what Figures 10-13 rely on)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import WorkloadContext
+from repro.workloads.games import GAME_PROFILES, game_workload
+
+DT = 0.02
+TICKS = 3000  # one minute of demand
+
+
+@pytest.fixture(scope="module")
+def demand_stats(opp_table=None):
+    from repro.soc.calibration import nexus5_opp_table
+
+    table = nexus5_opp_table()
+    stats = {}
+    for name in GAME_PROFILES:
+        totals = []
+        for seed in (1, 2):
+            workload = game_workload(name)
+            workload.prepare(WorkloadContext(4, table, DT, seed))
+            core_max = workload.context.core_max_cycles_per_tick
+            per_tick = []
+            for tick in range(TICKS):
+                demanded = sum(d.cycles for d in workload.demand(tick))
+                per_tick.append(demanded / (4 * core_max) * 100.0)
+            totals.append(np.array(per_tick))
+        series = np.concatenate(totals)
+        stats[name] = {
+            "mean": float(series.mean()),
+            "std": float(series.std()),
+            "cv": float(series.std() / series.mean()),
+        }
+    return stats
+
+
+class TestDemandLevels:
+    def test_all_games_demand_more_than_platform_half(self, demand_stats):
+        """Every game's raw demand (render at 60 fps) is substantial."""
+        for name, stat in demand_stats.items():
+            assert stat["mean"] > 50.0, name
+
+    def test_racing_games_are_the_heavy_ones(self, demand_stats):
+        """The two racing titles carry the heaviest sustained demand."""
+        by_mean = sorted(
+            demand_stats, key=lambda n: demand_stats[n]["mean"], reverse=True
+        )
+        assert set(by_mean[:2]) == {"Real Racing 3", "Asphalt 8"}
+
+    def test_demand_ordering_matches_power_ordering(self, demand_stats):
+        """Asphalt 8 and Real Racing 3 are the heavy games."""
+        heavy = {"Real Racing 3", "Asphalt 8"}
+        light = {"Badland", "Angry Birds"}
+        heaviest_two = sorted(
+            demand_stats, key=lambda n: demand_stats[n]["mean"], reverse=True
+        )[:2]
+        assert set(heaviest_two) <= heavy | {"Subway Surf"}
+        lightest = min(demand_stats, key=lambda n: demand_stats[n]["mean"])
+        assert lightest in light | {"Subway Surf"}
+
+
+class TestDynamicity:
+    def test_real_racing_is_the_steadiest(self, demand_stats):
+        """Section 6: RR3's fixed demand leaves MobiCore no room."""
+        cvs = {name: stat["cv"] for name, stat in demand_stats.items()}
+        assert min(cvs, key=cvs.get) == "Real Racing 3"
+
+    def test_subway_surf_is_the_most_dynamic(self, demand_stats):
+        """Section 6: SS's bursts are where the default wastes the most."""
+        cvs = {name: stat["cv"] for name, stat in demand_stats.items()}
+        assert max(cvs, key=cvs.get) == "Subway Surf"
+
+    def test_all_games_have_bounded_variation(self, demand_stats):
+        for name, stat in demand_stats.items():
+            assert stat["cv"] < 1.0, name
