@@ -1,0 +1,42 @@
+"""Runner scaling: the Figure 10 game matrix, serial vs ``jobs=N``.
+
+Times the same ten-session batch (five games x two policies) executed
+serially and over worker processes, and checks the parallel run is
+bit-identical to the serial one.  The speedup is bounded by the host's
+core count — on a single-core runner the two times match; the point of
+record is the ratio, not an absolute.
+"""
+
+import os
+import time
+
+from repro.config import SimulationConfig
+from repro.experiments.game_eval import run_games
+from repro.runner import SessionRunner
+
+JOBS = max(2, min(4, os.cpu_count() or 1))
+
+
+def _timed(jobs, config):
+    runner = SessionRunner(jobs=jobs)  # fresh memo, no disk cache: cold run
+    start = time.perf_counter()
+    rows = run_games(config, seeds=(1,), runner=runner)
+    return time.perf_counter() - start, rows, runner.last_stats
+
+
+def test_runner_scaling(bench_once):
+    config = SimulationConfig(duration_seconds=15.0, seed=0, warmup_seconds=2.0)
+
+    def scale():
+        serial_s, serial_rows, stats = _timed(1, config)
+        parallel_s, parallel_rows, _ = _timed(JOBS, config)
+        return serial_s, parallel_s, serial_rows, parallel_rows, stats
+
+    serial_s, parallel_s, serial_rows, parallel_rows, stats = bench_once(scale)
+    print(
+        f"\n{stats.sessions_executed} sessions, {stats.ticks_simulated} ticks: "
+        f"serial {serial_s:.2f} s, jobs={JOBS} {parallel_s:.2f} s "
+        f"(speedup x{serial_s / parallel_s:.2f} on {os.cpu_count()} cpus)"
+    )
+    assert stats.sessions_executed == 10
+    assert parallel_rows == serial_rows  # placement never changes results

@@ -6,20 +6,27 @@ the same seed (so stochastic workloads emit the same demand sequence),
 optionally over several seeds, and reports the paper's deltas: power
 saving, FPS ratio, frequency reduction, core-count difference, load
 difference.
+
+All sessions execute through a
+:class:`~repro.runner.runner.SessionRunner`, so a comparison built from
+portable pieces (a catalog platform name plus
+:class:`~repro.runner.spec.FactoryRef` factories) parallelises over the
+runner's worker pool and hits its on-disk cache; plain callables still
+work and simply run serially in-process.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
-from ..metrics.summary import SessionSummary, summarize
-from ..policies.base import CpuPolicy
+from ..metrics.summary import SessionSummary
+from ..runner.runner import SessionRunner, default_runner
+from ..runner.spec import FactoryLike, FactoryRef, PlatformLike, SessionSpec
+from ..soc.catalog import get_phone_spec
 from ..soc.platform import PlatformSpec
-from ..workloads.base import Workload
-from .sweep import run_session
 
 __all__ = ["ComparisonRow", "PolicyComparison"]
 
@@ -66,59 +73,122 @@ class PolicyComparison:
     """Runs baseline and candidate policies on identical workloads.
 
     Args:
-        spec: Platform to simulate.
+        spec: Platform to simulate — a live :class:`PlatformSpec`, a
+            catalog phone name, or a :class:`FactoryRef`.  Named forms
+            keep the comparison portable (parallelisable, cacheable).
         baseline_factory / candidate_factory: Build a *fresh* policy per
-            session (policies are stateful).
+            session (policies are stateful); refs or plain callables.
         config: Session configuration; the seed is varied per trial.
         pin_uncore_max: Experiment constraint (games pin the GPU high).
+        runner: Execution service; defaults to the process-wide default
+            runner at call time.
     """
 
     def __init__(
         self,
-        spec: PlatformSpec,
-        baseline_factory: Callable[[], CpuPolicy],
-        candidate_factory: Callable[[], CpuPolicy],
+        spec: PlatformLike,
+        baseline_factory: FactoryLike,
+        candidate_factory: FactoryLike,
         config: Optional[SimulationConfig] = None,
         pin_uncore_max: bool = True,
+        runner: Optional[SessionRunner] = None,
     ) -> None:
-        self.spec = spec
+        self.platform = spec
         self.baseline_factory = baseline_factory
         self.candidate_factory = candidate_factory
         self.config = config if config is not None else SimulationConfig()
         self.pin_uncore_max = pin_uncore_max
+        self.runner = runner
+
+    @property
+    def spec(self) -> PlatformSpec:
+        """The resolved platform datasheet (kept for existing callers)."""
+        if isinstance(self.platform, PlatformSpec):
+            return self.platform
+        if isinstance(self.platform, FactoryRef):
+            return self.platform.resolve()
+        return get_phone_spec(self.platform)
+
+    def _runner(self) -> SessionRunner:
+        return self.runner if self.runner is not None else default_runner()
+
+    def _pair(
+        self, workload_factory: FactoryLike, config: SimulationConfig
+    ) -> List[SessionSpec]:
+        """The (baseline, candidate) spec pair for one workload and seed."""
+        return [
+            SessionSpec(
+                platform=self.platform,
+                policy=policy_factory,
+                workload=workload_factory,
+                config=config,
+                pin_uncore_max=self.pin_uncore_max,
+            )
+            for policy_factory in (self.baseline_factory, self.candidate_factory)
+        ]
+
+    @staticmethod
+    def _rows(summaries: Sequence[SessionSummary]) -> List[ComparisonRow]:
+        """Fold a flat (baseline, candidate, baseline, ...) list into rows."""
+        return [
+            ComparisonRow(
+                workload=summaries[i].workload,
+                baseline=summaries[i],
+                candidate=summaries[i + 1],
+            )
+            for i in range(0, len(summaries), 2)
+        ]
 
     def compare(
-        self, workload_factory: Callable[[], Workload], seed: Optional[int] = None
+        self, workload_factory: FactoryLike, seed: Optional[int] = None
     ) -> ComparisonRow:
         """One A/B run: same workload construction, same seed, two policies."""
         config = self.config if seed is None else self.config.with_seed(seed)
-        baseline_result = run_session(
-            self.spec,
-            workload_factory(),
-            self.baseline_factory(),
-            config,
-            pin_uncore_max=self.pin_uncore_max,
-        )
-        candidate_result = run_session(
-            self.spec,
-            workload_factory(),
-            self.candidate_factory(),
-            config,
-            pin_uncore_max=self.pin_uncore_max,
-        )
-        return ComparisonRow(
-            workload=baseline_result.workload_name,
-            baseline=summarize(baseline_result),
-            candidate=summarize(candidate_result),
-        )
+        summaries = self._runner().run(self._pair(workload_factory, config))
+        return self._rows(summaries)[0]
 
     def compare_seeds(
-        self, workload_factory: Callable[[], Workload], seeds: Sequence[int]
+        self, workload_factory: FactoryLike, seeds: Sequence[int]
     ) -> List[ComparisonRow]:
-        """Repeat the A/B run over several seeds (trial averaging)."""
+        """Repeat the A/B run over several seeds (trial averaging).
+
+        All ``2 x len(seeds)`` sessions go to the runner as one batch, so
+        trials parallelise across seeds, not just across policies.
+        """
         if not seeds:
             raise ExperimentError("compare_seeds needs at least one seed")
-        return [self.compare(workload_factory, seed) for seed in seeds]
+        specs: List[SessionSpec] = []
+        for seed in seeds:
+            specs.extend(self._pair(workload_factory, self.config.with_seed(seed)))
+        return self._rows(self._runner().run(specs))
+
+    def compare_matrix(
+        self,
+        workload_factories: Mapping[str, FactoryLike],
+        seeds: Sequence[int],
+    ) -> Dict[str, List[ComparisonRow]]:
+        """The full (workload x seed x policy) matrix as ONE runner batch.
+
+        This is how the evaluation figures execute: every session of the
+        matrix is independent, so a parallel runner saturates its workers
+        across the whole grid at once.  Returns rows keyed like the
+        input mapping, one row per seed, in seed order.
+        """
+        if not seeds:
+            raise ExperimentError("compare_matrix needs at least one seed")
+        if not workload_factories:
+            raise ExperimentError("compare_matrix needs at least one workload")
+        specs: List[SessionSpec] = []
+        for factory in workload_factories.values():
+            for seed in seeds:
+                specs.extend(self._pair(factory, self.config.with_seed(seed)))
+        summaries = self._runner().run(specs)
+        rows = self._rows(summaries)
+        per_workload = len(seeds)
+        return {
+            name: rows[i * per_workload : (i + 1) * per_workload]
+            for i, name in enumerate(workload_factories)
+        }
 
     @staticmethod
     def mean_power_saving(rows: Sequence[ComparisonRow]) -> float:

@@ -2,23 +2,30 @@
 
 The section 3 characterisation experiments are sweeps: utilization at
 fixed operating points (Figure 3), core count at fixed frequency
-(Figure 4), frequency at fixed load (Figures 5-7).  Each sweep here runs
-full sessions through the simulator and returns summary rows.
+(Figure 4), frequency at fixed load (Figures 5-7).  Each sweep builds a
+batch of declarative :class:`~repro.runner.spec.SessionSpec` and hands
+it to a :class:`~repro.runner.runner.SessionRunner`, so grid points run
+in parallel (and cache) whenever the platform is given by catalog name
+or ref; a live :class:`PlatformSpec` still works and runs in-process.
+
+:func:`run_session` remains the single-session primitive for callers
+that need the *full trace* (fitting, thermal, operating-point drivers) —
+traces never cross process boundaries, so it executes directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
 from ..kernel.simulator import SessionResult, Simulator
-from ..metrics.summary import SessionSummary, summarize
+from ..metrics.summary import SessionSummary
 from ..policies.base import CpuPolicy
-from ..policies.static import StaticPolicy
+from ..runner.runner import SessionRunner, default_runner
+from ..runner.spec import FactoryLike, FactoryRef, PlatformLike, SessionSpec
 from ..soc.platform import Platform, PlatformSpec
 from ..workloads.base import Workload
-from ..workloads.busyloop import BusyLoopApp
 
 __all__ = ["run_session", "utilization_sweep", "frequency_sweep", "core_count_sweep"]
 
@@ -42,13 +49,54 @@ def run_session(
     return simulator.run()
 
 
+def _static_policy_ref(online_count: int, frequency_khz: int) -> FactoryRef:
+    return FactoryRef.to(
+        "repro.policies.static:StaticPolicy", online_count, frequency_khz
+    )
+
+
+def _busyloop_ref(
+    level: float, num_threads: int = 0, reference_frequency_khz: int = 0
+) -> FactoryRef:
+    return FactoryRef.to(
+        "repro.workloads.busyloop:BusyLoopApp",
+        level,
+        num_threads=num_threads,
+        reference_frequency_khz=reference_frequency_khz,
+    )
+
+
+def _run_grid(
+    spec: PlatformLike,
+    points: Sequence[tuple],
+    config: Optional[SimulationConfig],
+    pin_uncore_max: bool,
+    runner: Optional[SessionRunner],
+) -> List[SessionSummary]:
+    """Execute (policy, workload) grid points as one runner batch."""
+    config = config if config is not None else SimulationConfig()
+    batch = [
+        SessionSpec(
+            platform=spec,
+            policy=policy,
+            workload=workload,
+            config=config,
+            pin_uncore_max=pin_uncore_max,
+        )
+        for policy, workload in points
+    ]
+    active = runner if runner is not None else default_runner()
+    return active.run(batch)
+
+
 def utilization_sweep(
-    spec: PlatformSpec,
+    spec: PlatformLike,
     online_count: int,
     frequency_khz: int,
     utilization_percents: Sequence[float],
     config: Optional[SimulationConfig] = None,
     pin_uncore_max: bool = False,
+    runner: Optional[SessionRunner] = None,
 ) -> List[SessionSummary]:
     """Figure 3's sweep: busy-loop utilization at one fixed operating point.
 
@@ -58,80 +106,69 @@ def utilization_sweep(
     """
     if not utilization_percents:
         raise ExperimentError("utilization sweep needs at least one level")
-    summaries = []
-    for level in utilization_percents:
-        result = run_session(
-            spec,
-            BusyLoopApp(
-                level,
-                num_threads=online_count,
-                reference_frequency_khz=frequency_khz,
+    points = [
+        (
+            _static_policy_ref(online_count, frequency_khz),
+            _busyloop_ref(
+                level, num_threads=online_count, reference_frequency_khz=frequency_khz
             ),
-            StaticPolicy(online_count, frequency_khz),
-            config,
-            pin_uncore_max=pin_uncore_max,
         )
-        summaries.append(summarize(result))
-    return summaries
+        for level in utilization_percents
+    ]
+    return _run_grid(spec, points, config, pin_uncore_max, runner)
 
 
 def frequency_sweep(
-    spec: PlatformSpec,
+    spec: PlatformLike,
     online_count: int,
     frequencies_khz: Sequence[int],
     utilization_percent: float,
     config: Optional[SimulationConfig] = None,
-    workload_factory: Optional[Callable[[], Workload]] = None,
+    workload_factory: Optional[FactoryLike] = None,
     pin_uncore_max: bool = False,
+    runner: Optional[SessionRunner] = None,
 ) -> List[SessionSummary]:
     """Frequency sweep at a fixed core count and load (Figures 5-7).
 
     ``workload_factory`` substitutes a different demand generator (e.g.
     the GeekBench-like benchmark for Figures 6-7); the default is the
-    busy-loop app at *utilization_percent*.
+    busy-loop app at *utilization_percent*.  Pass a
+    :class:`FactoryRef` to keep the sweep portable.
     """
     if not frequencies_khz:
         raise ExperimentError("frequency sweep needs at least one frequency")
-    summaries = []
-    for frequency in frequencies_khz:
-        workload = (
-            workload_factory() if workload_factory is not None
-            else BusyLoopApp(utilization_percent)
+    points = [
+        (
+            _static_policy_ref(online_count, frequency),
+            workload_factory if workload_factory is not None
+            else _busyloop_ref(utilization_percent),
         )
-        result = run_session(
-            spec,
-            workload,
-            StaticPolicy(online_count, frequency),
-            config,
-            pin_uncore_max=pin_uncore_max,
-        )
-        summaries.append(summarize(result))
-    return summaries
+        for frequency in frequencies_khz
+    ]
+    return _run_grid(spec, points, config, pin_uncore_max, runner)
 
 
 def core_count_sweep(
-    spec: PlatformSpec,
+    spec: PlatformLike,
     core_counts: Sequence[int],
     frequency_khz: int,
     utilization_percent: float = 100.0,
     config: Optional[SimulationConfig] = None,
     pin_uncore_max: bool = False,
+    runner: Optional[SessionRunner] = None,
 ) -> List[SessionSummary]:
     """Figure 4's sweep: core count at one frequency, 100% local load."""
     if not core_counts:
         raise ExperimentError("core-count sweep needs at least one count")
-    summaries = []
-    for count in core_counts:
-        result = run_session(
-            spec,
-            BusyLoopApp(
+    points = [
+        (
+            _static_policy_ref(count, frequency_khz),
+            _busyloop_ref(
                 utilization_percent,
                 num_threads=count,
                 reference_frequency_khz=frequency_khz,
             ),
-            StaticPolicy(count, frequency_khz),
-            config,
-            pin_uncore_max=pin_uncore_max,
         )
-        summaries.append(summarize(result))
-    return summaries
+        for count in core_counts
+    ]
+    return _run_grid(spec, points, config, pin_uncore_max, runner)

@@ -4,13 +4,16 @@ Usage::
 
     python -m repro list
     python -m repro run fig9a fig10
+    python -m repro run fig10 --jobs 4 --cache-dir ~/.cache/repro
     python -m repro specs "Nexus 5"
     python -m repro compare --workload busyloop:40 --duration 60
     python -m repro compare --workload "game:Subway Surf" --seed 3
-    python -m repro compare --workload geekbench
+    python -m repro compare --workload geekbench --jobs 2
 
 ``compare`` runs the Android default and MobiCore on the same demand
-(same seed) and prints the paper-style deltas.
+(same seed) and prints the paper-style deltas.  ``--jobs N`` fans the
+sessions out over N worker processes; ``--cache-dir`` enables the
+content-addressed result cache, so warm re-runs simulate nothing.
 """
 
 from __future__ import annotations
@@ -23,15 +26,12 @@ from typing import List, Optional
 from .analysis.comparison import PolicyComparison
 from .analysis.report import render_table
 from .config import SimulationConfig
-from .core.mobicore import MobiCorePolicy
 from .errors import ReproError
 from .experiments import get_experiment, list_experiments
 from .experiments.registry import EXPERIMENTS
-from .policies.android_default import AndroidDefaultPolicy
+from .runner import FactoryRef, SessionRunner, configure_default_runner
 from .soc.catalog import PHONE_CATALOG, get_phone_spec
-from .workloads.busyloop import BusyLoopApp
 from .workloads.games import game_workload
-from .workloads.geekbench import GeekbenchWorkload
 
 __all__ = ["main"]
 
@@ -46,6 +46,9 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    # Experiment drivers fall back to the default runner; configure it so
+    # every figure's session matrix honours --jobs / --cache-dir.
+    configure_default_runner(jobs=args.jobs, cache_dir=args.cache_dir)
     for experiment_id in args.ids:
         experiment = get_experiment(experiment_id)
         print("=" * 72)
@@ -67,20 +70,20 @@ def _cmd_specs(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_workload(description: str):
-    """Parse a --workload string into a fresh workload factory."""
+def _build_workload(description: str) -> FactoryRef:
+    """Parse a --workload string into a portable workload factory ref."""
     kind, _, argument = description.partition(":")
     kind = kind.strip().lower()
     if kind == "busyloop":
         level = float(argument) if argument else 50.0
-        return lambda: BusyLoopApp(level)
+        return FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", level)
     if kind == "game":
         if not argument:
             raise ReproError("game workload needs a title, e.g. game:Subway Surf")
         game_workload(argument)  # validate the title eagerly
-        return lambda: game_workload(argument)
+        return FactoryRef.to("repro.workloads.games:game_workload", argument)
     if kind == "geekbench":
-        return GeekbenchWorkload
+        return FactoryRef.to("repro.workloads.geekbench:GeekbenchWorkload")
     raise ReproError(
         f"unknown workload {description!r}; use busyloop:<percent>, "
         f"game:<title>, or geekbench"
@@ -88,23 +91,24 @@ def _build_workload(description: str):
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    spec = get_phone_spec(args.phone)
+    spec = get_phone_spec(args.phone)  # validate the phone name eagerly
     config = SimulationConfig(
         duration_seconds=args.duration, seed=args.seed, warmup_seconds=args.warmup
     )
-    workload_factory = _build_workload(args.workload)
+    runner = SessionRunner(jobs=args.jobs, cache_dir=args.cache_dir)
     comparison = PolicyComparison(
-        spec,
-        baseline_factory=AndroidDefaultPolicy,
-        candidate_factory=lambda: MobiCorePolicy(
-            power_params=spec.power_params,
-            opp_table=spec.opp_table,
-            num_cores=spec.num_cores,
+        args.phone,
+        baseline_factory=FactoryRef.to(
+            "repro.policies.android_default:AndroidDefaultPolicy"
+        ),
+        candidate_factory=FactoryRef.to(
+            "repro.experiments.common:mobicore_for_phone", args.phone
         ),
         config=config,
         pin_uncore_max=args.pin_uncore,
+        runner=runner,
     )
-    row = comparison.compare(workload_factory)
+    row = comparison.compare(_build_workload(args.workload))
     rows = [
         ("power (mW)", f"{row.baseline.mean_power_mw:.0f}",
          f"{row.candidate.mean_power_mw:.0f}"),
@@ -139,10 +143,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_runner_options(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for session batches (default: serial)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="content-addressed result cache; warm re-runs simulate nothing",
+        )
+
     sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
 
     run = sub.add_parser("run", help="regenerate tables/figures by id")
     run.add_argument("ids", nargs="+", metavar="id", help="e.g. fig9a table2")
+    add_runner_options(run)
     run.set_defaults(func=_cmd_run)
 
     specs = sub.add_parser("specs", help="show device spec sheets")
@@ -166,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="pin GPU/memory at max (the section 3.2 constraint)",
     )
+    add_runner_options(compare)
     compare.set_defaults(func=_cmd_compare)
     return parser
 

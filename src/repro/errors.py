@@ -23,6 +23,7 @@ __all__ = [
     "TraceError",
     "MeterError",
     "ExperimentError",
+    "RunnerError",
 ]
 
 
@@ -80,3 +81,7 @@ class MeterError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver failed to produce the expected series."""
+
+
+class RunnerError(ReproError):
+    """A batch session run was misconfigured (bad spec, unresolvable factory)."""

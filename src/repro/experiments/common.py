@@ -17,6 +17,7 @@ __all__ = [
     "representative_frequencies",
     "android_factory",
     "mobicore_factory",
+    "mobicore_for_phone",
 ]
 
 #: The paper's five games, in its numbering order (section 6).
@@ -64,3 +65,15 @@ def mobicore_factory(spec: PlatformSpec = None) -> MobiCorePolicy:
         opp_table=spec.opp_table,
         num_cores=spec.num_cores,
     )
+
+
+def mobicore_for_phone(phone: str = "Nexus 5") -> MobiCorePolicy:
+    """A fresh MobiCore policy calibrated for a catalog phone by name.
+
+    The string argument keeps the factory referable from a
+    :class:`~repro.runner.spec.FactoryRef`, so policy construction can
+    happen inside worker processes.
+    """
+    from ..soc.catalog import get_phone_spec
+
+    return mobicore_factory(get_phone_spec(phone))

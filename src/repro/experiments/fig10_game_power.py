@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.report import render_table
 from ..config import SimulationConfig
+from ..runner.runner import SessionRunner
 from ..errors import ExperimentError
 from .common import GAME_NAMES
 from .game_eval import mean_rows, run_games
@@ -78,10 +79,12 @@ class Fig10Result:
 
 
 def run(
-    config: Optional[SimulationConfig] = None, seeds: Sequence[int] = (1, 2, 3)
+    config: Optional[SimulationConfig] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    runner: Optional[SessionRunner] = None,
 ) -> Fig10Result:
     """Seed-averaged gaming power per game under both policies."""
-    sessions = run_games(config, seeds)
+    sessions = run_games(config, seeds, runner=runner)
     rows = []
     for game in GAME_NAMES:
         per_seed = sessions[game]

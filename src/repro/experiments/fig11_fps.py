@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.report import render_table
 from ..config import SimulationConfig
+from ..runner.runner import SessionRunner
 from ..errors import ExperimentError
 from ..metrics.fps_meter import ACCEPTABLE_FPS_LOW
 from .common import GAME_NAMES
@@ -73,10 +74,12 @@ class Fig11Result:
 
 
 def run(
-    config: Optional[SimulationConfig] = None, seeds: Sequence[int] = (1, 2, 3)
+    config: Optional[SimulationConfig] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    runner: Optional[SessionRunner] = None,
 ) -> Fig11Result:
     """Seed-averaged gaming FPS per game under both policies."""
-    sessions = run_games(config, seeds)
+    sessions = run_games(config, seeds, runner=runner)
     rows = []
     for game in GAME_NAMES:
         per_seed = sessions[game]

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.report import render_table
 from ..config import SimulationConfig
+from ..runner.runner import SessionRunner
 from ..errors import ExperimentError
 from .common import GAME_NAMES
 from .game_eval import mean_rows, run_games
@@ -97,10 +98,12 @@ class Fig12Result:
 
 
 def run(
-    config: Optional[SimulationConfig] = None, seeds: Sequence[int] = (1, 2, 3)
+    config: Optional[SimulationConfig] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    runner: Optional[SessionRunner] = None,
 ) -> Fig12Result:
     """Seed-averaged frequency and core usage per game under both policies."""
-    sessions = run_games(config, seeds)
+    sessions = run_games(config, seeds, runner=runner)
     rows = []
     for game in GAME_NAMES:
         per_seed = sessions[game]

@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 
 from ..analysis.report import render_table
 from ..config import SimulationConfig
+from ..runner.runner import SessionRunner
 from ..errors import ExperimentError
 from .common import GAME_NAMES
 from .game_eval import mean_rows, run_games
@@ -111,10 +112,12 @@ class Fig13Result:
 
 
 def run(
-    config: Optional[SimulationConfig] = None, seeds: Sequence[int] = (1, 2, 3)
+    config: Optional[SimulationConfig] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    runner: Optional[SessionRunner] = None,
 ) -> Fig13Result:
     """Seed-averaged load statistics per game under both policies."""
-    sessions = run_games(config, seeds)
+    sessions = run_games(config, seeds, runner=runner)
     rows = []
     for game in GAME_NAMES:
         per_seed = sessions[game]

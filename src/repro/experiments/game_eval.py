@@ -2,56 +2,82 @@
 
 The four evaluation figures all derive from the same sessions: each of
 the five games played for the session length under both policies.  This
-module runs that matrix once (per configuration) and caches it, so the
-per-figure drivers and benches do not redo identical simulations.
+module expresses that matrix declaratively and executes it through the
+shared :class:`~repro.runner.runner.SessionRunner` — one batch of
+``games x seeds x 2`` portable specs.  The runner's in-memory memo keeps
+repeated figure drivers instant within a process (the role the old
+hand-rolled ``_CACHE`` played), and its content-addressed on-disk cache
+(``--cache-dir`` / ``REPRO_CACHE_DIR``) makes warm re-runs across
+processes execute zero simulation ticks.  Unlike the old cache key, the
+spec hash covers *every* config field — including ``warmup_seconds`` and
+the per-trial seeds.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.comparison import ComparisonRow, PolicyComparison
 from ..config import SimulationConfig
-from ..soc.catalog import nexus5_spec
-from ..workloads.games import game_workload
-from .common import GAME_NAMES, android_factory, default_config, mobicore_factory
+from ..runner.runner import SessionRunner
+from ..runner.spec import FactoryRef
+from .common import GAME_NAMES, default_config
 
-__all__ = ["run_games", "mean_rows"]
+__all__ = ["run_games", "mean_rows", "games_comparison"]
 
-#: (duration, tick, seeds) -> per-game comparison rows.
-_CACHE: Dict[Tuple[float, float, Tuple[int, ...]], Dict[str, List[ComparisonRow]]] = {}
+#: Portable factories for the evaluation matrix (resolvable in workers).
+ANDROID_FACTORY = FactoryRef.to("repro.experiments.common:android_factory")
+MOBICORE_FACTORY = FactoryRef.to("repro.experiments.common:mobicore_factory")
+
+
+def game_factory(name: str) -> FactoryRef:
+    """A portable factory ref for one of the paper's five games."""
+    return FactoryRef.to("repro.workloads.games:game_workload", name)
+
+
+def games_comparison(
+    config: Optional[SimulationConfig] = None,
+    runner: Optional[SessionRunner] = None,
+) -> PolicyComparison:
+    """The section 6 A/B harness over the Nexus 5, fully portable."""
+    if config is None:
+        config = default_config()
+    return PolicyComparison(
+        "Nexus 5",
+        baseline_factory=ANDROID_FACTORY,
+        candidate_factory=MOBICORE_FACTORY,
+        config=config,
+        pin_uncore_max=True,  # games use the GPU; section 3.2 pins it high
+        runner=runner,
+    )
 
 
 def run_games(
     config: Optional[SimulationConfig] = None,
     seeds: Sequence[int] = (1, 2, 3),
+    runner: Optional[SessionRunner] = None,
 ) -> Dict[str, List[ComparisonRow]]:
-    """Each game under both policies, one row per seed (cached)."""
-    if config is None:
-        config = default_config()
-    key = (config.duration_seconds, config.tick_seconds, tuple(seeds))
-    cached = _CACHE.get(key)
-    if cached is not None:
-        return cached
-    spec = nexus5_spec()
-    comparison = PolicyComparison(
-        spec,
-        baseline_factory=android_factory,
-        candidate_factory=lambda: mobicore_factory(spec),
-        config=config,
-        pin_uncore_max=True,  # games use the GPU; section 3.2 pins it high
+    """Each game under both policies, one row per seed.
+
+    The whole matrix goes to the runner as a single batch, so with
+    ``jobs=N`` the ``5 x len(seeds) x 2`` sessions run N at a time, and a
+    warm cache serves all of them without simulating a tick.
+    """
+    comparison = games_comparison(config, runner)
+    return comparison.compare_matrix(
+        {name: game_factory(name) for name in GAME_NAMES}, tuple(seeds)
     )
-    results: Dict[str, List[ComparisonRow]] = {}
-    for name in GAME_NAMES:
-        results[name] = comparison.compare_seeds(
-            lambda name=name: game_workload(name), seeds
-        )
-    _CACHE[key] = results
-    return results
 
 
-def mean_rows(rows: Sequence[ComparisonRow], attribute) -> float:
-    """Average a ComparisonRow property over seeds."""
+def mean_rows(rows: Sequence[ComparisonRow], attribute) -> Optional[float]:
+    """Average a ComparisonRow property over seeds.
+
+    Rows whose attribute is ``None`` (e.g. FPS on a frameless workload)
+    are skipped; when *every* row lacks the attribute the mean is
+    ``None`` rather than a ZeroDivisionError.
+    """
     values = [attribute(row) for row in rows]
     values = [v for v in values if v is not None]
+    if not values:
+        return None
     return sum(values) / len(values)

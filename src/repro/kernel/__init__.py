@@ -18,9 +18,12 @@ from .hotplug import HotplugSubsystem
 from .cgroup import CpuBandwidthController
 from .sysfs import SysfsTree
 from .tracing import TickRecord, TraceRecorder
+from .engine import KernelStack, Session
 from .simulator import Simulator, SessionResult
 
 __all__ = [
+    "KernelStack",
+    "Session",
     "SimClock",
     "Task",
     "TaskDemand",

@@ -56,6 +56,15 @@ class CpufreqSubsystem:
         """Number of actual frequency changes applied (DVFS churn metric)."""
         return self._transition_count
 
+    def reset(self) -> None:
+        """Zero the transition counter (new session).
+
+        User frequency limits survive a reset, matching real cpufreq:
+        sysfs ``scaling_min/max_freq`` settings persist across runs of a
+        workload; only the churn accounting is per-session.
+        """
+        self._transition_count = 0
+
     def limits(self, core_id: int) -> FrequencyLimits:
         """The user window for one core."""
         try:

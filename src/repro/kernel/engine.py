@@ -1,0 +1,368 @@
+"""The simulation engine: kernel stack + incremental session driver.
+
+This module splits the old monolithic ``Simulator.run()`` loop into two
+composable pieces:
+
+* :class:`KernelStack` — the bundle of kernel mechanisms one simulated
+  device exposes (cpufreq, hotplug, the bandwidth controller, procstat
+  utilization accounting, cpuidle residency) behind a single
+  ``reset()`` / ``apply()`` interface.  Resetting the stack starts a new
+  accounting epoch: transition counters, residency buckets, and quota all
+  return to boot state, so repeated sessions on one device never leak
+  churn statistics into each other.
+* :class:`Session` — one (platform, workload, policy, config) run with an
+  incremental ``step()`` API.  ``run()`` executes the whole session;
+  live/streaming drivers (the adb-shell control plane, future interactive
+  frontends) can instead call ``start()`` and then ``step()`` tick by
+  tick, inspecting or poking kernel state between ticks.
+
+Each tick (the governor sampling period, default 20 ms):
+
+1. the workload emits per-task cycle demand;
+2. the scheduler balances it over online cores under the bandwidth quota
+   and executes it; unfinished work carries over as backlog;
+3. per-core busy fractions are accounted (ACTIVE/IDLE states update);
+4. the power model is read, the thermal node advances, meters record;
+5. the policy observes the tick and decides next-tick frequencies,
+   online mask, and quota; cpufreq/hotplug/cgroup apply them.
+
+The result is a :class:`SessionResult`: the full trace, the workload's
+own metrics (score, FPS), and the accounting every figure of the paper
+needs.  :class:`~repro.kernel.simulator.Simulator` remains as a thin
+facade over a :class:`Session` for existing callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .cgroup import CpuBandwidthController
+from .clock import SimClock
+from .cpufreq import CpufreqSubsystem
+from .cpuidle import CpuidleStats
+from .hotplug import HotplugSubsystem
+from .procstat import ProcStat
+from .scheduler import LoadBalancingScheduler
+from .tracing import TickRecord, TraceRecorder
+from ..config import SimulationConfig
+from ..errors import ExperimentError
+from ..policies.base import CpuPolicy, PolicyDecision, SystemObservation
+from ..soc.platform import Platform
+from ..workloads.base import Workload, WorkloadContext
+
+__all__ = ["KernelStack", "Session", "SessionResult"]
+
+
+@dataclass
+class SessionResult:
+    """Everything one simulated session produced.
+
+    Attributes:
+        platform_name / policy_name / workload_name: Identification.
+        config: The configuration the session ran with.
+        trace: Per-tick records (power, frequency, cores, load, FPS...).
+        workload_metrics: The workload's own end-of-session numbers.
+        cpuidle: Per-core state residency.
+        dvfs_transitions: Frequency changes applied over the session.
+        hotplug_transitions: Core state changes over the session.
+    """
+
+    platform_name: str
+    policy_name: str
+    workload_name: str
+    config: SimulationConfig
+    trace: TraceRecorder
+    workload_metrics: Dict[str, float]
+    cpuidle: CpuidleStats
+    dvfs_transitions: int
+    hotplug_transitions: int
+
+    @property
+    def mean_power_mw(self) -> float:
+        """Session-average platform power (the Monsoon number)."""
+        return self.trace.mean_power_mw()
+
+    @property
+    def mean_cpu_power_mw(self) -> float:
+        """Session-average CPU-attributable power."""
+        return self.trace.mean_cpu_power_mw()
+
+    @property
+    def mean_online_cores(self) -> float:
+        """Average active core count (Figure 12)."""
+        return self.trace.mean_online_cores()
+
+    @property
+    def mean_frequency_khz(self) -> float:
+        """Average online-core frequency (Figure 12)."""
+        return self.trace.mean_frequency_khz()
+
+    @property
+    def mean_load_percent(self) -> float:
+        """Average global CPU load (Figure 13)."""
+        return self.trace.mean_global_util_percent()
+
+    @property
+    def mean_fps(self) -> Optional[float]:
+        """Average FPS, when the workload renders frames (Figure 11)."""
+        return self.trace.mean_fps()
+
+    def energy_mj(self) -> float:
+        """Total session energy in millijoules."""
+        return self.trace.energy_mj(self.config.tick_seconds)
+
+
+class KernelStack:
+    """The kernel mechanisms of one simulated device, reset as a unit.
+
+    Bundles cpufreq, hotplug, the CPU bandwidth controller, procstat
+    accounting, and cpuidle residency for a :class:`Platform`, exposing
+    exactly two lifecycle verbs: :meth:`reset` (start a new session
+    accounting epoch) and :meth:`apply` (enact a policy decision through
+    the mechanisms).  The stack outlives individual sessions — the
+    adb-shell sysfs tree keeps references to its members — so members are
+    created once and reset in place, never replaced.
+    """
+
+    def __init__(self, platform: Platform, mpdecision_enabled: bool = False) -> None:
+        self.platform = platform
+        self.cpufreq = CpufreqSubsystem(platform)
+        self.hotplug = HotplugSubsystem(
+            platform.cluster, mpdecision_enabled=mpdecision_enabled
+        )
+        self.bandwidth = CpuBandwidthController()
+        self.procstat = ProcStat()
+        self.cpuidle = CpuidleStats(len(platform.cluster))
+
+    def reset(self, pin_uncore_max: bool = False) -> None:
+        """Return the whole stack to boot state for a fresh session.
+
+        Platform state resets first (all cores online at fmin, ambient
+        temperature) so the transitions that restoring boot state performs
+        are not charged to the new session's churn counters.
+        """
+        self.platform.reset()
+        if pin_uncore_max:
+            self.platform.pin_uncore_max()
+        self.cpufreq.reset()
+        self.hotplug.reset()
+        self.bandwidth.reset()
+        self.procstat.reset()
+        self.cpuidle.reset()
+
+    def apply(self, decision: PolicyDecision) -> None:
+        """Apply a policy decision through the kernel mechanisms."""
+        if decision.online_mask is not None:
+            self.hotplug.apply_mask(decision.online_mask)
+        if decision.target_frequencies_khz is not None:
+            self.cpufreq.apply(decision.target_frequencies_khz)
+        if decision.quota is not None:
+            self.bandwidth.set_quota(decision.quota)
+        if decision.memory_high is not None:
+            if decision.memory_high:
+                self.platform.memory.pin_high()
+            else:
+                self.platform.memory.set_low()
+        if decision.gpu_pinned_max is not None:
+            if decision.gpu_pinned_max:
+                self.platform.gpu.pin_max()
+            else:
+                self.platform.gpu.unpin()
+
+    @property
+    def dvfs_transitions(self) -> int:
+        """Frequency changes applied since the last reset."""
+        return self.cpufreq.transition_count
+
+    @property
+    def hotplug_transitions(self) -> int:
+        """Core state changes since the last reset."""
+        return self.hotplug.transition_count
+
+
+class Session:
+    """One simulated session, drivable tick by tick.
+
+    Args:
+        platform: Runtime device the session runs on.
+        workload: Demand generator.
+        policy: Whole-system CPU manager deciding each tick.
+        config: Session configuration (tick, duration, seed, warmup).
+        pin_uncore_max: Apply the section 3.2 GPU/memory constraint at
+            session start.
+        scheduler: Load balancer; defaults to a fresh
+            :class:`LoadBalancingScheduler`.
+        stack: Kernel stack to drive; defaults to a fresh
+            :class:`KernelStack` over *platform* (mpdecision disabled, as
+            the paper's setup requires).
+
+    Either call :meth:`run` for the whole session, or :meth:`start`
+    followed by :meth:`step` per tick and :meth:`result` at the end.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        workload: Workload,
+        policy: CpuPolicy,
+        config: Optional[SimulationConfig] = None,
+        pin_uncore_max: bool = True,
+        scheduler: Optional[LoadBalancingScheduler] = None,
+        stack: Optional[KernelStack] = None,
+    ) -> None:
+        self.platform = platform
+        self.workload = workload
+        self.policy = policy
+        self.config = config if config is not None else SimulationConfig()
+        self.pin_uncore_max = pin_uncore_max
+        self.scheduler = scheduler if scheduler is not None else LoadBalancingScheduler()
+        self.stack = stack if stack is not None else KernelStack(platform)
+        self._clock = SimClock(self.config.tick_seconds)
+        self._trace: Optional[TraceRecorder] = None
+        self._tick = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """True once :meth:`start` has run (directly or via :meth:`step`)."""
+        return self._trace is not None
+
+    @property
+    def ticks_run(self) -> int:
+        """Ticks executed since the last :meth:`start`."""
+        return self._tick
+
+    @property
+    def finished(self) -> bool:
+        """True when the configured duration has fully elapsed."""
+        return self.started and self._tick >= self.config.total_ticks
+
+    def start(self) -> None:
+        """Reset everything and arm the session at tick zero."""
+        # A fresh residency ledger per session: results returned by earlier
+        # runs keep their cpuidle statistics instead of aliasing this run's.
+        self.stack.cpuidle = CpuidleStats(len(self.platform.cluster))
+        self.stack.reset(pin_uncore_max=self.pin_uncore_max)
+        self.scheduler.reset()
+        self.policy.reset()
+        context = WorkloadContext(
+            num_cores=len(self.platform.cluster),
+            opp_table=self.platform.opp_table,
+            dt_seconds=self.config.tick_seconds,
+            seed=self.config.seed,
+        )
+        self.workload.prepare(context)
+        self._clock = SimClock(self.config.tick_seconds)
+        self._trace = TraceRecorder(warmup_ticks=self.config.warmup_ticks)
+        self._tick = 0
+
+    def step(self) -> TickRecord:
+        """Execute one tick; auto-starts a session not yet started.
+
+        Returns the tick's trace record.  Raises
+        :class:`~repro.errors.ExperimentError` when stepping past the
+        configured duration.
+        """
+        if not self.started:
+            self.start()
+        if self.finished:
+            raise ExperimentError(
+                f"session already ran its {self.config.total_ticks} ticks; "
+                f"call start() to begin a new one"
+            )
+        stack = self.stack
+        platform = self.platform
+        cluster = platform.cluster
+        dt = self.config.tick_seconds
+        tick = self._tick
+
+        demands = self.workload.demand(tick)
+        dispatch = self.scheduler.dispatch(
+            demands, cluster, dt, quota=stack.bandwidth.quota
+        )
+        for core in cluster.cores:
+            if core.is_online:
+                core.account(min(dispatch.busy_fractions[core.core_id], 1.0))
+        self.workload.record_execution(tick, dispatch.executed_by_task)
+
+        snapshot = stack.procstat.record(
+            tick,
+            [min(100.0, 100.0 * f) for f in dispatch.busy_fractions],
+            cluster.online_mask,
+        )
+        stack.cpuidle.record(cluster, dt)
+
+        breakdown = platform.power_breakdown()
+        temperature = platform.thermal.step(breakdown.cpu_mw, dt)
+        fmax = platform.opp_table.max_frequency_khz
+        scaled_load = (
+            100.0
+            * sum(
+                c.busy_fraction * c.frequency_khz / fmax
+                for c in cluster.online_cores
+            )
+            / len(cluster)
+        )
+        record = TickRecord(
+            tick=tick,
+            time_seconds=self._clock.now_seconds,
+            frequencies_khz=tuple(cluster.frequencies_khz),
+            online_mask=tuple(cluster.online_mask),
+            busy_fractions=tuple(dispatch.busy_fractions),
+            global_util_percent=snapshot.global_percent,
+            quota=stack.bandwidth.quota,
+            power_mw=breakdown.total_mw,
+            cpu_power_mw=breakdown.cpu_mw,
+            temperature_c=temperature,
+            backlog_cycles=dispatch.total_backlog,
+            dropped_cycles=dispatch.dropped_cycles,
+            fps=self.workload.tick_fps(),
+            scaled_load_percent=scaled_load,
+        )
+        self._trace.append(record)
+
+        observation = SystemObservation(
+            tick=tick,
+            dt_seconds=dt,
+            per_core_load_percent=tuple(snapshot.per_core_percent),
+            global_util_percent=snapshot.global_percent,
+            delta_util_percent=stack.procstat.delta_global_percent(),
+            frequencies_khz=tuple(cluster.frequencies_khz),
+            online_mask=tuple(cluster.online_mask),
+            quota=stack.bandwidth.quota,
+            opp_table=platform.opp_table,
+            backlog_cycles=dispatch.total_backlog,
+            allows_per_core_dvfs=platform.allows_per_core_dvfs,
+        )
+        decision = self.policy.validate_decision(
+            self.policy.decide(observation), observation
+        )
+        stack.apply(decision)
+        self._clock.advance()
+        self._tick += 1
+        return record
+
+    def run(self) -> SessionResult:
+        """Execute the whole session from a fresh start and return its result."""
+        self.start()
+        while not self.finished:
+            self.step()
+        return self.result()
+
+    def result(self) -> SessionResult:
+        """The session's result so far (complete after :meth:`run`)."""
+        if not self.started:
+            raise ExperimentError("session has not started; nothing to report")
+        return SessionResult(
+            platform_name=self.platform.spec.name,
+            policy_name=self.policy.name,
+            workload_name=self.workload.name,
+            config=self.config,
+            trace=self._trace,
+            workload_metrics=self.workload.metrics(),
+            cpuidle=self.stack.cpuidle,
+            dvfs_transitions=self.stack.dvfs_transitions,
+            hotplug_transitions=self.stack.hotplug_transitions,
+        )

@@ -83,6 +83,14 @@ class HotplugSubsystem:
         return self.apply_mask(mask)
 
     def reset(self) -> None:
-        """Zero accounting (cluster state is reset separately)."""
+        """Zero accounting, including per-core transition counters.
+
+        Cluster *state* (online mask, frequencies) is reset separately via
+        :meth:`~repro.soc.cpu_cluster.CpuCluster.reset`; call that first so
+        the boot-state transitions it performs are not counted against the
+        new session.
+        """
         self._transition_latency_seconds = 0.0
         self._vetoed_offline_requests = 0
+        for core in self.cluster.cores:
+            core.reset_transition_count()

@@ -1,102 +1,43 @@
-"""The tick-loop simulator: platform + workload + policy -> session trace.
+"""Backward-compatible facade over the engine's :class:`Session`.
 
-Each tick (the governor sampling period, default 20 ms):
-
-1. the workload emits per-task cycle demand;
-2. the scheduler balances it over online cores under the bandwidth quota
-   and executes it; unfinished work carries over as backlog;
-3. per-core busy fractions are accounted (ACTIVE/IDLE states update);
-4. the power model is read, the thermal node advances, meters record;
-5. the policy observes the tick and decides next-tick frequencies,
-   online mask, and quota; cpufreq/hotplug/cgroup apply them.
-
-The result is a :class:`SessionResult`: the full trace, the workload's
-own metrics (score, FPS), and the accounting every figure of the paper
-needs.
+The tick-loop itself lives in :mod:`repro.kernel.engine`: a
+:class:`~repro.kernel.engine.KernelStack` bundles the kernel mechanisms
+and a :class:`~repro.kernel.engine.Session` drives them tick by tick.
+:class:`Simulator` keeps the original construction signature and
+``run()`` entry point so existing drivers, the adb-shell control plane,
+and the tests keep working unchanged, while exposing the underlying
+session for incremental (``step()``) driving.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from .cgroup import CpuBandwidthController
-from .clock import SimClock
 from .cpufreq import CpufreqSubsystem
-from .cpuidle import CpuidleStats
+from .engine import KernelStack, Session, SessionResult
 from .hotplug import HotplugSubsystem
 from .procstat import ProcStat
 from .scheduler import LoadBalancingScheduler
-from .tracing import TickRecord, TraceRecorder
 from ..config import SimulationConfig
-from ..policies.base import CpuPolicy, PolicyDecision, SystemObservation
+from ..policies.base import CpuPolicy
 from ..soc.platform import Platform
-from ..workloads.base import Workload, WorkloadContext
+from ..workloads.base import Workload
 
 __all__ = ["Simulator", "SessionResult"]
 
 
-@dataclass
-class SessionResult:
-    """Everything one simulated session produced.
-
-    Attributes:
-        platform_name / policy_name / workload_name: Identification.
-        config: The configuration the session ran with.
-        trace: Per-tick records (power, frequency, cores, load, FPS...).
-        workload_metrics: The workload's own end-of-session numbers.
-        cpuidle: Per-core state residency.
-        dvfs_transitions: Frequency changes applied over the session.
-        hotplug_transitions: Core state changes over the session.
-    """
-
-    platform_name: str
-    policy_name: str
-    workload_name: str
-    config: SimulationConfig
-    trace: TraceRecorder
-    workload_metrics: Dict[str, float]
-    cpuidle: CpuidleStats
-    dvfs_transitions: int
-    hotplug_transitions: int
-
-    @property
-    def mean_power_mw(self) -> float:
-        """Session-average platform power (the Monsoon number)."""
-        return self.trace.mean_power_mw()
-
-    @property
-    def mean_cpu_power_mw(self) -> float:
-        """Session-average CPU-attributable power."""
-        return self.trace.mean_cpu_power_mw()
-
-    @property
-    def mean_online_cores(self) -> float:
-        """Average active core count (Figure 12)."""
-        return self.trace.mean_online_cores()
-
-    @property
-    def mean_frequency_khz(self) -> float:
-        """Average online-core frequency (Figure 12)."""
-        return self.trace.mean_frequency_khz()
-
-    @property
-    def mean_load_percent(self) -> float:
-        """Average global CPU load (Figure 13)."""
-        return self.trace.mean_global_util_percent()
-
-    @property
-    def mean_fps(self) -> Optional[float]:
-        """Average FPS, when the workload renders frames (Figure 11)."""
-        return self.trace.mean_fps()
-
-    def energy_mj(self) -> float:
-        """Total session energy in millijoules."""
-        return self.trace.energy_mj(self.config.tick_seconds)
-
-
 class Simulator:
-    """Runs one session of (platform, workload, policy, config)."""
+    """Runs one session of (platform, workload, policy, config).
+
+    A thin facade: construction wires a :class:`Session` (and with it a
+    :class:`KernelStack`); ``run()`` executes it start to finish.  The
+    kernel subsystems are reachable as attributes (``cpufreq``,
+    ``hotplug``, ``bandwidth``, ``procstat``) exactly as before, so the
+    sysfs control plane can keep poking a live simulator between ticks.
+    Repeated ``run()`` calls each start from boot state with fresh
+    per-session accounting (transition counters reset).
+    """
 
     def __init__(
         self,
@@ -107,138 +48,64 @@ class Simulator:
         pin_uncore_max: bool = True,
         scheduler: Optional[LoadBalancingScheduler] = None,
     ) -> None:
-        self.platform = platform
-        self.workload = workload
-        self.policy = policy
-        self.config = config if config is not None else SimulationConfig()
-        self.pin_uncore_max = pin_uncore_max
-        self.scheduler = scheduler if scheduler is not None else LoadBalancingScheduler()
-        self.cpufreq = CpufreqSubsystem(platform)
-        self.hotplug = HotplugSubsystem(platform.cluster, mpdecision_enabled=False)
-        self.bandwidth = CpuBandwidthController()
-        self.procstat = ProcStat()
+        self.session = Session(
+            platform,
+            workload,
+            policy,
+            config,
+            pin_uncore_max=pin_uncore_max,
+            scheduler=scheduler,
+        )
+
+    # -- facade attributes ----------------------------------------------
+
+    @property
+    def platform(self) -> Platform:
+        return self.session.platform
+
+    @property
+    def workload(self) -> Workload:
+        return self.session.workload
+
+    @property
+    def policy(self) -> CpuPolicy:
+        return self.session.policy
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self.session.config
+
+    @property
+    def pin_uncore_max(self) -> bool:
+        return self.session.pin_uncore_max
+
+    @property
+    def scheduler(self) -> LoadBalancingScheduler:
+        return self.session.scheduler
+
+    @property
+    def stack(self) -> KernelStack:
+        """The bundled kernel mechanisms the session drives."""
+        return self.session.stack
+
+    @property
+    def cpufreq(self) -> CpufreqSubsystem:
+        return self.session.stack.cpufreq
+
+    @property
+    def hotplug(self) -> HotplugSubsystem:
+        return self.session.stack.hotplug
+
+    @property
+    def bandwidth(self) -> CpuBandwidthController:
+        return self.session.stack.bandwidth
+
+    @property
+    def procstat(self) -> ProcStat:
+        return self.session.stack.procstat
+
+    # -- execution -------------------------------------------------------
 
     def run(self) -> SessionResult:
         """Execute the whole session and return its result."""
-        config = self.config
-        platform = self.platform
-        cluster = platform.cluster
-
-        platform.reset()
-        if self.pin_uncore_max:
-            platform.pin_uncore_max()
-        self.scheduler.reset()
-        self.bandwidth.reset()
-        self.procstat.reset()
-        self.hotplug.reset()
-        self.policy.reset()
-
-        context = WorkloadContext(
-            num_cores=len(cluster),
-            opp_table=platform.opp_table,
-            dt_seconds=config.tick_seconds,
-            seed=config.seed,
-        )
-        self.workload.prepare(context)
-
-        clock = SimClock(config.tick_seconds)
-        trace = TraceRecorder(warmup_ticks=config.warmup_ticks)
-        cpuidle = CpuidleStats(len(cluster))
-        dt = config.tick_seconds
-
-        for tick in range(config.total_ticks):
-            demands = self.workload.demand(tick)
-            dispatch = self.scheduler.dispatch(
-                demands, cluster, dt, quota=self.bandwidth.quota
-            )
-            for core in cluster.cores:
-                if core.is_online:
-                    core.account(min(dispatch.busy_fractions[core.core_id], 1.0))
-            self.workload.record_execution(tick, dispatch.executed_by_task)
-
-            snapshot = self.procstat.record(
-                tick,
-                [min(100.0, 100.0 * f) for f in dispatch.busy_fractions],
-                cluster.online_mask,
-            )
-            cpuidle.record(cluster, dt)
-
-            breakdown = platform.power_breakdown()
-            temperature = platform.thermal.step(breakdown.cpu_mw, dt)
-            fmax = platform.opp_table.max_frequency_khz
-            scaled_load = (
-                100.0
-                * sum(
-                    c.busy_fraction * c.frequency_khz / fmax
-                    for c in cluster.online_cores
-                )
-                / len(cluster)
-            )
-            trace.append(
-                TickRecord(
-                    tick=tick,
-                    time_seconds=clock.now_seconds,
-                    frequencies_khz=tuple(cluster.frequencies_khz),
-                    online_mask=tuple(cluster.online_mask),
-                    busy_fractions=tuple(dispatch.busy_fractions),
-                    global_util_percent=snapshot.global_percent,
-                    quota=self.bandwidth.quota,
-                    power_mw=breakdown.total_mw,
-                    cpu_power_mw=breakdown.cpu_mw,
-                    temperature_c=temperature,
-                    backlog_cycles=dispatch.total_backlog,
-                    dropped_cycles=dispatch.dropped_cycles,
-                    fps=self.workload.tick_fps(),
-                    scaled_load_percent=scaled_load,
-                )
-            )
-
-            observation = SystemObservation(
-                tick=tick,
-                dt_seconds=dt,
-                per_core_load_percent=tuple(snapshot.per_core_percent),
-                global_util_percent=snapshot.global_percent,
-                delta_util_percent=self.procstat.delta_global_percent(),
-                frequencies_khz=tuple(cluster.frequencies_khz),
-                online_mask=tuple(cluster.online_mask),
-                quota=self.bandwidth.quota,
-                opp_table=platform.opp_table,
-                backlog_cycles=dispatch.total_backlog,
-                allows_per_core_dvfs=platform.allows_per_core_dvfs,
-            )
-            decision = self.policy.validate_decision(
-                self.policy.decide(observation), observation
-            )
-            self._apply(decision)
-            clock.advance()
-
-        return SessionResult(
-            platform_name=platform.spec.name,
-            policy_name=self.policy.name,
-            workload_name=self.workload.name,
-            config=config,
-            trace=trace,
-            workload_metrics=self.workload.metrics(),
-            cpuidle=cpuidle,
-            dvfs_transitions=self.cpufreq.transition_count,
-            hotplug_transitions=self.hotplug.transition_count,
-        )
-
-    def _apply(self, decision: PolicyDecision) -> None:
-        """Apply a policy decision through the kernel mechanisms."""
-        if decision.online_mask is not None:
-            self.hotplug.apply_mask(decision.online_mask)
-        if decision.target_frequencies_khz is not None:
-            self.cpufreq.apply(decision.target_frequencies_khz)
-        if decision.quota is not None:
-            self.bandwidth.set_quota(decision.quota)
-        if decision.memory_high is not None:
-            if decision.memory_high:
-                self.platform.memory.pin_high()
-            else:
-                self.platform.memory.set_low()
-        if decision.gpu_pinned_max is not None:
-            if decision.gpu_pinned_max:
-                self.platform.gpu.pin_max()
-            else:
-                self.platform.gpu.unpin()
+        return self.session.run()

@@ -1,0 +1,40 @@
+"""Batch session execution: declarative specs, parallelism, caching.
+
+The runner is the single execution service behind every sweep, policy
+comparison, figure driver, and the CLI:
+
+* :class:`~repro.runner.spec.SessionSpec` — a declarative, picklable
+  description of one session (platform, policy ref, workload ref,
+  config, seed);
+* :class:`~repro.runner.runner.SessionRunner` — executes batches of
+  specs serially or over a process pool with deterministic result
+  ordering, an in-memory memo, and a content-addressed on-disk cache;
+* :class:`~repro.runner.spec.FactoryRef` — the ``"module:attr"`` factory
+  references that make specs portable across process boundaries.
+"""
+
+from .spec import FactoryRef, SessionSpec, CACHE_FORMAT_VERSION
+from .cache import ResultCache, summary_from_dict, summary_to_dict
+from .runner import (
+    RunnerStats,
+    SessionRunner,
+    configure_default_runner,
+    default_runner,
+    execute_spec,
+    set_default_runner,
+)
+
+__all__ = [
+    "FactoryRef",
+    "SessionSpec",
+    "CACHE_FORMAT_VERSION",
+    "ResultCache",
+    "summary_to_dict",
+    "summary_from_dict",
+    "RunnerStats",
+    "SessionRunner",
+    "execute_spec",
+    "default_runner",
+    "set_default_runner",
+    "configure_default_runner",
+]

@@ -1,0 +1,119 @@
+"""Content-addressed on-disk cache of session summaries.
+
+One JSON file per session, named by the spec's sha256 content address.
+Workers reduce a finished session to a
+:class:`~repro.metrics.summary.SessionSummary` before it ever reaches the
+cache, so entries are small scalar rows, not multi-megabyte traces.
+JSON round-trips Python floats exactly (shortest-repr parsing), so a
+cache hit reproduces the summary bit for bit.
+
+Writes are atomic (temp file + rename) so parallel workers racing on the
+same key at worst redo the work, never corrupt an entry.  Unreadable or
+version-mismatched entries count as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from .spec import CACHE_FORMAT_VERSION
+from ..metrics.summary import SessionSummary
+
+__all__ = ["ResultCache", "summary_to_dict", "summary_from_dict"]
+
+
+def summary_to_dict(summary: SessionSummary) -> dict:
+    """JSON-ready form of a summary row."""
+    return {
+        "platform": summary.platform,
+        "policy": summary.policy,
+        "workload": summary.workload,
+        "seed": summary.seed,
+        "duration_seconds": summary.duration_seconds,
+        "mean_power_mw": summary.mean_power_mw,
+        "mean_cpu_power_mw": summary.mean_cpu_power_mw,
+        "energy_mj": summary.energy_mj,
+        "mean_frequency_khz": summary.mean_frequency_khz,
+        "mean_online_cores": summary.mean_online_cores,
+        "mean_load_percent": summary.mean_load_percent,
+        "mean_scaled_load_percent": summary.mean_scaled_load_percent,
+        "load_std_percent": summary.load_std_percent,
+        "mean_quota": summary.mean_quota,
+        "mean_fps": summary.mean_fps,
+        "dvfs_transitions": summary.dvfs_transitions,
+        "hotplug_transitions": summary.hotplug_transitions,
+        "workload_metrics": dict(summary.workload_metrics),
+    }
+
+
+def summary_from_dict(payload: dict) -> SessionSummary:
+    """Rebuild a summary row from :func:`summary_to_dict` output."""
+    return SessionSummary(**payload)
+
+
+class ResultCache:
+    """Content-addressed store: cache key -> session summary.
+
+    Args:
+        root: Directory holding the entries; created on first use.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path(self, key: str) -> Path:
+        """Where *key*'s entry lives."""
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[SessionSummary]:
+        """The cached summary for *key*, or None on any kind of miss."""
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if document.get("version") != CACHE_FORMAT_VERSION:
+            return None
+        try:
+            return summary_from_dict(document["summary"])
+        except (KeyError, TypeError):
+            return None
+
+    def store(self, key: str, summary: SessionSummary, spec_payload: dict) -> None:
+        """Atomically persist *summary* under *key*.
+
+        The spec payload is stored alongside for debuggability (a human
+        can read what produced an entry); only the key is ever matched.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        document = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": key,
+            "spec": spec_payload,
+            "summary": summary_to_dict(summary),
+        }
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=f".{key[:12]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(temp_name, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,244 @@
+"""The shared batch execution service for simulation sessions.
+
+Every figure of the paper reduces to a matrix of (platform, policy,
+workload, seed) sessions.  :class:`SessionRunner` is the one place that
+matrix gets executed: serially or over a :class:`ProcessPoolExecutor`
+(``jobs=N``), with results returned in spec order regardless of worker
+scheduling, an in-memory memo, and an optional content-addressed on-disk
+cache.  Workers reduce each finished session to a
+:class:`~repro.metrics.summary.SessionSummary` before crossing the
+process boundary, so fan-out cost is per-row, not per-trace.
+
+Sessions are deterministic given (config, seed), so serial and parallel
+execution of the same batch produce bit-identical summaries — asserted
+by the regression tests.
+
+Drivers that do not care about runner placement use the module-level
+default runner (:func:`default_runner`), which the CLI configures from
+``--jobs`` / ``--cache-dir`` and the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
+environment variables.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from .cache import ResultCache
+from .spec import SessionSpec
+from ..errors import RunnerError
+from ..kernel.engine import Session
+from ..metrics.summary import SessionSummary, summarize
+from ..soc.platform import Platform
+
+__all__ = [
+    "RunnerStats",
+    "SessionRunner",
+    "execute_spec",
+    "default_runner",
+    "set_default_runner",
+    "configure_default_runner",
+]
+
+
+def execute_spec(spec: SessionSpec) -> SessionSummary:
+    """Run one session described by *spec* and reduce it to a summary.
+
+    Module-level so a process pool can pickle it; also the single
+    in-process execution path, so serial and parallel runs share code.
+    """
+    platform_spec = spec.resolve_platform_spec()
+    session = Session(
+        Platform.from_spec(platform_spec),
+        spec.build_workload(),
+        spec.build_policy(),
+        spec.config,
+        pin_uncore_max=spec.pin_uncore_max,
+    )
+    return summarize(session.run())
+
+
+@dataclass
+class RunnerStats:
+    """What one :meth:`SessionRunner.run` call actually did.
+
+    Attributes:
+        sessions_executed: Sessions simulated from scratch.
+        ticks_simulated: Total simulation ticks those sessions ran —
+            zero on a fully warm cache.
+        memo_hits: Batch entries served from the in-memory memo.
+        cache_hits: Batch entries served from the on-disk cache.
+    """
+
+    sessions_executed: int = 0
+    ticks_simulated: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.sessions_executed + self.memo_hits + self.cache_hits
+
+
+@dataclass
+class SessionRunner:
+    """Executes batches of :class:`SessionSpec`, cached and parallel.
+
+    Attributes:
+        jobs: Worker processes; 1 means in-process serial execution.
+        cache_dir: Root of the on-disk result cache; None disables it.
+        memoize: Keep an in-memory memo of portable results, so repeated
+            driver calls inside one process never re-simulate (the role
+            the old hand-rolled ``game_eval._CACHE`` played, now shared
+            by every consumer).
+        last_stats: Accounting of the most recent :meth:`run` call.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[Union[str, os.PathLike]] = None
+    memoize: bool = True
+    last_stats: RunnerStats = field(default_factory=RunnerStats)
+
+    def __post_init__(self) -> None:
+        if int(self.jobs) < 1:
+            raise RunnerError(f"jobs must be >= 1, got {self.jobs}")
+        self.jobs = int(self.jobs)
+        if self.cache_dir and os.path.exists(self.cache_dir) and not os.path.isdir(
+            self.cache_dir
+        ):
+            raise RunnerError(
+                f"cache_dir {self.cache_dir!r} exists and is not a directory"
+            )
+        self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        self._memo: Dict[str, SessionSummary] = {}
+
+    # -- execution -------------------------------------------------------
+
+    def run_one(self, spec: SessionSpec) -> SessionSummary:
+        """Run a single spec (through the same cache/memo path)."""
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[SessionSpec]) -> List[SessionSummary]:
+        """Execute a batch, returning summaries in spec order.
+
+        Portable specs are looked up in the memo and the on-disk cache
+        first; the remainder execute in worker processes when ``jobs > 1``
+        (non-portable specs always run in-process).  Results land at the
+        index of their spec, so ordering is deterministic no matter how
+        workers are scheduled.
+        """
+        stats = RunnerStats()
+        results: List[Optional[SessionSummary]] = [None] * len(specs)
+        pending: List[int] = []
+        keys: List[Optional[str]] = [None] * len(specs)
+        first_with_key: Dict[str, int] = {}
+        aliases: List[int] = []
+
+        for index, spec in enumerate(specs):
+            if not isinstance(spec, SessionSpec):
+                raise RunnerError(
+                    f"batch entry {index} is {type(spec).__name__}, not SessionSpec"
+                )
+            if not spec.is_portable:
+                pending.append(index)
+                continue
+            key = spec.cache_key()
+            keys[index] = key
+            if key in first_with_key:
+                # Duplicate spec within the batch: simulate once, copy after.
+                aliases.append(index)
+                continue
+            first_with_key[key] = index
+            if self.memoize and key in self._memo:
+                results[index] = self._memo[key]
+                stats.memo_hits += 1
+                continue
+            if self._cache is not None:
+                cached = self._cache.load(key)
+                if cached is not None:
+                    results[index] = cached
+                    if self.memoize:
+                        self._memo[key] = cached
+                    stats.cache_hits += 1
+                    continue
+            pending.append(index)
+
+        parallelizable = [i for i in pending if specs[i].is_portable]
+        inline = [i for i in pending if not specs[i].is_portable]
+        if self.jobs > 1 and len(parallelizable) > 1:
+            with ProcessPoolExecutor(max_workers=min(self.jobs, len(parallelizable))) as pool:
+                for index, summary in zip(
+                    parallelizable,
+                    pool.map(execute_spec, [specs[i] for i in parallelizable]),
+                ):
+                    results[index] = summary
+                    self._record_executed(specs[index], summary, keys[index], stats)
+        else:
+            inline = sorted(parallelizable + inline)
+        for index in inline:
+            summary = execute_spec(specs[index])
+            results[index] = summary
+            self._record_executed(specs[index], summary, keys[index], stats)
+        for index in aliases:
+            results[index] = results[first_with_key[keys[index]]]
+            stats.memo_hits += 1
+
+        self.last_stats = stats
+        return results  # type: ignore[return-value]
+
+    def _record_executed(
+        self,
+        spec: SessionSpec,
+        summary: SessionSummary,
+        key: Optional[str],
+        stats: RunnerStats,
+    ) -> None:
+        stats.sessions_executed += 1
+        stats.ticks_simulated += spec.config.total_ticks
+        if key is None:
+            return
+        if self.memoize:
+            self._memo[key] = summary
+        if self._cache is not None:
+            self._cache.store(key, summary, spec.cache_payload())
+
+    def clear_memo(self) -> None:
+        """Drop the in-memory memo (the on-disk cache is untouched)."""
+        self._memo.clear()
+
+
+# -- the process-wide default runner ------------------------------------
+
+_default: Optional[SessionRunner] = None
+
+
+def default_runner() -> SessionRunner:
+    """The shared runner drivers fall back to when not handed one.
+
+    Created lazily from the ``REPRO_JOBS`` and ``REPRO_CACHE_DIR``
+    environment variables (serial, no disk cache, memo on by default).
+    """
+    global _default
+    if _default is None:
+        _default = SessionRunner(
+            jobs=int(os.environ.get("REPRO_JOBS", "1")),
+            cache_dir=os.environ.get("REPRO_CACHE_DIR") or None,
+        )
+    return _default
+
+
+def set_default_runner(runner: Optional[SessionRunner]) -> None:
+    """Install (or with None, reset) the process-wide default runner."""
+    global _default
+    _default = runner
+
+
+def configure_default_runner(
+    jobs: int = 1, cache_dir: Optional[Union[str, os.PathLike]] = None
+) -> SessionRunner:
+    """Build, install, and return a default runner with these settings."""
+    runner = SessionRunner(jobs=jobs, cache_dir=cache_dir)
+    set_default_runner(runner)
+    return runner

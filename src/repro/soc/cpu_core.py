@@ -58,6 +58,10 @@ class CpuCore:
         """Number of distinct-state transitions performed (hotplug churn metric)."""
         return self._transition_count
 
+    def reset_transition_count(self) -> None:
+        """Zero the churn counter (new session accounting epoch)."""
+        self._transition_count = 0
+
     def set_state(self, new_state: CoreState) -> float:
         """Transition to *new_state*, returning the transition latency in seconds.
 

@@ -1,12 +1,13 @@
-"""The shared game-session matrix and its cache (Figures 10-13 backbone)."""
+"""The shared game-session matrix on the runner (Figures 10-13 backbone)."""
 
-import time
+import dataclasses
 
 import pytest
 
 from repro.config import SimulationConfig
 from repro.experiments import game_eval
 from repro.experiments.common import GAME_NAMES
+from repro.runner import SessionRunner
 
 
 CFG = SimulationConfig(duration_seconds=8.0, seed=0, warmup_seconds=1.0)
@@ -21,25 +22,56 @@ class TestRunGames:
             assert rows[0].baseline.policy.startswith("android")
             assert rows[0].candidate.policy == "mobicore"
 
-    def test_cache_hit_is_instant_and_identical(self):
-        first = game_eval.run_games(CFG, seeds=(5,))
-        started = time.perf_counter()
-        second = game_eval.run_games(CFG, seeds=(5,))
-        elapsed = time.perf_counter() - started
-        assert second is first  # same object: served from the cache
-        assert elapsed < 0.01
+    def test_memo_hit_executes_nothing_and_is_identical(self):
+        runner = SessionRunner(jobs=1)
+        first = game_eval.run_games(CFG, seeds=(5,), runner=runner)
+        assert runner.last_stats.sessions_executed == 2 * len(GAME_NAMES)
+        second = game_eval.run_games(CFG, seeds=(5,), runner=runner)
+        assert runner.last_stats.sessions_executed == 0
+        assert runner.last_stats.ticks_simulated == 0
+        assert second == first  # bit-identical rows, served from the memo
+
+    def test_disk_cache_survives_a_fresh_runner(self, tmp_path):
+        warm = SessionRunner(jobs=1, cache_dir=tmp_path)
+        first = game_eval.run_games(CFG, seeds=(5,), runner=warm)
+        cold = SessionRunner(jobs=1, cache_dir=tmp_path)  # empty memo
+        second = game_eval.run_games(CFG, seeds=(5,), runner=cold)
+        assert cold.last_stats.sessions_executed == 0
+        assert cold.last_stats.ticks_simulated == 0
+        assert cold.last_stats.cache_hits == 2 * len(GAME_NAMES)
+        assert second == first
 
     def test_different_seeds_miss_the_cache(self):
-        first = game_eval.run_games(CFG, seeds=(5,))
-        other = game_eval.run_games(CFG, seeds=(6,))
-        assert other is not first
+        runner = SessionRunner(jobs=1)
+        first = game_eval.run_games(CFG, seeds=(5,), runner=runner)
+        other = game_eval.run_games(CFG, seeds=(6,), runner=runner)
+        assert runner.last_stats.sessions_executed == 2 * len(GAME_NAMES)
         for game in GAME_NAMES:
             assert (
                 other[game][0].baseline.mean_power_mw
                 != first[game][0].baseline.mean_power_mw
             )
 
+    def test_cache_key_covers_seed_and_warmup(self):
+        """Regression: the old _CACHE key silently dropped both fields."""
+        comparison = game_eval.games_comparison(CFG)
+        base, _ = comparison._pair(game_eval.game_factory("Badland"), CFG)
+        reseeded = dataclasses.replace(base, config=CFG.with_seed(9))
+        rewarmed = dataclasses.replace(
+            base, config=dataclasses.replace(CFG, warmup_seconds=2.0)
+        )
+        keys = {base.cache_key(), reseeded.cache_key(), rewarmed.cache_key()}
+        assert len(keys) == 3
+
+
+class TestMeanRows:
     def test_mean_rows_skips_none(self):
         rows = game_eval.run_games(CFG, seeds=(5,))["Badland"]
         value = game_eval.mean_rows(rows, lambda r: r.power_saving_percent)
         assert value == pytest.approx(rows[0].power_saving_percent)
+
+    def test_mean_rows_all_none_returns_none(self):
+        """Regression: frameless workloads (FPS is None on every row) used
+        to raise ZeroDivisionError."""
+        rows = game_eval.run_games(CFG, seeds=(5,))["Badland"]
+        assert game_eval.mean_rows(rows, lambda r: None) is None

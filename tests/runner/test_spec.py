@@ -1,0 +1,116 @@
+"""FactoryRef and SessionSpec: portability, resolution, content address."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import RunnerError
+from repro.policies.static import StaticPolicy
+from repro.runner import CACHE_FORMAT_VERSION, FactoryRef, SessionSpec
+from repro.soc.catalog import nexus5_spec
+from repro.workloads.busyloop import BusyLoopApp
+
+
+STATIC = FactoryRef.to("repro.policies.static:StaticPolicy", 2, 960_000)
+BUSY = FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", 40.0)
+
+
+def make_spec(**overrides):
+    values = dict(platform="Nexus 5", policy=STATIC, workload=BUSY)
+    values.update(overrides)
+    return SessionSpec(**values)
+
+
+class TestFactoryRef:
+    def test_resolves_to_a_fresh_instance(self):
+        policy = STATIC.resolve()
+        assert isinstance(policy, StaticPolicy)
+        assert STATIC.resolve() is not policy
+
+    def test_ref_is_itself_a_factory(self):
+        workload = BUSY()
+        assert isinstance(workload, BusyLoopApp)
+
+    def test_kwargs_are_sorted_for_stable_hashing(self):
+        a = FactoryRef.to("m.o:f", x=1, y=2)
+        b = FactoryRef.to("m.o:f", y=2, x=1)
+        assert a == b
+
+    def test_target_must_have_module_and_attr(self):
+        with pytest.raises(RunnerError):
+            FactoryRef.to("repro.policies.static.StaticPolicy")
+        with pytest.raises(RunnerError):
+            FactoryRef.to(":StaticPolicy")
+
+    def test_arguments_must_be_primitives(self):
+        with pytest.raises(RunnerError):
+            FactoryRef.to("m.o:f", object())
+        with pytest.raises(RunnerError):
+            FactoryRef.to("m.o:f", option=object())
+
+    def test_unresolvable_targets_fail_cleanly(self):
+        with pytest.raises(RunnerError):
+            FactoryRef.to("no.such.module:thing").resolve()
+        with pytest.raises(RunnerError):
+            FactoryRef.to("repro.policies.static:NoSuchPolicy").resolve()
+
+
+class TestPortability:
+    def test_named_platform_and_refs_are_portable(self):
+        assert make_spec().is_portable
+
+    def test_lambda_factory_is_not_portable(self):
+        assert not make_spec(policy=lambda: StaticPolicy(4, 960_000)).is_portable
+
+    def test_live_platform_spec_is_not_portable(self):
+        assert not make_spec(platform=nexus5_spec()).is_portable
+
+    def test_non_portable_spec_has_no_cache_identity(self):
+        spec = make_spec(workload=lambda: BusyLoopApp(40.0))
+        with pytest.raises(RunnerError):
+            spec.cache_key()
+
+    def test_non_portable_spec_still_resolves(self):
+        spec = make_spec(platform=nexus5_spec())
+        assert spec.resolve_platform_spec().name == "Nexus 5"
+        assert isinstance(spec.build_policy(), StaticPolicy)
+
+
+class TestCacheKey:
+    def test_key_is_stable_across_equal_specs(self):
+        assert make_spec().cache_key() == make_spec().cache_key()
+
+    def test_payload_covers_every_config_field(self):
+        payload = make_spec().cache_payload()
+        assert payload["version"] == CACHE_FORMAT_VERSION
+        for field in dataclasses.fields(SimulationConfig):
+            assert field.name in payload["config"]
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            lambda spec: dataclasses.replace(spec, platform="Nexus S"),
+            lambda spec: dataclasses.replace(spec, pin_uncore_max=False),
+            lambda spec: dataclasses.replace(
+                spec, config=dataclasses.replace(spec.config, seed=7)
+            ),
+            lambda spec: dataclasses.replace(
+                spec, config=dataclasses.replace(spec.config, warmup_seconds=9.0)
+            ),
+            lambda spec: dataclasses.replace(
+                spec,
+                policy=FactoryRef.to("repro.policies.static:StaticPolicy", 4, 960_000),
+            ),
+        ],
+    )
+    def test_any_field_change_changes_the_key(self, variant):
+        base = make_spec()
+        assert variant(base).cache_key() != base.cache_key()
+
+    def test_platform_ref_and_name_hash_differently(self):
+        by_ref = make_spec(
+            platform=FactoryRef.to("repro.soc.catalog:nexus5_spec")
+        )
+        assert by_ref.is_portable
+        assert by_ref.cache_key() != make_spec().cache_key()

@@ -76,3 +76,14 @@ class TestCompare:
     def test_game_without_title(self, capsys):
         assert main(["compare", "--workload", "game:"]) == 2
         assert "needs a title" in capsys.readouterr().err
+
+    def test_jobs_and_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "compare", "--workload", "busyloop:30", "--duration", "5",
+            "--warmup", "1", "--jobs", "2", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.json"))) == 2  # both sessions cached
+        assert main(argv) == 0  # warm re-run, served from the cache
+        assert capsys.readouterr().out == cold

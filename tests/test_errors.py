@@ -19,6 +19,7 @@ ALL_ERRORS = [
     errors.TraceError,
     errors.MeterError,
     errors.ExperimentError,
+    errors.RunnerError,
 ]
 
 
