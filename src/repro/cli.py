@@ -9,19 +9,30 @@ Usage::
     python -m repro compare --workload busyloop:40 --duration 60
     python -m repro compare --workload "game:Subway Surf" --seed 3
     python -m repro compare --workload geekbench --jobs 2
+    python -m repro trace run --workload busyloop:60 --format perfetto --out trace.json
+    python -m repro trace summary trace.json
 
 ``compare`` runs the Android default and MobiCore on the same demand
 (same seed) and prints the paper-style deltas.  ``--jobs N`` fans the
 sessions out over N worker processes; ``--cache-dir`` enables the
 content-addressed result cache, so warm re-runs simulate nothing.
+``--stats`` (on ``run`` and ``compare``) reports what the runner did:
+sessions executed, ticks simulated, memo/cache hits, wall time.
+
+``trace run`` executes sessions with the tracepoint bus recording and
+exports the typed event stream — ``perfetto`` JSON (loadable in
+``chrome://tracing`` / ui.perfetto.dev), ``jsonl``, or ``csv``.
+``trace summary`` counts events per type in any of those files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from pathlib import Path
+from typing import List, Optional, Tuple
 
 from .analysis.comparison import PolicyComparison
 from .analysis.report import render_table
@@ -29,7 +40,21 @@ from .config import SimulationConfig
 from .errors import ReproError
 from .experiments import get_experiment, list_experiments
 from .experiments.registry import EXPERIMENTS
-from .runner import FactoryRef, SessionRunner, configure_default_runner
+from .obs import (
+    events_to_csv,
+    events_to_jsonl,
+    summarize_trace_file,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+from .runner import (
+    FactoryRef,
+    RunnerStats,
+    SessionRunner,
+    SessionSpec,
+    TraceRequest,
+    configure_default_runner,
+)
 from .soc.catalog import PHONE_CATALOG, get_phone_spec
 from .workloads.games import game_workload
 
@@ -45,10 +70,23 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_runner_stats(stats: RunnerStats) -> None:
+    """Render the ``--stats`` accounting block."""
+    rows = [
+        ("sessions executed", str(stats.sessions_executed)),
+        ("ticks simulated", str(stats.ticks_simulated)),
+        ("memo hits", str(stats.memo_hits)),
+        ("disk cache hits", str(stats.cache_hits)),
+        ("wall time (s)", f"{stats.wall_seconds:.2f}"),
+        ("ticks/second", f"{stats.ticks_per_second:.0f}"),
+    ]
+    print(render_table(("runner stats", "value"), rows))
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     # Experiment drivers fall back to the default runner; configure it so
     # every figure's session matrix honours --jobs / --cache-dir.
-    configure_default_runner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = configure_default_runner(jobs=args.jobs, cache_dir=args.cache_dir)
     for experiment_id in args.ids:
         experiment = get_experiment(experiment_id)
         print("=" * 72)
@@ -58,6 +96,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = experiment.run()
         print(result.render())
         print(f"\n[{experiment_id} in {time.perf_counter() - started:.1f} s]\n")
+    if args.stats:
+        _print_runner_stats(runner.total_stats)
     return 0
 
 
@@ -133,6 +173,116 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     print(f"\npower saving: {row.power_saving_percent:+.1f}%")
     if row.fps_ratio is not None:
         print(f"fps ratio:    {row.fps_ratio:.2f}")
+    if args.stats:
+        print()
+        _print_runner_stats(runner.total_stats)
+    return 0
+
+
+def _parse_policies(text: str, phone: str) -> List[Tuple[str, FactoryRef]]:
+    """Parse ``--policies android,mobicore`` into labelled factory refs."""
+    policies: List[Tuple[str, FactoryRef]] = []
+    for name in (part.strip().lower() for part in text.split(",")):
+        if not name:
+            continue
+        if name in ("android", "android-default", "default"):
+            policies.append(
+                (
+                    "android",
+                    FactoryRef.to(
+                        "repro.policies.android_default:AndroidDefaultPolicy"
+                    ),
+                )
+            )
+        elif name == "mobicore":
+            policies.append(
+                (
+                    "mobicore",
+                    FactoryRef.to("repro.experiments.common:mobicore_for_phone", phone),
+                )
+            )
+        else:
+            raise ReproError(
+                f"unknown policy {name!r}; --policies takes android and/or mobicore"
+            )
+    if not policies:
+        raise ReproError("--policies must name at least one policy")
+    return policies
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    spec = get_phone_spec(args.phone)  # validate the phone name eagerly
+    config = SimulationConfig(
+        duration_seconds=args.duration, seed=args.seed, warmup_seconds=args.warmup
+    )
+    categories = (
+        tuple(c.strip() for c in args.events.split(",") if c.strip())
+        if args.events
+        else ()
+    )
+    request = TraceRequest(
+        categories=categories, ring_capacity=args.ring, profile=args.profile
+    )
+    workloads = args.workload or ["busyloop:50"]
+    specs: List[SessionSpec] = []
+    for workload in workloads:
+        workload_ref = _build_workload(workload)
+        for policy_name, policy_ref in _parse_policies(args.policies, args.phone):
+            specs.append(
+                SessionSpec(
+                    platform=args.phone,
+                    policy=policy_ref,
+                    workload=workload_ref,
+                    config=config,
+                    pin_uncore_max=args.pin_uncore,
+                    label=f"{workload}/{policy_name}",
+                    trace=request,
+                )
+            )
+
+    runner = SessionRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner.run(specs)
+    sessions = [
+        (specs[index].label, runner.last_events.get(index, []))
+        for index in range(len(specs))
+    ]
+
+    out = Path(args.out)
+    if args.format == "perfetto":
+        document = to_chrome_trace(sessions)
+        validate_chrome_trace(document)
+        out.write_text(json.dumps(document), encoding="utf-8")
+    elif args.format == "jsonl":
+        out.write_text(
+            "".join(events_to_jsonl(events, session=label) for label, events in sessions),
+            encoding="utf-8",
+        )
+    else:  # csv
+        chunks = []
+        for position, (label, events) in enumerate(sessions):
+            text = events_to_csv(events, session=label)
+            chunks.append(text if position == 0 else text.split("\n", 1)[1])
+        out.write_text("".join(chunks), encoding="utf-8")
+
+    rows = []
+    for index, session_spec in enumerate(specs):
+        counts = runner.last_event_counts.get(index, {})
+        buffered = len(runner.last_events.get(index, []))
+        rows.append((session_spec.label, str(sum(counts.values())), str(buffered)))
+    print(f"platform: {spec.name}  {config.duration_seconds:.0f}s @ seed {config.seed}\n")
+    print(render_table(("session", "events", "buffered"), rows))
+    print(f"\nwrote {args.format} trace: {out}")
+    if args.stats:
+        print()
+        _print_runner_stats(runner.total_stats)
+    return 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    counts = summarize_trace_file(args.file)
+    rows = [(key, str(count)) for key, count in sorted(counts.items())]
+    rows.append(("total", str(sum(counts.values()))))
+    print(render_table(("event", "count"), rows))
     return 0
 
 
@@ -156,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="DIR",
             help="content-addressed result cache; warm re-runs simulate nothing",
+        )
+        command.add_argument(
+            "--stats",
+            action="store_true",
+            help="print runner accounting (sessions, ticks, hits, wall time)",
         )
 
     sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
@@ -188,6 +343,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runner_options(compare)
     compare.set_defaults(func=_cmd_compare)
+
+    trace = sub.add_parser(
+        "trace", help="record and inspect typed event traces (ftrace-style)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    trace_run = trace_sub.add_parser(
+        "run", help="run traced sessions and export the event stream"
+    )
+    trace_run.add_argument(
+        "--workload",
+        action="append",
+        metavar="DESC",
+        help="busyloop:<percent> | game:<title> | geekbench; repeatable "
+        "(default: busyloop:50)",
+    )
+    trace_run.add_argument("--phone", default="Nexus 5", help="catalog phone")
+    trace_run.add_argument("--duration", type=float, default=60.0, help="seconds")
+    trace_run.add_argument("--warmup", type=float, default=4.0, help="seconds")
+    trace_run.add_argument("--seed", type=int, default=0)
+    trace_run.add_argument(
+        "--policies",
+        default="android,mobicore",
+        help="comma list of android and/or mobicore (default: both)",
+    )
+    trace_run.add_argument(
+        "--format",
+        choices=("perfetto", "jsonl", "csv"),
+        default="perfetto",
+        help="export format (perfetto JSON loads in ui.perfetto.dev)",
+    )
+    trace_run.add_argument(
+        "--out", default="trace.json", metavar="FILE", help="output path"
+    )
+    trace_run.add_argument(
+        "--ring",
+        type=int,
+        default=None,
+        metavar="N",
+        help="ring-buffer capacity; oldest events are dropped beyond it",
+    )
+    trace_run.add_argument(
+        "--events",
+        default=None,
+        metavar="CATS",
+        help="comma list of event categories to record "
+        "(cpufreq,hotplug,cgroup,cpuidle,sched,policy,counters)",
+    )
+    trace_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="also time each kernel subsystem's apply step",
+    )
+    trace_run.add_argument(
+        "--pin-uncore",
+        action="store_true",
+        help="pin GPU/memory at max (the section 3.2 constraint)",
+    )
+    add_runner_options(trace_run)
+    trace_run.set_defaults(func=_cmd_trace_run)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="count events per type in a trace file"
+    )
+    trace_summary.add_argument("file", help="perfetto/jsonl/csv trace file")
+    trace_summary.set_defaults(func=_cmd_trace_summary)
     return parser
 
 

@@ -271,8 +271,25 @@ class MobiCorePolicy(CpuPolicy):
         for core_id in range(observation.num_cores):
             if mask[core_id] and targets[core_id] is None:
                 targets[core_id] = fill
+
+        # Self-reported cause for the trace: the detected workload mode
+        # plus whichever mechanism this tick actually moved.
+        mode = self.predictor.classify(
+            clamp(
+                observation.total_scaled_load_percent / observation.num_cores,
+                0.0,
+                100.0,
+            ),
+            self.predictor.trend_percent_per_tick,
+        )
+        reason = mode.name.lower()
+        if active_cores != observation.online_count:
+            reason += f":cores{active_cores - observation.online_count:+d}"
+        if quota != observation.quota:
+            reason += ":quota"
         return PolicyDecision(
             target_frequencies_khz=targets,
             online_mask=mask,
             quota=quota,
+            reason=reason,
         )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
 from ..errors import GovernorError
 from ..soc.opp import OppTable
@@ -51,6 +51,10 @@ class Governor(abc.ABC):
 
     #: Sysfs-style governor name ("ondemand", "interactive", ...).
     name: str = "abstract"
+
+    #: Why the last :meth:`select` chose what it chose (observability;
+    #: e.g. ``"jump_to_max"``).  ``None`` until the first selection.
+    last_reason: Optional[str] = None
 
     @abc.abstractmethod
     def select(self, observation: GovernorInput) -> int:

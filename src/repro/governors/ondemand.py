@@ -44,14 +44,18 @@ class OndemandGovernor(Governor):
 
     def reset(self) -> None:
         self._hold_remaining = 0
+        self.last_reason = None
 
     def select(self, observation: GovernorInput) -> int:
         table = observation.opp_table
         if observation.load_percent >= self.up_threshold:
             self._hold_remaining = self.sampling_down_factor
+            self.last_reason = "jump_to_max"
             return table.max_frequency_khz
         if self._hold_remaining > 0:
             self._hold_remaining -= 1
+            self.last_reason = "hold"
             return observation.current_khz
         target = observation.current_khz * observation.load_percent / self.up_threshold
+        self.last_reason = "proportional_down"
         return table.floor(target).frequency_khz

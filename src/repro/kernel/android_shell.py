@@ -23,6 +23,9 @@ and globally:
 * ``/sys/fs/cgroup/cpu/cpu.cfs_quota_us`` / ``cpu.cfs_period_us``
 * ``/sys/class/thermal/thermal_zone0/temp`` (millidegrees, ro)
 * ``/proc/stat/global_util`` (ro, percent)
+* ``/sys/kernel/debug/tracing/...`` (the ftrace knob set, registered
+  only when the simulator carries a tracepoint bus; see
+  :mod:`repro.obs.debugfs`)
 
 Writes take effect immediately on the simulator's kernel objects; an
 actively deciding policy may of course override them on its next tick,
@@ -34,6 +37,7 @@ from __future__ import annotations
 from .simulator import Simulator
 from .sysfs import SysfsTree
 from ..errors import ConfigError
+from ..obs.debugfs import register_tracing_knobs
 
 __all__ = ["build_sysfs"]
 
@@ -129,4 +133,6 @@ def build_sysfs(simulator: Simulator) -> SysfsTree:
         "proc/stat/global_util",
         lambda: round(cluster.global_utilization_percent(), 1),
     )
+    if simulator.session.trace_bus is not None:
+        register_tracing_knobs(tree, simulator.session.trace_bus)
     return tree

@@ -16,6 +16,8 @@ core offers ``f * dt * q`` cycles per tick.  MobiCore's bandwidth step
 from __future__ import annotations
 
 from ..errors import BandwidthError
+from ..obs.bus import NULL_TRACEPOINT, TracepointBus
+from ..obs.events import QuotaEvent
 from ..units import require_positive
 
 __all__ = ["CpuBandwidthController"]
@@ -39,6 +41,11 @@ class CpuBandwidthController:
         self.min_quota = min_quota
         self._quota = 1.0
         self._update_count = 0
+        self._tp_quota = NULL_TRACEPOINT
+
+    def attach_trace(self, bus: TracepointBus) -> None:
+        """Register this subsystem's tracepoints on *bus*."""
+        self._tp_quota = bus.tracepoint("cgroup", "quota_update", QuotaEvent)
 
     @property
     def quota(self) -> float:
@@ -66,6 +73,13 @@ class CpuBandwidthController:
         clamped = max(quota, self.min_quota)
         if clamped != self._quota:
             self._update_count += 1
+            tp = self._tp_quota
+            if tp.enabled:
+                tp.emit(
+                    old_quota=self._quota,
+                    new_quota=clamped,
+                    reason=tp.bus.ctx_reason,
+                )
         self._quota = clamped
         return self._quota
 

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from ..errors import GovernorError
+from ..obs.bus import NULL_TRACEPOINT, TracepointBus
+from ..obs.events import FreqTransitionEvent
 from ..soc.platform import Platform
 
 __all__ = ["FrequencyLimits", "CpufreqSubsystem"]
@@ -50,6 +52,13 @@ class CpufreqSubsystem:
             for _ in platform.cluster.cores
         ]
         self._transition_count = 0
+        self._tp_transition = NULL_TRACEPOINT
+
+    def attach_trace(self, bus: TracepointBus) -> None:
+        """Register this subsystem's tracepoints on *bus*."""
+        self._tp_transition = bus.tracepoint(
+            "cpufreq", "frequency_transition", FreqTransitionEvent
+        )
 
     @property
     def transition_count(self) -> int:
@@ -108,6 +117,15 @@ class CpufreqSubsystem:
                 frequency = table.floor(frequency).frequency_khz
             if frequency != core.frequency_khz:
                 self._transition_count += 1
+                tp = self._tp_transition
+                if tp.enabled:
+                    tp.emit(
+                        core=core.core_id,
+                        old_khz=core.frequency_khz,
+                        new_khz=frequency,
+                        governor=tp.bus.ctx_governor,
+                        reason=tp.bus.ctx_reason,
+                    )
             core.set_frequency(frequency)
             resolved.append(frequency)
         if not self.platform.allows_per_core_dvfs:
@@ -124,4 +142,13 @@ class CpufreqSubsystem:
         for core in online:
             if core.frequency_khz != fastest:
                 self._transition_count += 1
+                tp = self._tp_transition
+                if tp.enabled:
+                    tp.emit(
+                        core=core.core_id,
+                        old_khz=core.frequency_khz,
+                        new_khz=fastest,
+                        governor=tp.bus.ctx_governor,
+                        reason="shared_rail_unify",
+                    )
                 core.set_frequency(fastest)

@@ -8,9 +8,11 @@ the race-to-idle ablation bench) can quantify exactly that.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..errors import MeterError
+from ..obs.bus import NULL_TRACEPOINT, TracepointBus
+from ..obs.events import CpuidleEvent
 from ..soc.core_state import CoreState
 from ..soc.cpu_cluster import CpuCluster
 from ..units import require_positive
@@ -29,6 +31,12 @@ class CpuidleStats:
             {state: 0.0 for state in CoreState} for _ in range(num_cores)
         ]
         self._total_seconds = 0.0
+        self._last_state: List[Optional[CoreState]] = [None] * num_cores
+        self._tp_entry = NULL_TRACEPOINT
+
+    def attach_trace(self, bus: TracepointBus) -> None:
+        """Register this subsystem's tracepoints on *bus*."""
+        self._tp_entry = bus.tracepoint("cpuidle", "state_entry", CpuidleEvent)
 
     def record(self, cluster: CpuCluster, dt_seconds: float) -> None:
         """Accumulate *dt_seconds* of residency from the cluster's current states.
@@ -42,14 +50,21 @@ class CpuidleStats:
             raise MeterError(
                 f"stats sized for {self.num_cores} cores, cluster has {len(cluster)}"
             )
+        tp = self._tp_entry
         for core in cluster.cores:
             buckets = self._residency[core.core_id]
             if not core.is_online:
                 buckets[CoreState.OFFLINE] += dt_seconds
-                continue
-            busy = core.busy_fraction
-            buckets[CoreState.ACTIVE] += dt_seconds * busy
-            buckets[CoreState.IDLE] += dt_seconds * (1.0 - busy)
+                dominant = CoreState.OFFLINE
+            else:
+                busy = core.busy_fraction
+                buckets[CoreState.ACTIVE] += dt_seconds * busy
+                buckets[CoreState.IDLE] += dt_seconds * (1.0 - busy)
+                dominant = CoreState.ACTIVE if busy > 0.0 else CoreState.IDLE
+            if dominant is not self._last_state[core.core_id]:
+                self._last_state[core.core_id] = dominant
+                if tp.enabled:
+                    tp.emit(core=core.core_id, state=dominant.name)
         self._total_seconds += dt_seconds
 
     @property
@@ -83,3 +98,4 @@ class CpuidleStats:
             for state in buckets:
                 buckets[state] = 0.0
         self._total_seconds = 0.0
+        self._last_state = [None] * self.num_cores

@@ -34,6 +34,7 @@ facade over a :class:`Session` for existing callers.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -47,6 +48,8 @@ from .scheduler import LoadBalancingScheduler
 from .tracing import TickRecord, TraceRecorder
 from ..config import SimulationConfig
 from ..errors import ExperimentError
+from ..obs.bus import NULL_TRACEPOINT, TracepointBus
+from ..obs.events import PolicyDecisionEvent, TickCountersEvent
 from ..policies.base import CpuPolicy, PolicyDecision, SystemObservation
 from ..soc.platform import Platform
 from ..workloads.base import Workload, WorkloadContext
@@ -134,6 +137,19 @@ class KernelStack:
         self.bandwidth = CpuBandwidthController()
         self.procstat = ProcStat()
         self.cpuidle = CpuidleStats(len(platform.cluster))
+        self._trace: Optional[TracepointBus] = None
+
+    def attach_trace(self, bus: TracepointBus) -> None:
+        """Attach a tracepoint bus to every mechanism in the stack.
+
+        Safe to call again (e.g. after :class:`Session.start` swaps in a
+        fresh cpuidle ledger); registration is idempotent on the bus.
+        """
+        self._trace = bus
+        self.cpufreq.attach_trace(bus)
+        self.hotplug.attach_trace(bus)
+        self.bandwidth.attach_trace(bus)
+        self.cpuidle.attach_trace(bus)
 
     def reset(self, pin_uncore_max: bool = False) -> None:
         """Return the whole stack to boot state for a fresh session.
@@ -153,12 +169,47 @@ class KernelStack:
 
     def apply(self, decision: PolicyDecision) -> None:
         """Apply a policy decision through the kernel mechanisms."""
+        bus = self._trace
+        if bus is not None and bus.profile:
+            self._apply_profiled(decision, bus)
+            return
         if decision.online_mask is not None:
             self.hotplug.apply_mask(decision.online_mask)
         if decision.target_frequencies_khz is not None:
             self.cpufreq.apply(decision.target_frequencies_khz)
         if decision.quota is not None:
             self.bandwidth.set_quota(decision.quota)
+        if decision.memory_high is not None:
+            if decision.memory_high:
+                self.platform.memory.pin_high()
+            else:
+                self.platform.memory.set_low()
+        if decision.gpu_pinned_max is not None:
+            if decision.gpu_pinned_max:
+                self.platform.gpu.pin_max()
+            else:
+                self.platform.gpu.unpin()
+
+    def _apply_profiled(self, decision: PolicyDecision, bus: TracepointBus) -> None:
+        """:meth:`apply` with per-subsystem wall-clock timing histograms.
+
+        Timings land in the bus duration histograms, not the event stream:
+        wall-clock measurements are host-dependent and would break trace
+        determinism if they became events.
+        """
+        clock = time.perf_counter
+        if decision.online_mask is not None:
+            began = clock()
+            self.hotplug.apply_mask(decision.online_mask)
+            bus.add_duration("apply.hotplug", clock() - began)
+        if decision.target_frequencies_khz is not None:
+            began = clock()
+            self.cpufreq.apply(decision.target_frequencies_khz)
+            bus.add_duration("apply.cpufreq", clock() - began)
+        if decision.quota is not None:
+            began = clock()
+            self.bandwidth.set_quota(decision.quota)
+            bus.add_duration("apply.bandwidth", clock() - began)
         if decision.memory_high is not None:
             if decision.memory_high:
                 self.platform.memory.pin_high()
@@ -196,6 +247,11 @@ class Session:
         stack: Kernel stack to drive; defaults to a fresh
             :class:`KernelStack` over *platform* (mpdecision disabled, as
             the paper's setup requires).
+        trace: Optional :class:`~repro.obs.bus.TracepointBus`; when given,
+            every kernel mechanism emits typed events through it and the
+            session publishes per-tick counters and policy decisions.
+            ``None`` (the default) leaves all tracepoints on the null
+            tracepoint — zero event allocations.
 
     Either call :meth:`run` for the whole session, or :meth:`start`
     followed by :meth:`step` per tick and :meth:`result` at the end.
@@ -210,6 +266,7 @@ class Session:
         pin_uncore_max: bool = True,
         scheduler: Optional[LoadBalancingScheduler] = None,
         stack: Optional[KernelStack] = None,
+        trace: Optional[TracepointBus] = None,
     ) -> None:
         self.platform = platform
         self.workload = workload
@@ -218,6 +275,14 @@ class Session:
         self.pin_uncore_max = pin_uncore_max
         self.scheduler = scheduler if scheduler is not None else LoadBalancingScheduler()
         self.stack = stack if stack is not None else KernelStack(platform)
+        self.trace_bus = trace
+        self._tp_counters = NULL_TRACEPOINT
+        self._tp_decision = NULL_TRACEPOINT
+        if trace is not None:
+            self.stack.attach_trace(trace)
+            self.scheduler.attach_trace(trace)
+            self._tp_counters = trace.tracepoint("counters", "tick", TickCountersEvent)
+            self._tp_decision = trace.tracepoint("policy", "decision", PolicyDecisionEvent)
         self._clock = SimClock(self.config.tick_seconds)
         self._trace: Optional[TraceRecorder] = None
         self._tick = 0
@@ -244,6 +309,9 @@ class Session:
         # A fresh residency ledger per session: results returned by earlier
         # runs keep their cpuidle statistics instead of aliasing this run's.
         self.stack.cpuidle = CpuidleStats(len(self.platform.cluster))
+        if self.trace_bus is not None:
+            self.trace_bus.clear()
+            self.stack.attach_trace(self.trace_bus)
         self.stack.reset(pin_uncore_max=self.pin_uncore_max)
         self.scheduler.reset()
         self.policy.reset()
@@ -277,6 +345,10 @@ class Session:
         cluster = platform.cluster
         dt = self.config.tick_seconds
         tick = self._tick
+
+        bus = self.trace_bus
+        if bus is not None:
+            bus.set_time_us(int(round(self._clock.now_seconds * 1_000_000)))
 
         demands = self.workload.demand(tick)
         dispatch = self.scheduler.dispatch(
@@ -323,6 +395,18 @@ class Session:
         )
         self._trace.append(record)
 
+        tp = self._tp_counters
+        if tp.enabled:
+            tp.emit(
+                power_mw=breakdown.total_mw,
+                cpu_power_mw=breakdown.cpu_mw,
+                util_percent=snapshot.global_percent,
+                scaled_load_percent=scaled_load,
+                quota=stack.bandwidth.quota,
+                online_cores=sum(cluster.online_mask),
+                temperature_c=temperature,
+            )
+
         observation = SystemObservation(
             tick=tick,
             dt_seconds=dt,
@@ -339,6 +423,26 @@ class Session:
         decision = self.policy.validate_decision(
             self.policy.decide(observation), observation
         )
+        if bus is not None:
+            bus.set_decision_context(
+                util_percent=snapshot.global_percent,
+                governor=self.policy.name,
+                reason=decision.reason,
+            )
+            tp = self._tp_decision
+            if tp.enabled:
+                tp.emit(
+                    policy=self.policy.name,
+                    reason=decision.reason,
+                    util_percent=snapshot.global_percent,
+                    quota=decision.quota,
+                    online_target=(
+                        sum(decision.online_mask)
+                        if decision.online_mask is not None
+                        else None
+                    ),
+                    sets_frequencies=decision.target_frequencies_khz is not None,
+                )
         stack.apply(decision)
         self._clock.advance()
         self._tick += 1

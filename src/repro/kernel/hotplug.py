@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from ..errors import HotplugError
+from ..obs.bus import NULL_TRACEPOINT, TracepointBus
+from ..obs.events import HotplugEvent, MpdecisionVetoEvent
 from ..soc.cpu_cluster import CpuCluster
 
 __all__ = ["HotplugSubsystem"]
@@ -29,6 +31,13 @@ class HotplugSubsystem:
         self._mpdecision_enabled = mpdecision_enabled
         self._transition_latency_seconds = 0.0
         self._vetoed_offline_requests = 0
+        self._tp_state = NULL_TRACEPOINT
+        self._tp_veto = NULL_TRACEPOINT
+
+    def attach_trace(self, bus: TracepointBus) -> None:
+        """Register this subsystem's tracepoints on *bus*."""
+        self._tp_state = bus.tracepoint("hotplug", "core_state", HotplugEvent)
+        self._tp_veto = bus.tracepoint("hotplug", "mpdecision_veto", MpdecisionVetoEvent)
 
     @property
     def mpdecision_enabled(self) -> bool:
@@ -70,8 +79,22 @@ class HotplugSubsystem:
                 if core.is_online and not effective[core.core_id]:
                     effective[core.core_id] = True
                     self._vetoed_offline_requests += 1
+                    tp = self._tp_veto
+                    if tp.enabled:
+                        tp.emit(core=core.core_id)
+        before = self.cluster.online_mask
         self._transition_latency_seconds += self.cluster.set_online_mask(effective)
-        return self.cluster.online_mask
+        after = self.cluster.online_mask
+        tp = self._tp_state
+        if tp.enabled:
+            for core_id, (was, now) in enumerate(zip(before, after)):
+                if was != now:
+                    tp.emit(
+                        core=core_id,
+                        online=now,
+                        util_percent=tp.bus.ctx_util_percent,
+                    )
+        return after
 
     def apply_count(self, count: int) -> List[bool]:
         """Request exactly *count* online cores (lowest ids first)."""

@@ -24,6 +24,8 @@ from typing import Dict, List, Sequence, Tuple
 from .runqueue import RunQueue
 from .task import Task, TaskDemand, WorkItem
 from ..errors import SchedulerError
+from ..obs.bus import NULL_TRACEPOINT, TracepointBus
+from ..obs.events import SchedMigrationEvent
 from ..soc.cpu_cluster import CpuCluster
 from ..units import require_fraction, require_positive
 
@@ -78,6 +80,14 @@ class LoadBalancingScheduler:
         require_positive(backlog_cap_ticks, "backlog_cap_ticks")
         self.backlog_cap_ticks = backlog_cap_ticks
         self._backlog: Dict[int, Tuple[Task, float]] = {}
+        self._last_core: Dict[int, int] = {}
+        self._tp_migration = NULL_TRACEPOINT
+
+    def attach_trace(self, bus: TracepointBus) -> None:
+        """Register this subsystem's tracepoints on *bus*."""
+        self._tp_migration = bus.tracepoint(
+            "sched", "task_migration", SchedMigrationEvent
+        )
 
     @property
     def backlog(self) -> Dict[int, float]:
@@ -92,6 +102,7 @@ class LoadBalancingScheduler:
     def reset(self) -> None:
         """Drop all backlog (new session)."""
         self._backlog.clear()
+        self._last_core.clear()
 
     def dispatch(
         self,
@@ -123,6 +134,13 @@ class LoadBalancingScheduler:
             target = max(remaining, key=lambda cid: remaining[cid])
             queues[target].assign(item.task, item.total_cycles)
             remaining[target] = max(0.0, remaining[target] - item.total_cycles)
+            task_id = item.task.task_id
+            previous = self._last_core.get(task_id)
+            if previous is not None and previous != target:
+                tp = self._tp_migration
+                if tp.enabled:
+                    tp.emit(task_id=task_id, from_core=previous, to_core=target)
+            self._last_core[task_id] = target
 
         # Parallel work divides over whatever capacity is left (water fill).
         for item in parallel_items:

@@ -20,6 +20,7 @@ from .hotplug import HotplugSubsystem
 from .procstat import ProcStat
 from .scheduler import LoadBalancingScheduler
 from ..config import SimulationConfig
+from ..obs.bus import TracepointBus
 from ..policies.base import CpuPolicy
 from ..soc.platform import Platform
 from ..workloads.base import Workload
@@ -47,6 +48,7 @@ class Simulator:
         config: Optional[SimulationConfig] = None,
         pin_uncore_max: bool = True,
         scheduler: Optional[LoadBalancingScheduler] = None,
+        trace: Optional[TracepointBus] = None,
     ) -> None:
         self.session = Session(
             platform,
@@ -55,6 +57,7 @@ class Simulator:
             config,
             pin_uncore_max=pin_uncore_max,
             scheduler=scheduler,
+            trace=trace,
         )
 
     # -- facade attributes ----------------------------------------------
@@ -103,6 +106,11 @@ class Simulator:
     @property
     def procstat(self) -> ProcStat:
         return self.session.stack.procstat
+
+    @property
+    def trace_bus(self) -> Optional[TracepointBus]:
+        """The tracepoint bus, when the simulator was built with one."""
+        return self.session.trace_bus
 
     # -- execution -------------------------------------------------------
 

@@ -10,7 +10,7 @@ way ``adb shell`` writes would.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..errors import ConfigError
 
@@ -74,3 +74,28 @@ class SysfsTree:
             for key in self._getters
             if key == key_prefix or key.startswith(key_prefix + "/")
         )
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate every registered path, sorted (``find /sys`` order)."""
+        return iter(self.list())
+
+    def __len__(self) -> int:
+        """How many knobs are registered."""
+        return len(self._getters)
+
+    def __contains__(self, path: object) -> bool:
+        """True when *path* names a registered knob."""
+        if not isinstance(path, str):
+            return False
+        try:
+            key = self._normalise(path)
+        except ConfigError:
+            return False
+        return key in self._getters
+
+    def is_writable(self, path: str) -> bool:
+        """True when *path* is a registered knob with a setter."""
+        key = self._normalise(path)
+        if key not in self._getters:
+            raise ConfigError(f"no such sysfs path: /{key}")
+        return key in self._setters

@@ -57,6 +57,7 @@ _CSV_COLUMNS = (
     "tick",
     "time_s",
     "global_util_pct",
+    "scaled_load_pct",
     "quota",
     "power_mw",
     "cpu_power_mw",
@@ -160,7 +161,22 @@ class TraceRecorder:
         return max(r.temperature_c for r in measured)
 
     def energy_mj(self, tick_seconds: float) -> float:
-        """Total measured energy, millijoules (Eq. 5 over the session)."""
+        """Total measured energy, millijoules (Eq. 5 over the session).
+
+        Contract:
+
+        * Only **measured** (post-warmup) ticks contribute — warmup
+          transients are excluded from the integral exactly as they are
+          from every mean.
+        * Every record is assumed to span the same *tick_seconds* (the
+          recorder never stores per-tick durations); energy is the
+          rectangle rule ``sum(power_mw) * tick_seconds``.
+        * Consequently ``energy_mj(dt) == mean_power_mw() * (N * dt)``
+          with N the number of measured ticks — pinned by the regression
+          test, so energy and mean power can never drift apart.
+
+        mW times seconds is mJ, so no unit factor appears.
+        """
         measured = self._require_measured()
         return sum(r.power_mw for r in measured) * tick_seconds
 
@@ -175,6 +191,7 @@ class TraceRecorder:
                 r.tick,
                 f"{r.time_seconds:.3f}",
                 f"{r.global_util_percent:.2f}",
+                f"{r.scaled_load_percent:.2f}",
                 f"{r.quota:.3f}",
                 f"{r.power_mw:.2f}",
                 f"{r.cpu_power_mw:.2f}",

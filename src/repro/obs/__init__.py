@@ -1,0 +1,78 @@
+"""Structured observability: the tracepoint bus and its exporters.
+
+Modeled on Linux ftrace/Perfetto, this package is the instrumentation
+substrate of the simulation:
+
+* :mod:`repro.obs.events` — the typed event vocabulary (frequency
+  transitions, hotplug, quota updates, cpuidle entries, scheduler
+  migrations, policy decisions, per-tick counters, runner telemetry);
+* :mod:`repro.obs.bus` — :class:`TracepointBus` and
+  :class:`Tracepoint`: zero-overhead-when-disabled emission sites with
+  ftrace-style per-event enable knobs and an optional ring buffer;
+* :mod:`repro.obs.telemetry` — counters and duration histograms,
+  queryable as a :class:`TelemetrySnapshot`;
+* :mod:`repro.obs.perfetto` — Chrome-trace/Perfetto JSON export
+  (loadable in ``chrome://tracing`` / ui.perfetto.dev);
+* :mod:`repro.obs.export` — JSONL/CSV export and trace-file summaries;
+* :mod:`repro.obs.debugfs` — ``/sys/kernel/debug/tracing``-style knobs
+  over a :class:`~repro.kernel.sysfs.SysfsTree`.
+"""
+
+from .bus import NULL_TRACEPOINT, Tracepoint, TracepointBus
+from .debugfs import TRACING_ROOT, register_tracing_knobs
+from .events import (
+    EVENT_TYPES,
+    CpuidleEvent,
+    FreqTransitionEvent,
+    HotplugEvent,
+    MpdecisionVetoEvent,
+    PolicyDecisionEvent,
+    QuotaEvent,
+    RunnerCacheEvent,
+    RunnerSessionEvent,
+    SchedMigrationEvent,
+    TickCountersEvent,
+    TraceEvent,
+    event_to_dict,
+)
+from .export import (
+    count_events,
+    events_to_csv,
+    events_to_jsonl,
+    read_jsonl,
+    summarize_trace_file,
+)
+from .perfetto import session_chrome_events, to_chrome_trace, validate_chrome_trace
+from .telemetry import Histogram, HistogramSummary, TelemetrySnapshot
+
+__all__ = [
+    "NULL_TRACEPOINT",
+    "Tracepoint",
+    "TracepointBus",
+    "TRACING_ROOT",
+    "register_tracing_knobs",
+    "EVENT_TYPES",
+    "TraceEvent",
+    "FreqTransitionEvent",
+    "HotplugEvent",
+    "MpdecisionVetoEvent",
+    "QuotaEvent",
+    "CpuidleEvent",
+    "SchedMigrationEvent",
+    "PolicyDecisionEvent",
+    "TickCountersEvent",
+    "RunnerSessionEvent",
+    "RunnerCacheEvent",
+    "event_to_dict",
+    "count_events",
+    "events_to_csv",
+    "events_to_jsonl",
+    "read_jsonl",
+    "summarize_trace_file",
+    "session_chrome_events",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "Histogram",
+    "HistogramSummary",
+    "TelemetrySnapshot",
+]

@@ -1,0 +1,75 @@
+"""debugfs-style control knobs for the tracepoint bus.
+
+The paper drives every kernel feature through sysfs writes over
+``adb shell``; ftrace is controlled the same way, through
+``/sys/kernel/debug/tracing``.  This module registers that interface
+over a :class:`~repro.kernel.sysfs.SysfsTree`:
+
+* ``tracing_on`` (rw) — the master switch;
+* ``events/enable`` (rw) — all tracepoints at once;
+* ``events/<category>/<name>/enable`` (rw) — one tracepoint;
+* ``trace_entries`` (ro) — buffered event count;
+* ``dropped_events`` (ro) — ring-buffer evictions.
+
+so tests and examples can toggle tracing exactly the way
+``adb shell "echo 0 > /sys/kernel/debug/tracing/tracing_on"`` would.
+"""
+
+from __future__ import annotations
+
+from .bus import TracepointBus
+from ..errors import ConfigError
+
+__all__ = ["TRACING_ROOT", "register_tracing_knobs"]
+
+#: Where the knobs live, matching the real debugfs mount point.
+TRACING_ROOT = "sys/kernel/debug/tracing"
+
+
+def _parse_switch(value: str) -> bool:
+    text = value.strip()
+    if text in ("0", "1"):
+        return text == "1"
+    raise ConfigError(f"tracing knobs accept '0' or '1', got {value!r}")
+
+
+def register_tracing_knobs(tree, bus: TracepointBus, root: str = TRACING_ROOT) -> None:
+    """Register the ftrace-style knob set for *bus* under *root*.
+
+    Knobs cover the tracepoints registered at call time; attach the bus
+    to the kernel stack (which registers every subsystem's tracepoints)
+    before building the knob tree.
+    """
+
+    def write_tracing_on(value: str) -> None:
+        bus.set_tracing(_parse_switch(value))
+
+    def write_all(value: str) -> None:
+        if _parse_switch(value):
+            bus.enable()
+        else:
+            bus.disable()
+
+    tree.register(
+        f"{root}/tracing_on", lambda: int(bus.tracing_on), write_tracing_on
+    )
+    tree.register(
+        f"{root}/events/enable",
+        lambda: int(all(tp.requested for tp in bus.tracepoints)),
+        write_all,
+    )
+    tree.register(f"{root}/trace_entries", lambda: len(bus))
+    tree.register(f"{root}/dropped_events", lambda: bus.dropped_events)
+
+    for tp in bus.tracepoints:
+        def write_one(value: str, tp=tp) -> None:
+            if _parse_switch(value):
+                bus.enable(tp.category, tp.name)
+            else:
+                bus.disable(tp.category, tp.name)
+
+        tree.register(
+            f"{root}/events/{tp.category}/{tp.name}/enable",
+            lambda tp=tp: int(tp.requested),
+            write_one,
+        )

@@ -1,0 +1,233 @@
+"""Typed trace events — the vocabulary of the tracepoint bus.
+
+Each event class mirrors one ftrace event family: a frozen dataclass
+stamped with the simulated time (``ts_us``, microseconds since session
+start) plus the site-specific payload.  The ``category``/``name`` class
+attributes identify the tracepoint the event belongs to, exactly like
+``/sys/kernel/debug/tracing/events/<category>/<name>`` identifies an
+ftrace event.
+
+Events are plain data: picklable (so workers can ship batches across the
+process boundary), JSON-serialisable via :func:`event_to_dict`, and
+deterministic — every field derives from simulation state, never from
+wall-clock time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "TraceEvent",
+    "FreqTransitionEvent",
+    "HotplugEvent",
+    "MpdecisionVetoEvent",
+    "QuotaEvent",
+    "CpuidleEvent",
+    "SchedMigrationEvent",
+    "PolicyDecisionEvent",
+    "TickCountersEvent",
+    "RunnerSessionEvent",
+    "RunnerCacheEvent",
+    "event_to_dict",
+    "EVENT_TYPES",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: a timestamp plus the identifying class attributes."""
+
+    #: Simulated time in microseconds since session start.
+    ts_us: int
+
+    #: ftrace-style event family, e.g. ``cpufreq`` or ``hotplug``.
+    category = "event"
+    #: Event name within the family.
+    name = "event"
+
+    def payload(self) -> Dict[str, Any]:
+        """The site-specific fields (everything but the timestamp)."""
+        return {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "ts_us"
+        }
+
+
+@dataclass(frozen=True)
+class FreqTransitionEvent(TraceEvent):
+    """One actual frequency change applied to one core (DVFS churn).
+
+    Emitted exactly where :class:`~repro.kernel.cpufreq.CpufreqSubsystem`
+    increments its transition counter, so the event count over a session
+    equals ``dvfs_transitions``.
+    """
+
+    category = "cpufreq"
+    name = "frequency_transition"
+
+    core: int = 0
+    old_khz: int = 0
+    new_khz: int = 0
+    #: The deciding entity (policy/governor name) from the bus context.
+    governor: Optional[str] = None
+    #: Free-form cause from the policy decision, e.g. ``"ondemand:jump_to_max"``.
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class HotplugEvent(TraceEvent):
+    """One core coming online or going offline (DCS churn)."""
+
+    category = "hotplug"
+    name = "core_state"
+
+    core: int = 0
+    online: bool = False
+    #: Global utilization that triggered the decision (bus context).
+    util_percent: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class MpdecisionVetoEvent(TraceEvent):
+    """An offline request swallowed by the mpdecision service."""
+
+    category = "hotplug"
+    name = "mpdecision_veto"
+
+    core: int = 0
+
+
+@dataclass(frozen=True)
+class QuotaEvent(TraceEvent):
+    """An effective CPU-bandwidth quota change (cgroup controller)."""
+
+    category = "cgroup"
+    name = "quota_update"
+
+    old_quota: float = 1.0
+    new_quota: float = 1.0
+    reason: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CpuidleEvent(TraceEvent):
+    """A core entering a new idle-governor state (ACTIVE/IDLE/OFFLINE)."""
+
+    category = "cpuidle"
+    name = "state_entry"
+
+    core: int = 0
+    state: str = "ACTIVE"
+
+
+@dataclass(frozen=True)
+class SchedMigrationEvent(TraceEvent):
+    """A single-thread task landing on a different core than last tick."""
+
+    category = "sched"
+    name = "task_migration"
+
+    task_id: int = 0
+    from_core: int = 0
+    to_core: int = 0
+
+
+@dataclass(frozen=True)
+class PolicyDecisionEvent(TraceEvent):
+    """One per-tick policy decision, with its self-reported cause."""
+
+    category = "policy"
+    name = "decision"
+
+    policy: str = ""
+    reason: Optional[str] = None
+    util_percent: float = 0.0
+    quota: Optional[float] = None
+    #: Requested online-core count (None when the mask is untouched).
+    online_target: Optional[int] = None
+    sets_frequencies: bool = False
+
+
+@dataclass(frozen=True)
+class TickCountersEvent(TraceEvent):
+    """Per-tick counter sample feeding the Perfetto counter tracks."""
+
+    category = "counters"
+    name = "tick"
+
+    power_mw: float = 0.0
+    cpu_power_mw: float = 0.0
+    util_percent: float = 0.0
+    scaled_load_percent: float = 0.0
+    quota: float = 1.0
+    online_cores: int = 0
+    temperature_c: float = 0.0
+
+
+@dataclass(frozen=True)
+class RunnerSessionEvent(TraceEvent):
+    """Runner telemetry: one spec executed (wall time, throughput, worker).
+
+    Unlike kernel events, ``ts_us`` here is wall-clock microseconds since
+    the batch started — runner telemetry measures the host, not the
+    simulated device, and is deliberately excluded from determinism
+    guarantees.
+    """
+
+    category = "runner"
+    name = "session"
+
+    label: str = ""
+    wall_seconds: float = 0.0
+    ticks: int = 0
+    worker_pid: Optional[int] = None
+
+    @property
+    def ticks_per_second(self) -> float:
+        """Simulation throughput of the spec."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ticks / self.wall_seconds
+
+
+@dataclass(frozen=True)
+class RunnerCacheEvent(TraceEvent):
+    """Runner telemetry: where one batch entry's result came from."""
+
+    category = "runner"
+    name = "cache"
+
+    #: ``memo_hit`` | ``cache_hit`` | ``miss`` | ``alias``.
+    outcome: str = "miss"
+    key: Optional[str] = None
+    label: str = ""
+
+
+#: Every event type, keyed ``"category:name"`` (the trace-summary key).
+EVENT_TYPES: Dict[str, type] = {
+    f"{cls.category}:{cls.name}": cls
+    for cls in (
+        FreqTransitionEvent,
+        HotplugEvent,
+        MpdecisionVetoEvent,
+        QuotaEvent,
+        CpuidleEvent,
+        SchedMigrationEvent,
+        PolicyDecisionEvent,
+        TickCountersEvent,
+        RunnerSessionEvent,
+        RunnerCacheEvent,
+    )
+}
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """JSONL-ready form: timestamp, identity, then the payload fields."""
+    doc: Dict[str, Any] = {
+        "ts_us": event.ts_us,
+        "category": event.category,
+        "name": event.name,
+    }
+    doc.update(event.payload())
+    return doc

@@ -1,0 +1,150 @@
+"""Flat trace exports (JSONL, CSV) and trace-file summarisation.
+
+The Perfetto exporter (:mod:`repro.obs.perfetto`) renders tracks for a
+UI; this module renders the same event stream for *tools*: one JSON
+object per line (greppable, streamable) or CSV rows with the payload
+packed into a ``key=value;...`` column.  ``summarize_trace_file`` reads
+any of the three formats back and counts events per type — the engine
+behind ``repro trace summary``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .events import TraceEvent, event_to_dict
+from ..errors import TraceError
+
+__all__ = [
+    "events_to_jsonl",
+    "events_to_csv",
+    "read_jsonl",
+    "count_events",
+    "summarize_trace_file",
+]
+
+_CSV_HEADER = ("ts_us", "session", "category", "name", "payload")
+
+
+def events_to_jsonl(
+    events: Iterable[TraceEvent], session: Optional[str] = None
+) -> str:
+    """One compact JSON object per event, one event per line."""
+    out = io.StringIO()
+    for event in events:
+        doc = event_to_dict(event)
+        if session is not None:
+            doc["session"] = session
+        out.write(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        out.write("\n")
+    return out.getvalue()
+
+
+def events_to_csv(
+    events: Iterable[TraceEvent], session: Optional[str] = None
+) -> str:
+    """CSV rows: timestamp, identity, and the payload as ``k=v;...``."""
+    out = io.StringIO()
+    out.write(",".join(_CSV_HEADER) + "\n")
+    for event in events:
+        payload = ";".join(
+            f"{key}={value}" for key, value in sorted(event.payload().items())
+        )
+        row = (
+            str(event.ts_us),
+            session or "",
+            event.category,
+            event.name,
+            f'"{payload}"',
+        )
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def read_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse :func:`events_to_jsonl` output back into event dicts."""
+    events = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except ValueError as error:
+            raise TraceError(f"bad JSONL at line {line_no}: {error}") from error
+        if not isinstance(doc, dict) or "category" not in doc or "name" not in doc:
+            raise TraceError(f"line {line_no} is not a trace event")
+        events.append(doc)
+    return events
+
+
+def count_events(events: Iterable[TraceEvent]) -> Dict[str, int]:
+    """Events per type, keyed ``"category:name"``."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        key = f"{event.category}:{event.name}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _count_chrome(document: Dict[str, Any]) -> Dict[str, int]:
+    """Per-category counts of a Chrome-trace document (metadata excluded).
+
+    Chrome events carry our original event family in ``cat``; one
+    simulation event maps to one chrome event for every category except
+    ``counters`` (which fans out into several counter tracks), so
+    ``cpufreq``/``hotplug`` counts equal the session's transition
+    counters in this format too.
+    """
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceError("chrome trace is missing the traceEvents list")
+    counts: Dict[str, int] = {}
+    for event in events:
+        if event.get("ph") == "M":
+            continue
+        key = str(event.get("cat", "uncategorised"))
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def summarize_trace_file(path: Union[str, Path]) -> Dict[str, int]:
+    """Per-event-type counts of a trace file in any supported format.
+
+    Detects the format from the content: one JSON object with
+    ``traceEvents`` spanning the whole file (perfetto; counted per
+    category), otherwise JSONL (counted per ``category:name``),
+    otherwise the CSV layout :func:`events_to_csv` writes.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise TraceError(f"cannot read trace file {path}: {error}") from error
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(text)
+        except ValueError:
+            # Not a single document — JSONL files also open with "{".
+            document = None
+        if isinstance(document, dict):
+            return _count_chrome(document)
+    first_line = stripped.splitlines()[0] if stripped else ""
+    if first_line.startswith("ts_us,"):
+        counts: Dict[str, int] = {}
+        for line in stripped.splitlines()[1:]:
+            if not line.strip():
+                continue
+            parts = line.split(",", 4)
+            if len(parts) < 4:
+                raise TraceError(f"{path}: malformed CSV row: {line!r}")
+            key = f"{parts[2]}:{parts[3]}"
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+    counts = {}
+    for doc in read_jsonl(text):
+        key = f"{doc['category']}:{doc['name']}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,264 @@
+"""Chrome-trace / Perfetto JSON export.
+
+Converts a session's event stream into the Trace Event Format that
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* one *process* per session (so an A/B comparison shows both policies
+  side by side), named after the session label;
+* one *thread* per core carrying hotplug/cpuidle instant events;
+* a ``cpuN freq_khz`` counter track per core, stepped by every
+  frequency transition;
+* counter tracks for power, CPU power, utilization, scaled load, quota,
+  online cores, and temperature fed by the per-tick counter events;
+* policy decisions and quota updates as instant events on the policy
+  thread.
+
+The :func:`validate_chrome_trace` checker enforces the invariants the CI
+observability smoke job asserts: required keys per event, known phases,
+and non-decreasing timestamps within each process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .events import (
+    CpuidleEvent,
+    FreqTransitionEvent,
+    HotplugEvent,
+    MpdecisionVetoEvent,
+    PolicyDecisionEvent,
+    QuotaEvent,
+    SchedMigrationEvent,
+    TickCountersEvent,
+    TraceEvent,
+)
+from ..errors import TraceError
+
+__all__ = ["session_chrome_events", "to_chrome_trace", "validate_chrome_trace"]
+
+#: tid layout inside each session's process.
+_POLICY_TID = 0
+
+#: The counter tracks one TickCountersEvent fans out into.
+_TICK_COUNTERS = (
+    ("power_mw", "power_mw"),
+    ("cpu_power_mw", "cpu_power_mw"),
+    ("util_percent", "util_percent"),
+    ("scaled_load_percent", "scaled_load_percent"),
+    ("quota", "quota"),
+    ("online_cores", "online_cores"),
+    ("temperature_c", "temperature_c"),
+)
+
+_KNOWN_PHASES = frozenset("BEIXiCMbens")
+
+
+def _core_tid(core: int) -> int:
+    return core + 1
+
+
+def session_chrome_events(
+    events: Iterable[TraceEvent], pid: int = 0, label: str = "session"
+) -> List[Dict[str, Any]]:
+    """Render one session's events as Chrome trace events under *pid*."""
+    out: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": label},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": _POLICY_TID,
+            "ts": 0,
+            "args": {"name": "policy"},
+        },
+    ]
+    named_cores: set = set()
+
+    def ensure_core_thread(core: int) -> None:
+        if core not in named_cores:
+            named_cores.add(core)
+            out.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": _core_tid(core),
+                    "ts": 0,
+                    "args": {"name": f"cpu{core}"},
+                }
+            )
+
+    def counter(name: str, ts: int, value: Any, cat: str) -> Dict[str, Any]:
+        return {
+            "name": name,
+            "ph": "C",
+            "cat": cat,
+            "pid": pid,
+            "tid": _POLICY_TID,
+            "ts": ts,
+            "args": {"value": value},
+        }
+
+    def instant(
+        name: str, ts: int, tid: int, cat: str, args: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        return {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "cat": cat,
+            "pid": pid,
+            "tid": tid,
+            "ts": ts,
+            "args": args,
+        }
+
+    for event in events:
+        ts = event.ts_us
+        if isinstance(event, FreqTransitionEvent):
+            ensure_core_thread(event.core)
+            out.append(
+                counter(f"cpu{event.core} freq_khz", ts, event.new_khz, "cpufreq")
+            )
+        elif isinstance(event, HotplugEvent):
+            ensure_core_thread(event.core)
+            state = "online" if event.online else "offline"
+            out.append(
+                instant(
+                    f"cpu{event.core} {state}",
+                    ts,
+                    _core_tid(event.core),
+                    "hotplug",
+                    {"util_percent": event.util_percent, "online": event.online},
+                )
+            )
+        elif isinstance(event, MpdecisionVetoEvent):
+            ensure_core_thread(event.core)
+            out.append(
+                instant(
+                    f"cpu{event.core} mpdecision_veto",
+                    ts,
+                    _core_tid(event.core),
+                    "hotplug",
+                    {},
+                )
+            )
+        elif isinstance(event, CpuidleEvent):
+            ensure_core_thread(event.core)
+            out.append(
+                instant(
+                    f"cpu{event.core} {event.state}",
+                    ts,
+                    _core_tid(event.core),
+                    "cpuidle",
+                    {"state": event.state},
+                )
+            )
+        elif isinstance(event, SchedMigrationEvent):
+            ensure_core_thread(event.to_core)
+            out.append(
+                instant(
+                    f"task{event.task_id} migrate",
+                    ts,
+                    _core_tid(event.to_core),
+                    "sched",
+                    {"from_core": event.from_core, "to_core": event.to_core},
+                )
+            )
+        elif isinstance(event, QuotaEvent):
+            out.append(
+                instant(
+                    "quota_update",
+                    ts,
+                    _POLICY_TID,
+                    "cgroup",
+                    {
+                        "old_quota": event.old_quota,
+                        "new_quota": event.new_quota,
+                        "reason": event.reason,
+                    },
+                )
+            )
+        elif isinstance(event, PolicyDecisionEvent):
+            out.append(
+                instant(
+                    "decision",
+                    ts,
+                    _POLICY_TID,
+                    "policy",
+                    {
+                        "policy": event.policy,
+                        "reason": event.reason,
+                        "util_percent": event.util_percent,
+                        "quota": event.quota,
+                        "online_target": event.online_target,
+                    },
+                )
+            )
+        elif isinstance(event, TickCountersEvent):
+            for track, attr in _TICK_COUNTERS:
+                out.append(counter(track, ts, getattr(event, attr), "counters"))
+        else:
+            # Unknown/runner event types become generic instants so
+            # nothing silently disappears from an export.
+            out.append(
+                instant(event.name, ts, _POLICY_TID, event.category, event.payload())
+            )
+    return out
+
+
+def to_chrome_trace(
+    sessions: Sequence[Tuple[str, Iterable[TraceEvent]]]
+) -> Dict[str, Any]:
+    """The full Chrome-trace document: one process per (label, events)."""
+    trace_events: List[Dict[str, Any]] = []
+    for pid, (label, events) in enumerate(sessions):
+        trace_events.extend(session_chrome_events(events, pid=pid, label=label))
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro trace"},
+    }
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Raise :class:`~repro.errors.TraceError` unless *document* is loadable.
+
+    Checks the invariants ui.perfetto.dev relies on: a ``traceEvents``
+    list, the required keys on every event, known phase codes, and —
+    because our timestamps are simulated time — per-process
+    non-decreasing ``ts`` over non-metadata events.
+    """
+    if not isinstance(document, dict):
+        raise TraceError(f"chrome trace must be a JSON object, got {type(document).__name__}")
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        raise TraceError("chrome trace is missing the traceEvents list")
+    last_ts: Dict[int, float] = {}
+    for index, event in enumerate(events):
+        for key in ("name", "ph", "pid", "ts"):
+            if key not in event:
+                raise TraceError(f"traceEvents[{index}] is missing {key!r}")
+        phase = event["ph"]
+        if phase not in _KNOWN_PHASES:
+            raise TraceError(f"traceEvents[{index}] has unknown phase {phase!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise TraceError(f"traceEvents[{index}] has invalid ts {ts!r}")
+        if phase == "M":
+            continue
+        pid = event["pid"]
+        if ts < last_ts.get(pid, 0):
+            raise TraceError(
+                f"traceEvents[{index}] goes back in time: ts {ts} after "
+                f"{last_ts[pid]} in pid {pid}"
+            )
+        last_ts[pid] = ts

@@ -1,0 +1,114 @@
+"""Aggregated observability: counters, duration histograms, snapshots.
+
+The tracepoint bus counts every published event per type and (when
+engine profiling is on) accumulates per-subsystem apply durations.
+:class:`TelemetrySnapshot` is the queryable, immutable digest of both —
+what ``repro trace summary`` renders and what perf work asserts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import TraceError
+
+__all__ = ["Histogram", "HistogramSummary", "TelemetrySnapshot"]
+
+#: Default bucket boundaries for duration histograms, in seconds
+#: (1 us .. 100 ms, decade steps — apply() runs in the micros).
+_DEFAULT_BOUNDS = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+
+
+class Histogram:
+    """Streaming histogram: count/total/min/max plus fixed log buckets."""
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Tuple[float, ...] = _DEFAULT_BOUNDS) -> None:
+        if list(bounds) != sorted(bounds):
+            raise TraceError(f"histogram bounds must be sorted, got {bounds!r}")
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Fold one observation in."""
+        index = 0
+        for bound in self.bounds:
+            if value <= bound:
+                break
+            index += 1
+        self.buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> "HistogramSummary":
+        """The immutable digest of the current state."""
+        return HistogramSummary(
+            count=self.count,
+            total=self.total,
+            mean=self.mean,
+            min=self.min if self.count else 0.0,
+            max=self.max if self.count else 0.0,
+            bounds=self.bounds,
+            buckets=tuple(self.buckets),
+        )
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Frozen view of one histogram."""
+
+    count: int
+    total: float
+    mean: float
+    min: float
+    max: float
+    bounds: Tuple[float, ...]
+    buckets: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """What the bus has seen: per-event-type counts plus profiling.
+
+    Attributes:
+        event_counts: Published events per type, keyed ``"category:name"``.
+        total_events: All events published since the last clear.
+        buffered_events: Events currently held (< total in ring mode).
+        dropped_events: Events evicted by the ring buffer.
+        durations: Profiling histograms, keyed e.g. ``"apply.cpufreq"``.
+    """
+
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    total_events: int = 0
+    buffered_events: int = 0
+    dropped_events: int = 0
+    durations: Dict[str, HistogramSummary] = field(default_factory=dict)
+
+    def count(self, category: str, name: str = "") -> int:
+        """Events of one type — or of a whole category when *name* is empty."""
+        if name:
+            return self.event_counts.get(f"{category}:{name}", 0)
+        prefix = f"{category}:"
+        return sum(
+            count for key, count in self.event_counts.items()
+            if key.startswith(prefix)
+        )
+
+    def rows(self) -> List[Tuple[str, int]]:
+        """(event type, count) pairs, sorted by type — for table rendering."""
+        return sorted(self.event_counts.items())

@@ -71,6 +71,7 @@ class AndroidDefaultPolicy(CpuPolicy):
 
         # DVFS: each online core's governor picks its next OPP.
         targets: List[Optional[float]] = []
+        governor_reason: Optional[str] = None
         for core_id in range(observation.num_cores):
             if not observation.online_mask[core_id]:
                 targets.append(None)
@@ -79,7 +80,8 @@ class AndroidDefaultPolicy(CpuPolicy):
                 # Tickless idle: no sample, frequency (and voltage) hold.
                 targets.append(None)
                 continue
-            selected = self._governors[core_id].select(
+            governor = self._governors[core_id]
+            selected = governor.select(
                 GovernorInput(
                     load_percent=observation.per_core_load_percent[core_id],
                     current_khz=observation.frequencies_khz[core_id],
@@ -87,12 +89,15 @@ class AndroidDefaultPolicy(CpuPolicy):
                     dt_seconds=observation.dt_seconds,
                 )
             )
+            if governor.last_reason is not None:
+                governor_reason = f"{self.governor_name}:{governor.last_reason}"
             targets.append(float(selected))
 
         # DCS: the hotplug driver adjusts the core count off the
         # fmax-normalised load, independently of the governor
         # (section 2.3: "neither unified nor coordinated").
         mask = None
+        reason = governor_reason
         if self.enable_hotplug:
             count = self.hotplug.target_count(
                 observation.total_scaled_load_percent,
@@ -100,6 +105,8 @@ class AndroidDefaultPolicy(CpuPolicy):
                 observation.num_cores,
             )
             mask = [core_id < count for core_id in range(observation.num_cores)]
+            if count != observation.online_count:
+                reason = f"hotplug:{count - observation.online_count:+d}"
             # A newly onlined core starts at the frequency its governor
             # last chose; give it the current maximum target so it can
             # absorb the load that triggered the online.
@@ -116,4 +123,5 @@ class AndroidDefaultPolicy(CpuPolicy):
             target_frequencies_khz=targets,
             online_mask=mask,
             quota=1.0,
+            reason=reason,
         )

@@ -117,6 +117,10 @@ class PolicyDecision:
             the paper's future-work section (section 7).
         gpu_pinned_max: Pin or release the GPU's maximum frequency;
             ``None`` leaves it alone.
+        reason: Free-form self-reported cause of the decision (e.g.
+            ``"ondemand:jump_to_max"``, ``"steady:quota"``).  Purely
+            observational — the kernel mechanisms ignore it, but the
+            tracepoint bus stamps it onto the events the decision causes.
     """
 
     target_frequencies_khz: Optional[Sequence[Optional[float]]] = None
@@ -124,6 +128,7 @@ class PolicyDecision:
     quota: Optional[float] = None
     memory_high: Optional[bool] = None
     gpu_pinned_max: Optional[bool] = None
+    reason: Optional[str] = None
 
     @staticmethod
     def no_change() -> "PolicyDecision":

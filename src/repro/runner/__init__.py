@@ -13,27 +13,32 @@ comparison, figure driver, and the CLI:
   references that make specs portable across process boundaries.
 """
 
-from .spec import FactoryRef, SessionSpec, CACHE_FORMAT_VERSION
+from .spec import FactoryRef, SessionSpec, TraceRequest, CACHE_FORMAT_VERSION
 from .cache import ResultCache, summary_from_dict, summary_to_dict
 from .runner import (
     RunnerStats,
     SessionRunner,
+    SpecExecution,
     configure_default_runner,
     default_runner,
     execute_spec,
+    execute_spec_full,
     set_default_runner,
 )
 
 __all__ = [
     "FactoryRef",
     "SessionSpec",
+    "TraceRequest",
     "CACHE_FORMAT_VERSION",
     "ResultCache",
     "summary_to_dict",
     "summary_from_dict",
     "RunnerStats",
     "SessionRunner",
+    "SpecExecution",
     "execute_spec",
+    "execute_spec_full",
     "default_runner",
     "set_default_runner",
     "configure_default_runner",

@@ -22,33 +22,62 @@ environment variables.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache
 from .spec import SessionSpec
 from ..errors import RunnerError
 from ..kernel.engine import Session
 from ..metrics.summary import SessionSummary, summarize
+from ..obs.events import RunnerCacheEvent, RunnerSessionEvent, TraceEvent
 from ..soc.platform import Platform
 
 __all__ = [
     "RunnerStats",
     "SessionRunner",
+    "SpecExecution",
     "execute_spec",
+    "execute_spec_full",
     "default_runner",
     "set_default_runner",
     "configure_default_runner",
 ]
 
 
-def execute_spec(spec: SessionSpec) -> SessionSummary:
-    """Run one session described by *spec* and reduce it to a summary.
+@dataclass
+class SpecExecution:
+    """Everything one executed spec sends back across the process boundary.
+
+    Attributes:
+        summary: The reduced session result (always present).
+        events: The traced event stream — empty unless the spec carried a
+            :class:`~repro.runner.spec.TraceRequest`.
+        event_counts: Published events per ``"category:name"``, from the
+            bus counters (these include events a ring buffer evicted).
+        wall_seconds: Wall-clock execution time inside the worker.
+        ticks: Simulation ticks the session ran.
+        worker_pid: The executing process, for worker attribution.
+    """
+
+    summary: SessionSummary
+    events: List[TraceEvent] = field(default_factory=list)
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    ticks: int = 0
+    worker_pid: int = 0
+
+
+def execute_spec_full(spec: SessionSpec) -> SpecExecution:
+    """Run one session described by *spec*, with trace and timing.
 
     Module-level so a process pool can pickle it; also the single
     in-process execution path, so serial and parallel runs share code.
     """
+    began = time.perf_counter()
+    bus = spec.trace.build_bus() if spec.trace is not None else None
     platform_spec = spec.resolve_platform_spec()
     session = Session(
         Platform.from_spec(platform_spec),
@@ -56,8 +85,22 @@ def execute_spec(spec: SessionSpec) -> SessionSummary:
         spec.build_policy(),
         spec.config,
         pin_uncore_max=spec.pin_uncore_max,
+        trace=bus,
     )
-    return summarize(session.run())
+    summary = summarize(session.run())
+    return SpecExecution(
+        summary=summary,
+        events=bus.events if bus is not None else [],
+        event_counts=bus.counts if bus is not None else {},
+        wall_seconds=time.perf_counter() - began,
+        ticks=session.ticks_run,
+        worker_pid=os.getpid(),
+    )
+
+
+def execute_spec(spec: SessionSpec) -> SessionSummary:
+    """Run one session described by *spec* and reduce it to a summary."""
+    return execute_spec_full(spec).summary
 
 
 @dataclass
@@ -70,16 +113,29 @@ class RunnerStats:
             zero on a fully warm cache.
         memo_hits: Batch entries served from the in-memory memo.
         cache_hits: Batch entries served from the on-disk cache.
+        wall_seconds: Wall-clock duration of the whole :meth:`run` call.
+        spec_timings: Per-executed-spec ``(label, wall_seconds)`` pairs,
+            in completion order (label falls back to the workload/policy
+            description when the spec carries none).
     """
 
     sessions_executed: int = 0
     ticks_simulated: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
+    wall_seconds: float = 0.0
+    spec_timings: List[Tuple[str, float]] = field(default_factory=list)
 
     @property
     def total(self) -> int:
         return self.sessions_executed + self.memo_hits + self.cache_hits
+
+    @property
+    def ticks_per_second(self) -> float:
+        """Batch simulation throughput (executed ticks over wall time)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.ticks_simulated / self.wall_seconds
 
 
 @dataclass
@@ -94,12 +150,29 @@ class SessionRunner:
             the old hand-rolled ``game_eval._CACHE`` played, now shared
             by every consumer).
         last_stats: Accounting of the most recent :meth:`run` call.
+        total_stats: The same counters accumulated over every
+            :meth:`run` call on this runner — what ``--stats`` prints
+            after a multi-batch command.
+        last_events: Traced event streams of the most recent batch,
+            keyed by batch index (only traced specs appear).  Workers
+            ship their event batches back with the summary, so traced
+            runs work identically under ``jobs > 1``.
+        last_event_counts: Bus counters per traced batch index (these
+            include events a ring buffer evicted).
+        telemetry: Runner self-observation events for the most recent
+            batch (:class:`RunnerSessionEvent` per execution,
+            :class:`RunnerCacheEvent` per batch entry), stamped with
+            wall-clock microseconds since the batch started.
     """
 
     jobs: int = 1
     cache_dir: Optional[Union[str, os.PathLike]] = None
     memoize: bool = True
     last_stats: RunnerStats = field(default_factory=RunnerStats)
+    total_stats: RunnerStats = field(default_factory=RunnerStats)
+    last_events: Dict[int, List[TraceEvent]] = field(default_factory=dict)
+    last_event_counts: Dict[int, Dict[str, int]] = field(default_factory=dict)
+    telemetry: List[TraceEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if int(self.jobs) < 1:
@@ -128,8 +201,16 @@ class SessionRunner:
         (non-portable specs always run in-process).  Results land at the
         index of their spec, so ordering is deterministic no matter how
         workers are scheduled.
+
+        Traced specs (``spec.trace`` set) always execute — a cached
+        summary has no event stream — but their summaries are still
+        stored, warming the cache for later untraced runs.
         """
+        batch_began = time.perf_counter()
         stats = RunnerStats()
+        self.last_events = {}
+        self.last_event_counts = {}
+        self.telemetry = []
         results: List[Optional[SessionSummary]] = [None] * len(specs)
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
@@ -146,6 +227,11 @@ class SessionRunner:
                 continue
             key = spec.cache_key()
             keys[index] = key
+            if spec.trace is not None:
+                # Traced specs bypass memo/cache/alias: only a real
+                # execution produces the event stream.
+                pending.append(index)
+                continue
             if key in first_with_key:
                 # Duplicate spec within the batch: simulate once, copy after.
                 aliases.append(index)
@@ -154,6 +240,7 @@ class SessionRunner:
             if self.memoize and key in self._memo:
                 results[index] = self._memo[key]
                 stats.memo_hits += 1
+                self._tell(batch_began, RunnerCacheEvent, outcome="memo_hit", key=key, label=spec.label)
                 continue
             if self._cache is not None:
                 cached = self._cache.load(key)
@@ -162,47 +249,88 @@ class SessionRunner:
                     if self.memoize:
                         self._memo[key] = cached
                     stats.cache_hits += 1
+                    self._tell(batch_began, RunnerCacheEvent, outcome="cache_hit", key=key, label=spec.label)
                     continue
             pending.append(index)
+            self._tell(batch_began, RunnerCacheEvent, outcome="miss", key=key, label=spec.label)
 
         parallelizable = [i for i in pending if specs[i].is_portable]
         inline = [i for i in pending if not specs[i].is_portable]
         if self.jobs > 1 and len(parallelizable) > 1:
             with ProcessPoolExecutor(max_workers=min(self.jobs, len(parallelizable))) as pool:
-                for index, summary in zip(
+                for index, execution in zip(
                     parallelizable,
-                    pool.map(execute_spec, [specs[i] for i in parallelizable]),
+                    pool.map(execute_spec_full, [specs[i] for i in parallelizable]),
                 ):
-                    results[index] = summary
-                    self._record_executed(specs[index], summary, keys[index], stats)
+                    results[index] = execution.summary
+                    self._record_executed(
+                        index, specs[index], execution, keys[index], stats, batch_began
+                    )
         else:
             inline = sorted(parallelizable + inline)
         for index in inline:
-            summary = execute_spec(specs[index])
-            results[index] = summary
-            self._record_executed(specs[index], summary, keys[index], stats)
+            execution = execute_spec_full(specs[index])
+            results[index] = execution.summary
+            self._record_executed(
+                index, specs[index], execution, keys[index], stats, batch_began
+            )
         for index in aliases:
             results[index] = results[first_with_key[keys[index]]]
             stats.memo_hits += 1
+            self._tell(
+                batch_began,
+                RunnerCacheEvent,
+                outcome="alias",
+                key=keys[index],
+                label=specs[index].label,
+            )
 
+        stats.wall_seconds = time.perf_counter() - batch_began
         self.last_stats = stats
+        total = self.total_stats
+        total.sessions_executed += stats.sessions_executed
+        total.ticks_simulated += stats.ticks_simulated
+        total.memo_hits += stats.memo_hits
+        total.cache_hits += stats.cache_hits
+        total.wall_seconds += stats.wall_seconds
+        total.spec_timings.extend(stats.spec_timings)
         return results  # type: ignore[return-value]
+
+    def _tell(self, batch_began: float, event_cls, **fields) -> None:
+        """Append one runner-telemetry event (wall-clock timestamped)."""
+        ts_us = int((time.perf_counter() - batch_began) * 1_000_000)
+        self.telemetry.append(event_cls(ts_us=ts_us, **fields))
 
     def _record_executed(
         self,
+        index: int,
         spec: SessionSpec,
-        summary: SessionSummary,
+        execution: SpecExecution,
         key: Optional[str],
         stats: RunnerStats,
+        batch_began: float,
     ) -> None:
         stats.sessions_executed += 1
         stats.ticks_simulated += spec.config.total_ticks
+        label = spec.label or f"spec[{index}]"
+        stats.spec_timings.append((label, execution.wall_seconds))
+        self._tell(
+            batch_began,
+            RunnerSessionEvent,
+            label=label,
+            wall_seconds=execution.wall_seconds,
+            ticks=execution.ticks,
+            worker_pid=execution.worker_pid,
+        )
+        if spec.trace is not None:
+            self.last_events[index] = execution.events
+            self.last_event_counts[index] = execution.event_counts
         if key is None:
             return
         if self.memoize:
-            self._memo[key] = summary
+            self._memo[key] = execution.summary
         if self._cache is not None:
-            self._cache.store(key, summary, spec.cache_payload())
+            self._cache.store(key, execution.summary, spec.cache_payload())
 
     def clear_memo(self) -> None:
         """Drop the in-memory memo (the on-disk cache is untouched)."""

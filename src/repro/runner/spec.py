@@ -26,14 +26,15 @@ import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from importlib import import_module
-from typing import Any, Callable, Tuple, Union
+from typing import Any, Callable, Optional, Tuple, Union
 
 from ..config import SimulationConfig
 from ..errors import RunnerError
+from ..obs.bus import TracepointBus
 from ..soc.catalog import get_phone_spec
 from ..soc.platform import PlatformSpec
 
-__all__ = ["FactoryRef", "SessionSpec", "CACHE_FORMAT_VERSION"]
+__all__ = ["FactoryRef", "SessionSpec", "TraceRequest", "CACHE_FORMAT_VERSION"]
 
 #: Bump when the summary payload or key derivation changes shape;
 #: old cache entries then simply miss instead of deserialising garbage.
@@ -112,6 +113,37 @@ class FactoryRef:
         }
 
 
+@dataclass(frozen=True)
+class TraceRequest:
+    """Ask the runner to record a typed event trace for a spec.
+
+    Carried on :class:`SessionSpec` but deliberately **excluded** from
+    the cache identity: tracing is pure observation — it never changes
+    what the simulation computes — yet a traced spec must actually
+    execute (a cached summary has no event stream), so the runner
+    bypasses memoisation for it instead of forking the key space.
+
+    Attributes:
+        categories: Restrict recording to these event categories
+            (``None`` records everything).
+        ring_capacity: Bound the event buffer ftrace-style; ``None``
+            keeps every event.
+        profile: Arm the per-subsystem ``apply`` timing histograms.
+    """
+
+    categories: Tuple[str, ...] = ()
+    ring_capacity: Optional[int] = None
+    profile: bool = False
+
+    def build_bus(self) -> TracepointBus:
+        """A fresh bus configured as this request asks."""
+        return TracepointBus(
+            capacity=self.ring_capacity,
+            categories=self.categories or None,
+            profile=self.profile,
+        )
+
+
 #: A platform may be named (catalog string), referenced, or passed live.
 PlatformLike = Union[str, FactoryRef, PlatformSpec]
 #: A factory may be a portable ref or any zero-argument callable.
@@ -132,6 +164,9 @@ class SessionSpec:
         label: Free-form tag for grouping results back out of a batch;
             not part of the execution, but part of the cache key via
             ``config.label`` only (this label is runner-side bookkeeping).
+        trace: Optional :class:`TraceRequest`; a traced spec records a
+            typed event stream while it runs.  Not part of the cache
+            identity (see :class:`TraceRequest`).
     """
 
     platform: PlatformLike
@@ -140,6 +175,7 @@ class SessionSpec:
     config: SimulationConfig = field(default_factory=SimulationConfig)
     pin_uncore_max: bool = True
     label: str = ""
+    trace: Optional[TraceRequest] = None
 
     @property
     def is_portable(self) -> bool:

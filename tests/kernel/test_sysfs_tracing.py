@@ -66,6 +66,32 @@ class TestSysfs:
         assert tree.list("cpu") == ["/cpu/cpu0/online", "/cpu/cpu1/online"]
         assert len(tree.list()) == 3
 
+    def test_iteration_matches_list(self):
+        tree = SysfsTree()
+        tree.register("b/two", lambda: 2)
+        tree.register("a/one", lambda: 1, lambda value: None)
+        assert list(tree) == ["/a/one", "/b/two"]
+        assert len(tree) == 2
+        assert all(tree.read(path) in ("1", "2") for path in tree)
+
+    def test_contains(self):
+        tree = SysfsTree()
+        tree.register("cpu/cpu0/online", lambda: 1)
+        assert "cpu/cpu0/online" in tree
+        assert "/cpu/cpu0/online" in tree  # normalised like read()
+        assert "cpu/cpu1/online" not in tree
+        assert 42 not in tree
+        assert "" not in tree
+
+    def test_is_writable(self):
+        tree = SysfsTree()
+        tree.register("ro", lambda: 1)
+        tree.register("rw", lambda: 1, lambda value: None)
+        assert not tree.is_writable("ro")
+        assert tree.is_writable("rw")
+        with pytest.raises(ConfigError):
+            tree.is_writable("missing")
+
 
 class TestTickRecord:
     def test_online_count_and_mean_freq(self):
@@ -119,6 +145,21 @@ class TestTraceRecorder:
         trace.append(record(1, power=1000.0))
         assert trace.energy_mj(0.02) == pytest.approx(40.0)
 
+    def test_energy_contract_mean_power_times_duration(self):
+        # The documented contract: energy integrates measured (post-warmup)
+        # ticks only, each spanning tick_seconds, so it must equal
+        # mean_power_mw * measured duration exactly.
+        dt = 0.02
+        trace = TraceRecorder(warmup_ticks=2)
+        for tick, power in enumerate([9000.0, 8000.0, 1000.0, 2000.0, 3000.0]):
+            trace.append(record(tick, power=power))
+        measured_seconds = len(trace.measured) * dt
+        assert trace.energy_mj(dt) == pytest.approx(
+            trace.mean_power_mw() * measured_seconds
+        )
+        # Warmup power never leaks into the integral.
+        assert trace.energy_mj(dt) == pytest.approx((1000 + 2000 + 3000) * dt)
+
     def test_csv_roundtrip_columns(self):
         trace = TraceRecorder()
         trace.append(record(0, fps=12.5))
@@ -127,3 +168,18 @@ class TestTraceRecorder:
         assert header.split(",")[0] == "tick"
         assert len(row.split(",")) == len(header.split(","))
         assert "12.50" in row
+
+    def test_csv_roundtrip_includes_scaled_load(self):
+        trace = TraceRecorder()
+        trace.append(record(0, fps=12.5))
+        trace.append(record(1))
+        csv = trace.to_csv()
+        lines = csv.strip().splitlines()
+        header = lines[0].split(",")
+        assert "scaled_load_pct" in header
+        column = header.index("scaled_load_pct")
+        # Round-trip: every record's scaled load survives export.
+        for line, r in zip(lines[1:], trace.records):
+            assert float(line.split(",")[column]) == pytest.approx(
+                r.scaled_load_percent, abs=0.01
+            )

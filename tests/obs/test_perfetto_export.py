@@ -1,0 +1,183 @@
+"""Exporters: Chrome-trace shape and validation, JSONL/CSV round trips."""
+
+import json
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs.bus import TracepointBus
+from repro.obs.events import (
+    FreqTransitionEvent,
+    HotplugEvent,
+    QuotaEvent,
+    TickCountersEvent,
+)
+from repro.obs.export import (
+    count_events,
+    events_to_csv,
+    events_to_jsonl,
+    read_jsonl,
+    summarize_trace_file,
+)
+from repro.obs.perfetto import (
+    session_chrome_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def sample_events():
+    """A small, hand-built stream touching every exporter branch used here."""
+    return [
+        FreqTransitionEvent(
+            ts_us=0, core=0, old_khz=300_000, new_khz=960_000,
+            governor="g", reason="r",
+        ),
+        HotplugEvent(ts_us=20_000, core=1, online=False, util_percent=12.5),
+        QuotaEvent(ts_us=40_000, old_quota=1.0, new_quota=0.8, reason="throttle"),
+        TickCountersEvent(
+            ts_us=60_000, power_mw=500.0, cpu_power_mw=300.0, util_percent=40.0,
+            scaled_load_percent=35.0, quota=0.8, online_cores=3, temperature_c=30.0,
+        ),
+    ]
+
+
+class TestChromeExport:
+    def test_required_keys_and_phases(self):
+        events = session_chrome_events(sample_events(), pid=7, label="demo")
+        for event in events:
+            assert {"name", "ph", "pid", "ts"} <= set(event)
+            assert event["pid"] == 7
+        assert {e["ph"] for e in events} == {"M", "C", "i"}
+
+    def test_counter_tracks(self):
+        events = session_chrome_events(sample_events())
+        names = {e["name"] for e in events if e["ph"] == "C"}
+        assert "cpu0 freq_khz" in names
+        assert {"power_mw", "quota", "online_cores", "temperature_c"} <= names
+        freq = next(e for e in events if e["name"] == "cpu0 freq_khz")
+        assert freq["args"]["value"] == 960_000
+
+    def test_instants_land_on_the_right_thread(self):
+        events = session_chrome_events(sample_events())
+        offline = next(e for e in events if e["name"] == "cpu1 offline")
+        assert offline["ph"] == "i" and offline["tid"] == 2  # core 1 -> tid 2
+        quota = next(e for e in events if e["name"] == "quota_update")
+        assert quota["tid"] == 0  # policy thread
+        assert quota["args"]["new_quota"] == 0.8
+
+    def test_process_and_thread_metadata(self):
+        events = session_chrome_events(sample_events(), label="nexus5/android")
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "nexus5/android"
+        thread_names = {e["args"]["name"] for e in meta[1:]}
+        assert {"policy", "cpu0", "cpu1"} <= thread_names
+
+    def test_multi_session_document(self):
+        document = to_chrome_trace(
+            [("a", sample_events()), ("b", sample_events())]
+        )
+        validate_chrome_trace(document)
+        pids = {e["pid"] for e in document["traceEvents"]}
+        assert pids == {0, 1}
+        assert document["otherData"]["generator"] == "repro trace"
+
+
+class TestValidation:
+    def test_missing_trace_events_rejected(self):
+        with pytest.raises(TraceError):
+            validate_chrome_trace({"displayTimeUnit": "ms"})
+        with pytest.raises(TraceError):
+            validate_chrome_trace([])
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(TraceError):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "i", "ts": 0}]})
+
+    def test_unknown_phase_rejected(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "Z", "pid": 0, "ts": 0}]}
+        with pytest.raises(TraceError):
+            validate_chrome_trace(bad)
+
+    def test_time_travel_rejected_per_pid(self):
+        def ev(ts, pid=0):
+            return {"name": "x", "ph": "i", "s": "t", "pid": pid, "tid": 0, "ts": ts}
+
+        with pytest.raises(TraceError):
+            validate_chrome_trace({"traceEvents": [ev(10), ev(5)]})
+        # Different pids have independent clocks.
+        validate_chrome_trace({"traceEvents": [ev(10, pid=0), ev(5, pid=1)]})
+
+    def test_negative_ts_rejected(self):
+        bad = {"traceEvents": [{"name": "x", "ph": "i", "pid": 0, "ts": -1}]}
+        with pytest.raises(TraceError):
+            validate_chrome_trace(bad)
+
+
+class TestFlatExports:
+    def test_jsonl_round_trip(self):
+        text = events_to_jsonl(sample_events(), session="demo")
+        docs = read_jsonl(text)
+        assert len(docs) == 4
+        assert docs[0]["category"] == "cpufreq"
+        assert docs[0]["session"] == "demo"
+        assert docs[0]["new_khz"] == 960_000
+        assert docs[-1]["ts_us"] == 60_000
+
+    def test_read_jsonl_rejects_garbage(self):
+        with pytest.raises(TraceError):
+            read_jsonl("not json\n")
+        with pytest.raises(TraceError):
+            read_jsonl('{"no": "identity"}\n')
+
+    def test_csv_shape(self):
+        text = events_to_csv(sample_events(), session="demo")
+        lines = text.strip().splitlines()
+        assert lines[0] == "ts_us,session,category,name,payload"
+        assert len(lines) == 5
+        ts, session, category, name, payload = lines[1].split(",", 4)
+        assert (ts, session, category) == ("0", "demo", "cpufreq")
+        assert "new_khz=960000" in payload
+
+    def test_count_events(self):
+        counts = count_events(sample_events())
+        assert counts == {
+            "cpufreq:frequency_transition": 1,
+            "hotplug:core_state": 1,
+            "cgroup:quota_update": 1,
+            "counters:tick": 1,
+        }
+
+
+class TestSummarizeTraceFile:
+    def test_jsonl_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(events_to_jsonl(sample_events()), encoding="utf-8")
+        assert summarize_trace_file(path) == count_events(sample_events())
+
+    def test_csv_file(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(events_to_csv(sample_events()), encoding="utf-8")
+        assert summarize_trace_file(path) == count_events(sample_events())
+
+    def test_chrome_file_counts_per_category(self, tmp_path):
+        path = tmp_path / "trace.json"
+        document = to_chrome_trace([("demo", sample_events())])
+        path.write_text(json.dumps(document), encoding="utf-8")
+        counts = summarize_trace_file(path)
+        # One chrome event per simulation event — except counters, which
+        # fan out into one event per counter track.
+        assert counts["cpufreq"] == 1
+        assert counts["hotplug"] == 1
+        assert counts["cgroup"] == 1
+        assert counts["counters"] == 7
+
+    def test_unreadable_content_rejected(self, tmp_path):
+        path = tmp_path / "junk.txt"
+        path.write_text("certainly not a trace\n", encoding="utf-8")
+        with pytest.raises(TraceError):
+            summarize_trace_file(path)
+
+    def test_missing_file_raises_trace_error(self, tmp_path):
+        with pytest.raises(TraceError):
+            summarize_trace_file(tmp_path / "absent.json")

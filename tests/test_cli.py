@@ -87,3 +87,66 @@ class TestCompare:
         assert len(list(tmp_path.glob("*.json"))) == 2  # both sessions cached
         assert main(argv) == 0  # warm re-run, served from the cache
         assert capsys.readouterr().out == cold
+
+
+class TestTrace:
+    def trace_args(self, out, fmt="perfetto", extra=()):
+        return [
+            "trace", "run", "--workload", "busyloop:40", "--duration", "2",
+            "--warmup", "0.5", "--policies", "android", "--format", fmt,
+            "--out", str(out), *extra,
+        ]
+
+    def test_perfetto_export_and_summary(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(self.trace_args(out)) == 0
+        run_output = capsys.readouterr().out
+        assert "busyloop:40/android" in run_output
+        assert "wrote perfetto trace" in run_output
+        assert out.exists()
+        assert main(["trace", "summary", str(out)]) == 0
+        summary_output = capsys.readouterr().out
+        assert "cpufreq" in summary_output
+        assert "total" in summary_output
+
+    def test_jsonl_with_filters_and_stats(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        extra = ("--events", "cpufreq,hotplug", "--ring", "500", "--stats",
+                 "--jobs", "2", "--workload", "busyloop:70")
+        assert main(self.trace_args(out, fmt="jsonl", extra=extra)) == 0
+        run_output = capsys.readouterr().out
+        assert "sessions executed" in run_output
+        assert "ticks/second" in run_output
+        assert main(["trace", "summary", str(out)]) == 0
+        summary_output = capsys.readouterr().out
+        assert "cpufreq:frequency_transition" in summary_output
+        assert "counters:tick" not in summary_output  # filtered out
+
+    def test_csv_format(self, capsys, tmp_path):
+        out = tmp_path / "trace.csv"
+        assert main(self.trace_args(out, fmt="csv")) == 0
+        capsys.readouterr()
+        header = out.read_text(encoding="utf-8").splitlines()[0]
+        assert header == "ts_us,session,category,name,payload"
+        assert main(["trace", "summary", str(out)]) == 0
+        assert "policy:decision" in capsys.readouterr().out
+
+    def test_unknown_policy_fails_cleanly(self, capsys, tmp_path):
+        argv = self.trace_args(tmp_path / "t.json")
+        argv[argv.index("android")] = "performance"
+        assert main(argv) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+
+class TestStatsFlag:
+    def test_compare_stats(self, capsys):
+        argv = [
+            "compare", "--workload", "busyloop:30", "--duration", "5",
+            "--warmup", "1", "--stats",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sessions executed" in out
+        assert "ticks simulated" in out
+        assert "memo hits" in out
+        assert "wall time (s)" in out
