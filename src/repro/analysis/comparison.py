@@ -22,6 +22,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
+from ..faults.plan import FaultPlan
 from ..metrics.summary import SessionSummary
 from ..runner.runner import SessionRunner, default_runner
 from ..runner.spec import FactoryLike, FactoryRef, PlatformLike, SessionSpec
@@ -82,6 +83,10 @@ class PolicyComparison:
         pin_uncore_max: Experiment constraint (games pin the GPU high).
         runner: Execution service; defaults to the process-wide default
             runner at call time.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` injected
+            into *every* session of the comparison, so both policies are
+            measured under the same adversity (e.g. the same thermal
+            clamp window).
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class PolicyComparison:
         config: Optional[SimulationConfig] = None,
         pin_uncore_max: bool = True,
         runner: Optional[SessionRunner] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.platform = spec
         self.baseline_factory = baseline_factory
@@ -99,6 +105,7 @@ class PolicyComparison:
         self.config = config if config is not None else SimulationConfig()
         self.pin_uncore_max = pin_uncore_max
         self.runner = runner
+        self.faults = faults
 
     @property
     def spec(self) -> PlatformSpec:
@@ -123,6 +130,7 @@ class PolicyComparison:
                 workload=workload_factory,
                 config=config,
                 pin_uncore_max=self.pin_uncore_max,
+                faults=self.faults,
             )
             for policy_factory in (self.baseline_factory, self.candidate_factory)
         ]

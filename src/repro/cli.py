@@ -11,6 +11,9 @@ Usage::
     python -m repro compare --workload geekbench --jobs 2
     python -m repro trace run --workload busyloop:60 --format perfetto --out trace.json
     python -m repro trace summary trace.json
+    python -m repro faults template > plan.json
+    python -m repro compare --workload busyloop:60 --faults plan.json
+    python -m repro faults demo
 
 ``compare`` runs the Android default and MobiCore on the same demand
 (same seed) and prints the paper-style deltas.  ``--jobs N`` fans the
@@ -18,6 +21,14 @@ sessions out over N worker processes; ``--cache-dir`` enables the
 content-addressed result cache, so warm re-runs simulate nothing.
 ``--stats`` (on ``run`` and ``compare``) reports what the runner did:
 sessions executed, ticks simulated, memo/cache hits, wall time.
+
+``--retries N`` re-schedules crashed/raising/hung executions up to N
+times; ``--timeout S`` bounds each spec's wall clock (hung workers are
+terminated).  ``--faults plan.json`` injects a deterministic fault plan
+(thermal throttle, hotplug failure, mpdecision stall, sensor dropout)
+into every session — see ``docs/FAILURE_MODES.md`` for the contract and
+``repro faults template`` for the file format.  ``repro faults demo``
+runs a clean-vs-faulted A/B showing the injected events end to end.
 
 ``trace run`` executes sessions with the tracepoint bus recording and
 exports the typed event stream — ``perfetto`` JSON (loadable in
@@ -40,6 +51,7 @@ from .config import SimulationConfig
 from .errors import ReproError
 from .experiments import get_experiment, list_experiments
 from .experiments.registry import EXPERIMENTS
+from .faults import FaultPlan, SensorDropoutFault, ThermalThrottleFault
 from .obs import (
     events_to_csv,
     events_to_jsonl,
@@ -80,13 +92,35 @@ def _print_runner_stats(stats: RunnerStats) -> None:
         ("wall time (s)", f"{stats.wall_seconds:.2f}"),
         ("ticks/second", f"{stats.ticks_per_second:.0f}"),
     ]
+    # Robustness counters only earn a row when something actually went
+    # wrong, keeping the clean-run output identical to before.
+    for name, value in (
+        ("retries", stats.retries),
+        ("timeouts", stats.timeouts),
+        ("corrupt cache entries", stats.corrupt_cache_entries),
+        ("failed specs", stats.failed_specs),
+    ):
+        if value:
+            rows.append((name, str(value)))
     print(render_table(("runner stats", "value"), rows))
+
+
+def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
+    """Load ``--faults`` when given (typed errors handled by main)."""
+    if not path:
+        return None
+    return FaultPlan.load(path)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     # Experiment drivers fall back to the default runner; configure it so
     # every figure's session matrix honours --jobs / --cache-dir.
-    runner = configure_default_runner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = configure_default_runner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout_seconds=args.timeout,
+    )
     for experiment_id in args.ids:
         experiment = get_experiment(experiment_id)
         print("=" * 72)
@@ -135,7 +169,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     config = SimulationConfig(
         duration_seconds=args.duration, seed=args.seed, warmup_seconds=args.warmup
     )
-    runner = SessionRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = SessionRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout_seconds=args.timeout,
+    )
     comparison = PolicyComparison(
         args.phone,
         baseline_factory=FactoryRef.to(
@@ -147,6 +186,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         config=config,
         pin_uncore_max=args.pin_uncore,
         runner=runner,
+        faults=_load_fault_plan(args.faults),
     )
     row = comparison.compare(_build_workload(args.workload))
     rows = [
@@ -224,6 +264,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         categories=categories, ring_capacity=args.ring, profile=args.profile
     )
     workloads = args.workload or ["busyloop:50"]
+    plan = _load_fault_plan(args.faults)
     specs: List[SessionSpec] = []
     for workload in workloads:
         workload_ref = _build_workload(workload)
@@ -237,10 +278,16 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
                     pin_uncore_max=args.pin_uncore,
                     label=f"{workload}/{policy_name}",
                     trace=request,
+                    faults=plan,
                 )
             )
 
-    runner = SessionRunner(jobs=args.jobs, cache_dir=args.cache_dir)
+    runner = SessionRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout_seconds=args.timeout,
+    )
     runner.run(specs)
     sessions = [
         (specs[index].label, runner.last_events.get(index, []))
@@ -286,6 +333,83 @@ def _cmd_trace_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+#: The example plan ``repro faults template`` prints: a mid-session
+#: thermal clamp followed by a sensor dropout, ready for ``--faults``.
+_TEMPLATE_PLAN = FaultPlan.of(
+    ThermalThrottleFault(at_seconds=5.0, duration_seconds=6.0, steps=5),
+    SensorDropoutFault(at_seconds=14.0, duration_seconds=3.0),
+)
+
+
+def _cmd_faults_template(_args: argparse.Namespace) -> int:
+    print(_TEMPLATE_PLAN.to_json())
+    return 0
+
+
+def _cmd_faults_demo(args: argparse.Namespace) -> int:
+    """A clean-vs-faulted A/B on one workload, fault events included."""
+    config = SimulationConfig(duration_seconds=args.duration, seed=args.seed)
+    plan = _load_fault_plan(args.faults) or _TEMPLATE_PLAN
+    policy = FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy")
+    workload = _build_workload(args.workload)
+    request = TraceRequest(categories=("fault", "policy"))
+    specs = [
+        SessionSpec(
+            platform=args.phone,
+            policy=policy,
+            workload=workload,
+            config=config,
+            label="clean",
+        ),
+        SessionSpec(
+            platform=args.phone,
+            policy=policy,
+            workload=workload,
+            config=config,
+            label="faulted",
+            trace=request,
+            faults=plan,
+        ),
+    ]
+    runner = SessionRunner(jobs=args.jobs, retries=args.retries)
+    report = runner.run_report(specs)
+    report.raise_on_failure()
+    clean, faulted = report.summaries
+
+    print(f"fault plan ({len(plan)} windows):")
+    for fault in plan.faults:
+        until = fault.at_seconds + fault.duration_seconds
+        print(f"  {fault.kind}: {fault.at_seconds:g}s -> {until:g}s")
+    print()
+    events = [
+        event
+        for event in runner.last_events.get(1, [])
+        if event.category == "fault"
+    ]
+    print("injected fault events:")
+    for event in events:
+        print(f"  {event.ts_us / 1e6:7.2f}s  {event.fault}: {event.action} ({event.detail})")
+    print()
+    rows = [
+        ("power (mW)", f"{clean.mean_power_mw:.0f}", f"{faulted.mean_power_mw:.0f}"),
+        ("frequency (MHz)", f"{clean.mean_frequency_khz / 1000:.0f}",
+         f"{faulted.mean_frequency_khz / 1000:.0f}"),
+        ("active cores", f"{clean.mean_online_cores:.2f}",
+         f"{faulted.mean_online_cores:.2f}"),
+        ("load (%)", f"{clean.mean_load_percent:.1f}",
+         f"{faulted.mean_load_percent:.1f}"),
+    ]
+    print(render_table(("metric", "clean", "faulted"), rows))
+    print()
+    print(report.render())
+    if args.out:
+        document = to_chrome_trace([("faulted", runner.last_events.get(1, []))])
+        validate_chrome_trace(document)
+        Path(args.out).write_text(json.dumps(document), encoding="utf-8")
+        print(f"\nwrote perfetto trace: {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -311,6 +435,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--stats",
             action="store_true",
             help="print runner accounting (sessions, ticks, hits, wall time)",
+        )
+        command.add_argument(
+            "--retries",
+            type=int,
+            default=0,
+            metavar="N",
+            help="re-schedule crashed/raising/hung executions up to N times",
+        )
+        command.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-spec wall-clock budget; hung workers are terminated",
         )
 
     sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
@@ -340,6 +478,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--pin-uncore",
         action="store_true",
         help="pin GPU/memory at max (the section 3.2 constraint)",
+    )
+    compare.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="JSON fault plan injected into every session "
+        "(see: repro faults template)",
     )
     add_runner_options(compare)
     compare.set_defaults(func=_cmd_compare)
@@ -401,6 +546,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="pin GPU/memory at max (the section 3.2 constraint)",
     )
+    trace_run.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="JSON fault plan injected into every traced session "
+        "(see: repro faults template)",
+    )
     add_runner_options(trace_run)
     trace_run.set_defaults(func=_cmd_trace_run)
 
@@ -409,6 +561,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_summary.add_argument("file", help="perfetto/jsonl/csv trace file")
     trace_summary.set_defaults(func=_cmd_trace_summary)
+
+    faults = sub.add_parser(
+        "faults", help="deterministic fault injection (plans, demo)"
+    )
+    faults_sub = faults.add_subparsers(dest="faults_command", required=True)
+
+    faults_template = faults_sub.add_parser(
+        "template", help="print an example fault plan JSON for --faults"
+    )
+    faults_template.set_defaults(func=_cmd_faults_template)
+
+    faults_demo = faults_sub.add_parser(
+        "demo", help="run a clean-vs-faulted A/B and show the injected events"
+    )
+    faults_demo.add_argument(
+        "--workload",
+        default="busyloop:70",
+        help="busyloop:<percent> | game:<title> | geekbench",
+    )
+    faults_demo.add_argument("--phone", default="Nexus 5", help="catalog phone")
+    faults_demo.add_argument("--duration", type=float, default=20.0, help="seconds")
+    faults_demo.add_argument("--seed", type=int, default=0)
+    faults_demo.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="JSON fault plan (default: the template plan)",
+    )
+    faults_demo.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes"
+    )
+    faults_demo.add_argument(
+        "--retries", type=int, default=0, metavar="N", help="retry budget"
+    )
+    faults_demo.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the faulted session's perfetto trace here",
+    )
+    faults_demo.set_defaults(func=_cmd_faults_demo)
     return parser
 
 
@@ -423,8 +616,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early: not an error.
+        # Only the close's own I/O failure is ignorable — anything else
+        # (KeyboardInterrupt included) must propagate.
         try:
             sys.stdout.close()
-        except Exception:
+        except OSError:
             pass
         return 0

@@ -24,6 +24,8 @@ __all__ = [
     "MeterError",
     "ExperimentError",
     "RunnerError",
+    "CacheError",
+    "FaultError",
 ]
 
 
@@ -85,3 +87,11 @@ class ExperimentError(ReproError):
 
 class RunnerError(ReproError):
     """A batch session run was misconfigured (bad spec, unresolvable factory)."""
+
+
+class CacheError(RunnerError):
+    """The on-disk result cache hit an I/O failure it could not treat as a miss."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed, or an injected fault fired (chaos harness)."""

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for the simulation and its runner.
+
+Two layers, one package:
+
+* :mod:`repro.faults.plan` — **in-sim faults**: a declarative, seedable
+  :class:`FaultPlan` (thermal throttle clamps, hotplug request failures,
+  mpdecision-style stalls, sensor dropout) attached to a
+  :class:`~repro.runner.spec.SessionSpec` and fired tick-accurately by
+  the :mod:`~repro.faults.injector` inside the engine, with every edge
+  emitted as a typed trace event;
+* :mod:`repro.faults.chaos` — **execution faults**: crash-once / flaky /
+  hanging workloads and cache-corruption helpers that exercise the
+  runner's retry, timeout, and quarantine-and-recompute machinery.
+
+The guarantees the rest of the stack makes when these fire — retry
+counts, degradation order, what :class:`~repro.runner.report.RunReport`
+reports — are the documented contract in ``docs/FAILURE_MODES.md``.
+"""
+
+from .chaos import (
+    CrashOnceWorkload,
+    FlakyOnceWorkload,
+    HangingWorkload,
+    bitflip_cache_entry,
+    truncate_cache_entry,
+)
+from .injector import FaultInjector
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultWindow,
+    HotplugFailFault,
+    MpdecisionStallFault,
+    SensorDropoutFault,
+    ThermalThrottleFault,
+)
+
+__all__ = [
+    "FaultWindow",
+    "ThermalThrottleFault",
+    "HotplugFailFault",
+    "MpdecisionStallFault",
+    "SensorDropoutFault",
+    "FaultPlan",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "CrashOnceWorkload",
+    "FlakyOnceWorkload",
+    "HangingWorkload",
+    "truncate_cache_entry",
+    "bitflip_cache_entry",
+]

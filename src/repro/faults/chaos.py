@@ -1,0 +1,147 @@
+"""Chaos-style runner faults: crashing workers, hangs, cache corruption.
+
+The :mod:`repro.faults.plan` side injects faults *inside* the simulated
+SoC; this module injects faults into the *execution machinery around*
+the simulation — the worker processes and the on-disk cache — so the
+runner's retry/timeout/quarantine paths can be exercised
+deterministically from tests, CI, and ``repro faults demo``.
+
+Every helper here is an ordinary portable workload (referencable with
+:class:`~repro.runner.spec.FactoryRef`) or a pure file mutation, and all
+of them are *once-only by construction*: a crash leaves a token file
+behind, so the retried attempt finds the token and runs clean, producing
+a result bit-identical to a fault-free run (the workloads subclass
+:class:`~repro.workloads.busyloop.BusyLoopApp` and keep its name and
+demand behaviour).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Union
+
+from ..errors import FaultError
+from ..workloads.base import WorkloadContext
+from ..workloads.busyloop import BusyLoopApp
+
+__all__ = [
+    "CrashOnceWorkload",
+    "FlakyOnceWorkload",
+    "HangingWorkload",
+    "truncate_cache_entry",
+    "bitflip_cache_entry",
+]
+
+
+def _claim_token(token_path: str) -> bool:
+    """Atomically create the crash token; True when this call claimed it.
+
+    ``O_CREAT | O_EXCL`` makes the claim race-free across worker
+    processes: exactly one attempt per token path ever observes True.
+    """
+    try:
+        handle = os.open(token_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(handle)
+    return True
+
+
+class CrashOnceWorkload(BusyLoopApp):
+    """A busy loop whose first execution kills its worker process.
+
+    Args:
+        token_path: File created at crash time; once it exists, the
+            workload behaves exactly like a plain
+            :class:`~repro.workloads.busyloop.BusyLoopApp`.
+        target_load_percent: Forwarded to the busy loop.
+
+    The crash is ``os._exit(3)`` during :meth:`prepare` — no exception,
+    no cleanup, the way an OOM kill or a segfault takes out a worker.
+    Under a process pool this surfaces to the runner as a broken pool;
+    the retried attempt finds the token and completes normally, so the
+    surviving summary is bit-identical to a fault-free run.
+    """
+
+    def __init__(self, token_path: str, target_load_percent: float = 40.0) -> None:
+        super().__init__(target_load_percent)
+        self.token_path = str(token_path)
+
+    def prepare(self, context: WorkloadContext) -> None:
+        """Crash the process on the first call per token; run clean after."""
+        if _claim_token(self.token_path):
+            os._exit(3)
+        super().prepare(context)
+
+
+class FlakyOnceWorkload(BusyLoopApp):
+    """A busy loop whose first execution raises (a soft, in-process crash).
+
+    Args:
+        token_path: File created at failure time; later attempts run clean.
+        target_load_percent: Forwarded to the busy loop.
+
+    Unlike :class:`CrashOnceWorkload` the worker process survives — the
+    runner sees an ordinary exception, retries the spec, and the second
+    attempt is bit-identical to a fault-free run.
+    """
+
+    def __init__(self, token_path: str, target_load_percent: float = 40.0) -> None:
+        super().__init__(target_load_percent)
+        self.token_path = str(token_path)
+
+    def prepare(self, context: WorkloadContext) -> None:
+        """Raise :class:`~repro.errors.FaultError` once per token."""
+        if _claim_token(self.token_path):
+            raise FaultError(f"injected flaky failure (token {self.token_path})")
+        super().prepare(context)
+
+
+class HangingWorkload(BusyLoopApp):
+    """A busy loop that wall-clock-sleeps in ``prepare`` (a hung worker).
+
+    Args:
+        hang_seconds: How long the worker stalls.  Keep it finite: the
+            runner's timeout machinery terminates hung workers, but a
+            bounded sleep guarantees cleanup even where that fails.
+        target_load_percent: Forwarded to the busy loop.
+    """
+
+    def __init__(self, hang_seconds: float = 30.0, target_load_percent: float = 40.0) -> None:
+        super().__init__(target_load_percent)
+        self.hang_seconds = float(hang_seconds)
+
+    def prepare(self, context: WorkloadContext) -> None:
+        """Stall for ``hang_seconds`` of real time, then run normally."""
+        time.sleep(self.hang_seconds)
+        super().prepare(context)
+
+
+def truncate_cache_entry(path: Union[str, Path], keep_bytes: int = 40) -> None:
+    """Truncate an on-disk cache entry, as a torn write / full disk would.
+
+    Keeps the first *keep_bytes* bytes so the file still opens and still
+    looks like the start of a JSON document — the checksum (or the JSON
+    parser) must catch it, not the file size.
+    """
+    target = Path(path)
+    data = target.read_bytes()
+    target.write_bytes(data[: max(0, keep_bytes)])
+
+
+def bitflip_cache_entry(path: Union[str, Path], offset_fraction: float = 0.5) -> None:
+    """Flip one bit mid-file, as silent media corruption would.
+
+    The flipped byte sits *offset_fraction* of the way into the file and
+    is chosen inside the JSON payload, so the document usually still
+    parses — only the checksum can tell the entry is damaged.
+    """
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    if not data:
+        raise FaultError(f"cannot bit-flip empty file {target}")
+    index = min(len(data) - 1, max(0, int(len(data) * offset_fraction)))
+    data[index] ^= 0x01
+    target.write_bytes(bytes(data))

@@ -1,0 +1,176 @@
+"""The per-session fault injector: fires fault windows against the stack.
+
+A :class:`FaultInjector` is built fresh at session start from a
+:class:`~repro.faults.plan.FaultPlan` and the session's
+:class:`~repro.kernel.engine.KernelStack`.  Once per tick — before the
+workload emits demand — :meth:`FaultInjector.on_tick` compares the
+simulated clock against every fault window and drives the mechanism
+hooks: the thermal throttle floor, the hotplug failure switch, the
+mpdecision veto, and the sensor-dropout observation filter.
+
+Every edge (a fault firing or clearing) is emitted as a typed
+:class:`~repro.obs.events.FaultInjectionEvent` through the session's
+tracepoint bus, so Perfetto timelines show exactly when the fault was in
+force next to the policy's reaction.  Injection is pure simulation
+state: given the same ``(config, seed, plan)``, a faulted session
+replays bit-identically, which is what lets the runner cache faulted
+results content-addressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from .plan import (
+    FaultPlan,
+    FaultWindow,
+    HotplugFailFault,
+    MpdecisionStallFault,
+    SensorDropoutFault,
+    ThermalThrottleFault,
+)
+from ..errors import FaultError
+from ..obs.bus import NULL_TRACEPOINT, TracepointBus
+from ..obs.events import FaultInjectionEvent
+from ..policies.base import SystemObservation
+
+__all__ = ["FaultInjector"]
+
+
+class _ArmedFault:
+    """One fault window plus its live state (active flag, saved context)."""
+
+    __slots__ = ("fault", "active", "saved")
+
+    def __init__(self, fault: FaultWindow) -> None:
+        self.fault = fault
+        self.active = False
+        #: Pre-fault state to restore on clear (meaning depends on kind).
+        self.saved: Optional[object] = None
+
+
+class FaultInjector:
+    """Drives a :class:`FaultPlan` against one session's kernel stack.
+
+    Args:
+        plan: The fault windows to fire.
+        stack: The session's kernel stack (hotplug, thermal via platform).
+
+    The session calls :meth:`on_tick` at the top of every tick and
+    :meth:`filter_observation` on the observation it is about to hand the
+    policy; everything else is internal.
+    """
+
+    def __init__(self, plan: FaultPlan, stack) -> None:
+        self.plan = plan
+        self.stack = stack
+        self._armed: List[_ArmedFault] = [_ArmedFault(f) for f in plan.faults]
+        self._tp_injection = NULL_TRACEPOINT
+        self._stale_observation: Optional[SystemObservation] = None
+        self._last_observation: Optional[SystemObservation] = None
+
+    def attach_trace(self, bus: TracepointBus) -> None:
+        """Register the fault tracepoint on *bus* (idempotent)."""
+        self._tp_injection = bus.tracepoint("fault", "injection", FaultInjectionEvent)
+
+    @property
+    def active_kinds(self) -> List[str]:
+        """Kinds of the faults currently in force (diagnostics)."""
+        return [armed.fault.kind for armed in self._armed if armed.active]
+
+    # -- per-tick driving ------------------------------------------------
+
+    def on_tick(self, now_seconds: float) -> None:
+        """Fire and clear fault windows against the simulated clock."""
+        for armed in self._armed:
+            should_be_active = armed.fault.active_at(now_seconds)
+            if should_be_active and not armed.active:
+                armed.active = True
+                self._fire(armed)
+            elif armed.active and not should_be_active:
+                armed.active = False
+                self._clear(armed)
+
+    def filter_observation(self, observation: SystemObservation) -> SystemObservation:
+        """The observation the policy should see this tick.
+
+        While a sensor dropout is active, returns the last good
+        observation's utilization fields (delta pinned to zero) stitched
+        onto the current tick; otherwise records the observation as the
+        new "last good" and passes it through unchanged.
+        """
+        dropped = any(
+            isinstance(armed.fault, SensorDropoutFault) and armed.active
+            for armed in self._armed
+        )
+        if not dropped:
+            self._last_observation = observation
+            self._stale_observation = None
+            return observation
+        if self._stale_observation is None:
+            # Freeze at the last pre-fault tick; a dropout from tick zero
+            # has nothing to freeze, so the policy sees an idle system.
+            self._stale_observation = self._last_observation
+        stale = self._stale_observation
+        if stale is None:
+            return replace(
+                observation,
+                per_core_load_percent=tuple(0.0 for _ in observation.online_mask),
+                global_util_percent=0.0,
+                delta_util_percent=0.0,
+            )
+        return replace(
+            observation,
+            per_core_load_percent=tuple(stale.per_core_load_percent),
+            global_util_percent=stale.global_util_percent,
+            delta_util_percent=0.0,
+        )
+
+    # -- fire/clear dispatch ---------------------------------------------
+
+    def _fire(self, armed: _ArmedFault) -> None:
+        fault = armed.fault
+        thermal = self.stack.platform.thermal
+        hotplug = self.stack.hotplug
+        if isinstance(fault, ThermalThrottleFault):
+            thermal.inject_throttle_floor(fault.steps)
+            detail = f"opp cap {thermal.max_allowed_frequency_khz} kHz"
+        elif isinstance(fault, HotplugFailFault):
+            hotplug.set_request_failure(True)
+            detail = "hotplug requests dropped"
+        elif isinstance(fault, MpdecisionStallFault):
+            armed.saved = hotplug.mpdecision_enabled
+            hotplug.set_mpdecision(True)
+            detail = "mpdecision veto re-enabled"
+        elif isinstance(fault, SensorDropoutFault):
+            # filter_observation freezes at the last good tick from here on.
+            detail = "governor sees stale utilization"
+        else:  # pragma: no cover - FAULT_KINDS is the closed registry
+            raise FaultError(f"no injector hook for fault {fault.kind!r}")
+        self._emit(fault, "fired", detail)
+
+    def _clear(self, armed: _ArmedFault) -> None:
+        fault = armed.fault
+        thermal = self.stack.platform.thermal
+        hotplug = self.stack.hotplug
+        if isinstance(fault, ThermalThrottleFault):
+            thermal.clear_throttle_floor()
+            detail = f"opp cap {thermal.max_allowed_frequency_khz} kHz"
+        elif isinstance(fault, HotplugFailFault):
+            hotplug.set_request_failure(False)
+            detail = "hotplug requests honoured"
+        elif isinstance(fault, MpdecisionStallFault):
+            hotplug.set_mpdecision(bool(armed.saved))
+            detail = "mpdecision state restored"
+        elif isinstance(fault, SensorDropoutFault):
+            self._stale_observation = None
+            detail = "sensor feed restored"
+        else:  # pragma: no cover - FAULT_KINDS is the closed registry
+            raise FaultError(f"no injector hook for fault {fault.kind!r}")
+        self._emit(fault, "cleared", detail)
+
+    def _emit(self, fault: FaultWindow, action: str, detail: str) -> None:
+        tp = self._tp_injection
+        if tp.enabled:
+            tp.emit(fault=fault.kind, action=action, detail=detail)

@@ -1,0 +1,258 @@
+"""Declarative, seed-stable fault plans for simulated sessions.
+
+A :class:`FaultPlan` is the in-sim half of the fault-injection layer: a
+tuple of typed fault windows, each saying *what* goes wrong on the
+simulated SoC and *when* (in simulated seconds).  Plans are frozen
+dataclasses holding only primitives, so — exactly like
+:class:`~repro.runner.spec.FactoryRef` — they pickle across process
+boundaries and hash into the runner's content-addressed cache key: a
+faulted session is cached under a different address than its clean twin,
+and replaying the same ``(config, seed, plan)`` is bit-identical.
+
+The four fault kinds mirror the failure modes the paper's evaluation had
+to engineer around (§4.1 kills ``mpdecision`` because it fights the
+governor) and the ones real sustained workloads hit:
+
+* :class:`ThermalThrottleFault` — the platform thermal driver clamps the
+  OPP table mid-session;
+* :class:`HotplugFailFault` — hotplug requests are dropped wholesale
+  (a wedged notifier chain);
+* :class:`MpdecisionStallFault` — an mpdecision-style service comes back
+  from the dead and holds cores online;
+* :class:`SensorDropoutFault` — the utilization sensor stops updating
+  and the governor decides on stale data.
+
+Plans round-trip through JSON (``FaultPlan.from_json`` /
+:meth:`FaultPlan.to_json`) for the CLI's ``--faults plan.json`` flag.
+The contract every mode honours — what fires, what the policy sees, what
+the runner guarantees — is documented in ``docs/FAILURE_MODES.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Type, Union
+
+from ..errors import FaultError
+
+__all__ = [
+    "FaultWindow",
+    "ThermalThrottleFault",
+    "HotplugFailFault",
+    "MpdecisionStallFault",
+    "SensorDropoutFault",
+    "FaultPlan",
+    "FAULT_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Base fault: a half-open activity window on the simulated clock.
+
+    Attributes:
+        at_seconds: Simulated time the fault fires (inclusive).
+        duration_seconds: How long the fault stays in force; the window
+            is ``[at, at + duration)`` in simulated seconds.
+    """
+
+    at_seconds: float
+    duration_seconds: float
+
+    #: Stable identifier used in JSON payloads and trace events.
+    kind = "abstract"
+
+    def __post_init__(self) -> None:
+        if self.at_seconds < 0:
+            raise FaultError(
+                f"{self.kind}: at_seconds must be non-negative, "
+                f"got {self.at_seconds!r}"
+            )
+        if self.duration_seconds <= 0:
+            raise FaultError(
+                f"{self.kind}: duration_seconds must be positive, "
+                f"got {self.duration_seconds!r}"
+            )
+
+    def active_at(self, now_seconds: float) -> bool:
+        """True while *now_seconds* falls inside the fault window."""
+        return self.at_seconds <= now_seconds < self.at_seconds + self.duration_seconds
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-ready canonical form (kind plus every field)."""
+        doc: Dict[str, Any] = {"kind": self.kind}
+        for spec_field in fields(self):
+            doc[spec_field.name] = getattr(self, spec_field.name)
+        return doc
+
+
+@dataclass(frozen=True)
+class ThermalThrottleFault(FaultWindow):
+    """The thermal driver clamps the OPP table for the window's duration.
+
+    While active, the platform's :class:`~repro.soc.thermal.ThermalModel`
+    enforces at least *steps* throttle steps: the cpufreq mechanism caps
+    every frequency request ``steps`` OPPs below the table maximum, no
+    matter what the governor asks for.  Temperature keeps evolving
+    naturally underneath and takes over when the window closes.
+    """
+
+    steps: int = 4
+
+    kind = "thermal_throttle"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.steps < 1:
+            raise FaultError(
+                f"{self.kind}: steps must be at least 1, got {self.steps!r}"
+            )
+
+
+@dataclass(frozen=True)
+class HotplugFailFault(FaultWindow):
+    """Hotplug mask requests fail silently for the window's duration.
+
+    The :class:`~repro.kernel.hotplug.HotplugSubsystem` drops requests
+    wholesale — the online mask freezes at its pre-fault state — and
+    counts them as ``failed_requests``, emitting
+    :class:`~repro.obs.events.HotplugFailureEvent` per dropped request.
+    """
+
+    kind = "hotplug_fail"
+
+
+@dataclass(frozen=True)
+class MpdecisionStallFault(FaultWindow):
+    """An mpdecision-style service holds cores online for the window.
+
+    Re-enables the mpdecision veto (§2.2.2: the stock service "protects
+    the phone from turning off cores"), so every offline request is
+    swallowed and accounted as a veto while the stall lasts.  The
+    pre-fault mpdecision state is restored when the window closes.
+    """
+
+    kind = "mpdecision_stall"
+
+
+@dataclass(frozen=True)
+class SensorDropoutFault(FaultWindow):
+    """The utilization sensor stops updating for the window's duration.
+
+    The governor keeps receiving the *last good* observation — per-core
+    loads, global utilization frozen at their pre-fault values, the
+    delta-utilization signal pinned to zero — while the simulated
+    hardware runs on.  Accounting (power, traces, summaries) still sees
+    the true values; only the policy is blinded.
+    """
+
+    kind = "sensor_dropout"
+
+
+#: Every concrete fault type, keyed by its JSON/trace ``kind`` string.
+FAULT_KINDS: Dict[str, Type[FaultWindow]] = {
+    cls.kind: cls
+    for cls in (
+        ThermalThrottleFault,
+        HotplugFailFault,
+        MpdecisionStallFault,
+        SensorDropoutFault,
+    )
+}
+
+
+def _fault_from_payload(doc: Dict[str, Any]) -> FaultWindow:
+    """Rebuild one fault from its :meth:`FaultWindow.payload` form."""
+    if not isinstance(doc, dict):
+        raise FaultError(f"fault entry must be an object, got {type(doc).__name__}")
+    kind = doc.get("kind")
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise FaultError(
+            f"unknown fault kind {kind!r}; known kinds: {sorted(FAULT_KINDS)}"
+        )
+    kwargs = {key: value for key, value in doc.items() if key != "kind"}
+    known = {spec_field.name for spec_field in fields(cls)}
+    unexpected = set(kwargs) - known
+    if unexpected:
+        raise FaultError(f"{kind}: unexpected fields {sorted(unexpected)}")
+    try:
+        return cls(**kwargs)
+    except TypeError as error:
+        raise FaultError(f"{kind}: {error}") from error
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered tuple of fault windows attached to one session spec.
+
+    Attributes:
+        faults: The fault windows, applied independently each tick;
+            overlapping windows of different kinds compose (e.g. a
+            thermal clamp during a sensor dropout).
+    """
+
+    faults: Tuple[FaultWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        for fault in self.faults:
+            if not isinstance(fault, FaultWindow):
+                raise FaultError(
+                    f"fault plan entries must be FaultWindow instances, "
+                    f"got {type(fault).__name__}"
+                )
+
+    @classmethod
+    def of(cls, *faults: FaultWindow) -> "FaultPlan":
+        """Build a plan the way you would list the faults."""
+        return cls(tuple(faults))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # -- serialisation ---------------------------------------------------
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-ready canonical form (hashed into the runner cache key)."""
+        return {"faults": [fault.payload() for fault in self.faults]}
+
+    def to_json(self, indent: int = 2) -> str:
+        """The plan as a JSON document (the ``--faults`` file format)."""
+        return json.dumps(self.payload(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_payload(cls, doc: Dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`payload` output."""
+        if not isinstance(doc, dict) or not isinstance(doc.get("faults"), list):
+            raise FaultError('fault plan JSON must look like {"faults": [...]}')
+        entries: List[FaultWindow] = [
+            _fault_from_payload(entry) for entry in doc["faults"]
+        ]
+        return cls(tuple(entries))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a plan from JSON text, with typed errors."""
+        try:
+            doc = json.loads(text)
+        except ValueError as error:
+            raise FaultError(f"fault plan is not valid JSON: {error}") from error
+        return cls.from_payload(doc)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan from a JSON file (the CLI ``--faults`` path).
+
+        I/O failures become :class:`~repro.errors.FaultError`;
+        interrupts propagate untouched.
+        """
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as error:
+            raise FaultError(f"cannot read fault plan {path}: {error}") from error
+        return cls.from_json(text)

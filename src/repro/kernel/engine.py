@@ -54,6 +54,11 @@ from ..policies.base import CpuPolicy, PolicyDecision, SystemObservation
 from ..soc.platform import Platform
 from ..workloads.base import Workload, WorkloadContext
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..faults.plan import FaultPlan
+
 __all__ = ["KernelStack", "Session", "SessionResult"]
 
 
@@ -252,6 +257,10 @@ class Session:
             session publishes per-tick counters and policy decisions.
             ``None`` (the default) leaves all tracepoints on the null
             tracepoint — zero event allocations.
+        faults: Optional :class:`~repro.faults.plan.FaultPlan`; when
+            given, a fresh :class:`~repro.faults.injector.FaultInjector`
+            fires the plan's windows tick-accurately against the stack
+            (and emits ``fault:injection`` events on the trace bus).
 
     Either call :meth:`run` for the whole session, or :meth:`start`
     followed by :meth:`step` per tick and :meth:`result` at the end.
@@ -267,6 +276,7 @@ class Session:
         scheduler: Optional[LoadBalancingScheduler] = None,
         stack: Optional[KernelStack] = None,
         trace: Optional[TracepointBus] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.platform = platform
         self.workload = workload
@@ -276,6 +286,8 @@ class Session:
         self.scheduler = scheduler if scheduler is not None else LoadBalancingScheduler()
         self.stack = stack if stack is not None else KernelStack(platform)
         self.trace_bus = trace
+        self.faults = faults
+        self._injector = None
         self._tp_counters = NULL_TRACEPOINT
         self._tp_decision = NULL_TRACEPOINT
         if trace is not None:
@@ -312,6 +324,16 @@ class Session:
         if self.trace_bus is not None:
             self.trace_bus.clear()
             self.stack.attach_trace(self.trace_bus)
+        if self.faults is not None and self.faults:
+            # Deferred import: repro.faults imports policy/obs types from
+            # packages that themselves import the engine.
+            from ..faults.injector import FaultInjector
+
+            self._injector = FaultInjector(self.faults, self.stack)
+            if self.trace_bus is not None:
+                self._injector.attach_trace(self.trace_bus)
+        else:
+            self._injector = None
         self.stack.reset(pin_uncore_max=self.pin_uncore_max)
         self.scheduler.reset()
         self.policy.reset()
@@ -349,6 +371,11 @@ class Session:
         bus = self.trace_bus
         if bus is not None:
             bus.set_time_us(int(round(self._clock.now_seconds * 1_000_000)))
+
+        if self._injector is not None:
+            # Faults fire on the simulated clock, before demand is placed,
+            # so a window's first tick already runs under the fault.
+            self._injector.on_tick(self._clock.now_seconds)
 
         demands = self.workload.demand(tick)
         dispatch = self.scheduler.dispatch(
@@ -420,12 +447,19 @@ class Session:
             backlog_cycles=dispatch.total_backlog,
             allows_per_core_dvfs=platform.allows_per_core_dvfs,
         )
+        if self._injector is not None:
+            # Sensor dropout blinds only the policy: accounting above has
+            # already recorded the true utilization.
+            observation = self._injector.filter_observation(observation)
         decision = self.policy.validate_decision(
             self.policy.decide(observation), observation
         )
         if bus is not None:
+            # Stamp decision context with what the policy actually saw —
+            # identical to the accounting value except under an injected
+            # sensor dropout, where the divergence is the point.
             bus.set_decision_context(
-                util_percent=snapshot.global_percent,
+                util_percent=observation.global_util_percent,
                 governor=self.policy.name,
                 reason=decision.reason,
             )
@@ -434,7 +468,7 @@ class Session:
                 tp.emit(
                     policy=self.policy.name,
                     reason=decision.reason,
-                    util_percent=snapshot.global_percent,
+                    util_percent=observation.global_util_percent,
                     quota=decision.quota,
                     online_target=(
                         sum(decision.online_mask)

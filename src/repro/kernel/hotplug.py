@@ -17,7 +17,7 @@ from typing import List, Sequence
 
 from ..errors import HotplugError
 from ..obs.bus import NULL_TRACEPOINT, TracepointBus
-from ..obs.events import HotplugEvent, MpdecisionVetoEvent
+from ..obs.events import HotplugEvent, HotplugFailureEvent, MpdecisionVetoEvent
 from ..soc.cpu_cluster import CpuCluster
 
 __all__ = ["HotplugSubsystem"]
@@ -29,15 +29,21 @@ class HotplugSubsystem:
     def __init__(self, cluster: CpuCluster, mpdecision_enabled: bool = True) -> None:
         self.cluster = cluster
         self._mpdecision_enabled = mpdecision_enabled
+        self._failing_requests = False
+        self._failed_requests = 0
         self._transition_latency_seconds = 0.0
         self._vetoed_offline_requests = 0
         self._tp_state = NULL_TRACEPOINT
         self._tp_veto = NULL_TRACEPOINT
+        self._tp_failed = NULL_TRACEPOINT
 
     def attach_trace(self, bus: TracepointBus) -> None:
         """Register this subsystem's tracepoints on *bus*."""
         self._tp_state = bus.tracepoint("hotplug", "core_state", HotplugEvent)
         self._tp_veto = bus.tracepoint("hotplug", "mpdecision_veto", MpdecisionVetoEvent)
+        self._tp_failed = bus.tracepoint(
+            "hotplug", "request_failed", HotplugFailureEvent
+        )
 
     @property
     def mpdecision_enabled(self) -> bool:
@@ -47,6 +53,25 @@ class HotplugSubsystem:
     def set_mpdecision(self, enabled: bool) -> None:
         """Enable or disable mpdecision (the paper disables it via adb shell)."""
         self._mpdecision_enabled = enabled
+
+    @property
+    def failing_requests(self) -> bool:
+        """True while injected hotplug failure drops every mask request."""
+        return self._failing_requests
+
+    def set_request_failure(self, failing: bool) -> None:
+        """Arm or disarm injected hotplug failure (the chaos hook).
+
+        While armed, :meth:`apply_mask` discards requests wholesale and
+        the cluster keeps its current state — a wedged hotplug notifier
+        chain, not an error: callers see the unchanged effective mask.
+        """
+        self._failing_requests = bool(failing)
+
+    @property
+    def failed_requests(self) -> int:
+        """Mask requests dropped by injected failure since the last reset."""
+        return self._failed_requests
 
     @property
     def transition_latency_seconds(self) -> float:
@@ -73,6 +98,15 @@ class HotplugSubsystem:
             raise HotplugError(
                 f"mask has {len(mask)} entries for {len(self.cluster)} cores"
             )
+        if self._failing_requests:
+            current = self.cluster.online_mask
+            changes = sum(1 for want, have in zip(mask, current) if want != have)
+            if changes:
+                self._failed_requests += 1
+                tp = self._tp_failed
+                if tp.enabled:
+                    tp.emit(requested_changes=changes)
+            return list(current)
         effective = list(mask)
         if self._mpdecision_enabled:
             for core in self.cluster.cores:
@@ -115,5 +149,7 @@ class HotplugSubsystem:
         """
         self._transition_latency_seconds = 0.0
         self._vetoed_offline_requests = 0
+        self._failing_requests = False
+        self._failed_requests = 0
         for core in self.cluster.cores:
             core.reset_transition_count()

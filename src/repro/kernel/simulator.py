@@ -11,7 +11,10 @@ session for incremental (``step()``) driving.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # deferred: repro.faults imports the engine
+    from ..faults.plan import FaultPlan
 
 from .cgroup import CpuBandwidthController
 from .cpufreq import CpufreqSubsystem
@@ -49,6 +52,7 @@ class Simulator:
         pin_uncore_max: bool = True,
         scheduler: Optional[LoadBalancingScheduler] = None,
         trace: Optional[TracepointBus] = None,
+        faults: Optional["FaultPlan"] = None,
     ) -> None:
         self.session = Session(
             platform,
@@ -58,6 +62,7 @@ class Simulator:
             pin_uncore_max=pin_uncore_max,
             scheduler=scheduler,
             trace=trace,
+            faults=faults,
         )
 
     # -- facade attributes ----------------------------------------------

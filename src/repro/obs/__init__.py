@@ -23,12 +23,15 @@ from .debugfs import TRACING_ROOT, register_tracing_knobs
 from .events import (
     EVENT_TYPES,
     CpuidleEvent,
+    FaultInjectionEvent,
     FreqTransitionEvent,
     HotplugEvent,
+    HotplugFailureEvent,
     MpdecisionVetoEvent,
     PolicyDecisionEvent,
     QuotaEvent,
     RunnerCacheEvent,
+    RunnerRetryEvent,
     RunnerSessionEvent,
     SchedMigrationEvent,
     TickCountersEvent,
@@ -55,14 +58,17 @@ __all__ = [
     "TraceEvent",
     "FreqTransitionEvent",
     "HotplugEvent",
+    "HotplugFailureEvent",
     "MpdecisionVetoEvent",
     "QuotaEvent",
     "CpuidleEvent",
     "SchedMigrationEvent",
     "PolicyDecisionEvent",
     "TickCountersEvent",
+    "FaultInjectionEvent",
     "RunnerSessionEvent",
     "RunnerCacheEvent",
+    "RunnerRetryEvent",
     "event_to_dict",
     "count_events",
     "events_to_csv",

@@ -28,8 +28,11 @@ __all__ = [
     "SchedMigrationEvent",
     "PolicyDecisionEvent",
     "TickCountersEvent",
+    "HotplugFailureEvent",
+    "FaultInjectionEvent",
     "RunnerSessionEvent",
     "RunnerCacheEvent",
+    "RunnerRetryEvent",
     "event_to_dict",
     "EVENT_TYPES",
 ]
@@ -166,6 +169,44 @@ class TickCountersEvent(TraceEvent):
 
 
 @dataclass(frozen=True)
+class HotplugFailureEvent(TraceEvent):
+    """An online-mask request dropped by an injected hotplug failure.
+
+    Emitted by :class:`~repro.kernel.hotplug.HotplugSubsystem` while a
+    :class:`~repro.faults.plan.HotplugFailFault` window is active: the
+    requested mask is discarded wholesale and the cluster keeps its
+    current state, the way a wedged hotplug notifier chain behaves.
+    """
+
+    category = "hotplug"
+    name = "request_failed"
+
+    #: Cores whose state the dropped request would have changed.
+    requested_changes: int = 0
+
+
+@dataclass(frozen=True)
+class FaultInjectionEvent(TraceEvent):
+    """An injected fault firing or clearing (the chaos timeline marker).
+
+    One event per edge of each fault window in a
+    :class:`~repro.faults.plan.FaultPlan`, stamped with simulated time,
+    so a Perfetto timeline shows exactly when the fault was in force
+    next to the policy's reaction.
+    """
+
+    category = "fault"
+    name = "injection"
+
+    #: Fault kind, e.g. ``thermal_throttle`` or ``sensor_dropout``.
+    fault: str = ""
+    #: ``fired`` when the window opens, ``cleared`` when it closes.
+    action: str = "fired"
+    #: Human-readable effect, e.g. ``"opp cap 1958400 kHz"``.
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class RunnerSessionEvent(TraceEvent):
     """Runner telemetry: one spec executed (wall time, throughput, worker).
 
@@ -198,10 +239,28 @@ class RunnerCacheEvent(TraceEvent):
     category = "runner"
     name = "cache"
 
-    #: ``memo_hit`` | ``cache_hit`` | ``miss`` | ``alias``.
+    #: ``memo_hit`` | ``cache_hit`` | ``miss`` | ``alias`` | ``corrupt``.
     outcome: str = "miss"
     key: Optional[str] = None
     label: str = ""
+
+
+@dataclass(frozen=True)
+class RunnerRetryEvent(TraceEvent):
+    """Runner telemetry: one failed attempt that will be retried.
+
+    Like the other runner events, ``ts_us`` is wall-clock microseconds
+    since the batch started, not simulated time.
+    """
+
+    category = "runner"
+    name = "retry"
+
+    label: str = ""
+    #: The attempt that just failed (1 = the first execution).
+    attempt: int = 0
+    #: Stringified error of the failed attempt.
+    error: str = ""
 
 
 #: Every event type, keyed ``"category:name"`` (the trace-summary key).
@@ -216,8 +275,11 @@ EVENT_TYPES: Dict[str, type] = {
         SchedMigrationEvent,
         PolicyDecisionEvent,
         TickCountersEvent,
+        HotplugFailureEvent,
+        FaultInjectionEvent,
         RunnerSessionEvent,
         RunnerCacheEvent,
+        RunnerRetryEvent,
     )
 }
 

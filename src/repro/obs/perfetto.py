@@ -11,7 +11,10 @@ Converts a session's event stream into the Trace Event Format that
 * counter tracks for power, CPU power, utilization, scaled load, quota,
   online cores, and temperature fed by the per-tick counter events;
 * policy decisions and quota updates as instant events on the policy
-  thread.
+  thread;
+* injected faults (``fault:injection`` fired/cleared edges and dropped
+  hotplug requests) as instant events on the policy thread, so the
+  fault window sits directly above the governor's reaction to it.
 
 The :func:`validate_chrome_trace` checker enforces the invariants the CI
 observability smoke job asserts: required keys per event, known phases,
@@ -24,8 +27,10 @@ from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 from .events import (
     CpuidleEvent,
+    FaultInjectionEvent,
     FreqTransitionEvent,
     HotplugEvent,
+    HotplugFailureEvent,
     MpdecisionVetoEvent,
     PolicyDecisionEvent,
     QuotaEvent,
@@ -201,6 +206,30 @@ def session_chrome_events(
                         "quota": event.quota,
                         "online_target": event.online_target,
                     },
+                )
+            )
+        elif isinstance(event, FaultInjectionEvent):
+            out.append(
+                instant(
+                    f"fault {event.fault} {event.action}",
+                    ts,
+                    _POLICY_TID,
+                    "fault",
+                    {
+                        "fault": event.fault,
+                        "action": event.action,
+                        "detail": event.detail,
+                    },
+                )
+            )
+        elif isinstance(event, HotplugFailureEvent):
+            out.append(
+                instant(
+                    "hotplug request_failed",
+                    ts,
+                    _POLICY_TID,
+                    "hotplug",
+                    {"requested_changes": event.requested_changes},
                 )
             )
         elif isinstance(event, TickCountersEvent):

@@ -5,16 +5,29 @@ comparison, figure driver, and the CLI:
 
 * :class:`~repro.runner.spec.SessionSpec` — a declarative, picklable
   description of one session (platform, policy ref, workload ref,
-  config, seed);
+  config, seed, optional fault plan);
 * :class:`~repro.runner.runner.SessionRunner` — executes batches of
   specs serially or over a process pool with deterministic result
-  ordering, an in-memory memo, and a content-addressed on-disk cache;
+  ordering, an in-memory memo, a content-addressed on-disk cache, and
+  bounded retry / timeout / quarantine machinery for bad runs;
+* :class:`~repro.runner.report.RunReport` — per-spec classification
+  (ok / retried / degraded / failed) of what a batch actually did;
 * :class:`~repro.runner.spec.FactoryRef` — the ``"module:attr"`` factory
   references that make specs portable across process boundaries.
+
+The failure semantics (what retries, what degrades, what raises) are
+documented in ``docs/FAILURE_MODES.md``.
 """
 
 from .spec import FactoryRef, SessionSpec, TraceRequest, CACHE_FORMAT_VERSION
-from .cache import ResultCache, summary_from_dict, summary_to_dict
+from .cache import (
+    CacheLookup,
+    ResultCache,
+    summary_checksum,
+    summary_from_dict,
+    summary_to_dict,
+)
+from .report import RunReport, SpecOutcome
 from .runner import (
     RunnerStats,
     SessionRunner,
@@ -31,9 +44,13 @@ __all__ = [
     "SessionSpec",
     "TraceRequest",
     "CACHE_FORMAT_VERSION",
+    "CacheLookup",
     "ResultCache",
     "summary_to_dict",
     "summary_from_dict",
+    "summary_checksum",
+    "RunReport",
+    "SpecOutcome",
     "RunnerStats",
     "SessionRunner",
     "SpecExecution",

@@ -8,22 +8,45 @@ JSON round-trips Python floats exactly (shortest-repr parsing), so a
 cache hit reproduces the summary bit for bit.
 
 Writes are atomic (temp file + rename) so parallel workers racing on the
-same key at worst redo the work, never corrupt an entry.  Unreadable or
-version-mismatched entries count as misses.
+same key at worst redo the work, never corrupt an entry.  Reads verify a
+sha256 checksum over the summary payload, so damage *after* the write —
+a torn write on a full disk, a flipped bit on bad media — is detected
+and classified, not silently deserialised.  :meth:`ResultCache.lookup`
+distinguishes three outcomes:
+
+* **hit** — entry present, version current, checksum verified;
+* **miss** — no entry, or an entry from an older format version
+  (harmless: the runner recomputes and overwrites);
+* **corrupt** — an entry that exists but fails parsing or checksum
+  verification.  The runner moves it aside with
+  :meth:`ResultCache.quarantine` and recomputes (the *degraded* path in
+  ``docs/FAILURE_MODES.md``).
+
+I/O failures other than a missing file raise
+:class:`~repro.errors.CacheError`; interrupts propagate untouched.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
 from .spec import CACHE_FORMAT_VERSION
+from ..errors import CacheError
 from ..metrics.summary import SessionSummary
 
-__all__ = ["ResultCache", "summary_to_dict", "summary_from_dict"]
+__all__ = [
+    "CacheLookup",
+    "ResultCache",
+    "summary_to_dict",
+    "summary_from_dict",
+    "summary_checksum",
+]
 
 
 def summary_to_dict(summary: SessionSummary) -> dict:
@@ -55,12 +78,53 @@ def summary_from_dict(payload: dict) -> SessionSummary:
     return SessionSummary(**payload)
 
 
+def summary_checksum(payload: dict) -> str:
+    """sha256 hex over the canonical JSON form of a summary payload.
+
+    Canonicalisation (sorted keys, tight separators) makes the checksum
+    a function of the summary's *values*, not of JSON whitespace — the
+    same canonical form the cache key itself hashes.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheLookup:
+    """The classified result of one cache read.
+
+    Attributes:
+        status: ``"hit"``, ``"miss"``, or ``"corrupt"``.
+        summary: The cached summary on a hit, else ``None``.
+        detail: Human-readable reason for a corrupt entry (checksum
+            mismatch, truncated JSON, malformed summary...); empty
+            otherwise.
+    """
+
+    status: str
+    summary: Optional[SessionSummary] = None
+    detail: str = ""
+
+    @property
+    def hit(self) -> bool:
+        """True when the entry was present and verified."""
+        return self.status == "hit"
+
+    @property
+    def corrupt(self) -> bool:
+        """True when an entry exists but cannot be trusted."""
+        return self.status == "corrupt"
+
+
 class ResultCache:
     """Content-addressed store: cache key -> session summary.
 
     Args:
         root: Directory holding the entries; created on first use.
     """
+
+    #: Subdirectory (under ``root``) where corrupt entries are moved.
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
@@ -69,45 +133,120 @@ class ResultCache:
         """Where *key*'s entry lives."""
         return self.root / f"{key}.json"
 
-    def load(self, key: str) -> Optional[SessionSummary]:
-        """The cached summary for *key*, or None on any kind of miss."""
+    @property
+    def quarantine_root(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.root / self.QUARANTINE_DIR
+
+    def lookup(self, key: str) -> CacheLookup:
+        """Read and classify *key*'s entry (hit / miss / corrupt).
+
+        A missing file or an entry written by an older format version is
+        a plain miss.  An entry that exists at the current version but
+        fails JSON parsing, checksum verification, or summary
+        reconstruction is *corrupt* — the caller should
+        :meth:`quarantine` it and recompute.  Unexpected I/O failures
+        raise :class:`~repro.errors.CacheError`; interrupts propagate.
+        """
         try:
             with open(self.path(key), "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, ValueError):
-            return None
-        if document.get("version") != CACHE_FORMAT_VERSION:
-            return None
+                text = handle.read()
+        except FileNotFoundError:
+            return CacheLookup("miss")
+        except OSError as error:
+            raise CacheError(f"cannot read cache entry {key}: {error}") from error
         try:
-            return summary_from_dict(document["summary"])
-        except (KeyError, TypeError):
+            document = json.loads(text)
+        except ValueError as error:
+            return CacheLookup("corrupt", detail=f"unparseable JSON: {error}")
+        if not isinstance(document, dict):
+            return CacheLookup("corrupt", detail="entry is not a JSON object")
+        if document.get("version") != CACHE_FORMAT_VERSION:
+            # A format migration, not damage: recompute and overwrite.
+            return CacheLookup("miss")
+        payload = document.get("summary")
+        if not isinstance(payload, dict):
+            return CacheLookup("corrupt", detail="summary payload missing")
+        expected = document.get("checksum")
+        actual = summary_checksum(payload)
+        if expected != actual:
+            return CacheLookup(
+                "corrupt",
+                detail=f"checksum mismatch (stored {str(expected)[:12]}..., "
+                f"computed {actual[:12]}...)",
+            )
+        try:
+            return CacheLookup("hit", summary=summary_from_dict(payload))
+        except (KeyError, TypeError) as error:
+            return CacheLookup("corrupt", detail=f"malformed summary: {error}")
+
+    def load(self, key: str) -> Optional[SessionSummary]:
+        """The cached summary for *key*, or None on any kind of non-hit.
+
+        The lenient wrapper around :meth:`lookup` for callers that do
+        not distinguish miss from corrupt; I/O failures still raise
+        :class:`~repro.errors.CacheError`.
+        """
+        return self.lookup(key).summary
+
+    def quarantine(self, key: str) -> Optional[Path]:
+        """Move *key*'s entry into the quarantine directory.
+
+        Returns the quarantined path, or ``None`` when the entry vanished
+        (another process already quarantined or overwrote it).  The file
+        keeps its name, so the content address it claimed is preserved
+        for post-mortem diffing against the recomputed entry.
+        """
+        source = self.path(key)
+        target = self.quarantine_root / source.name
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(source, target)
+        except FileNotFoundError:
             return None
+        except OSError as error:
+            raise CacheError(f"cannot quarantine cache entry {key}: {error}") from error
+        return target
 
     def store(self, key: str, summary: SessionSummary, spec_payload: dict) -> None:
         """Atomically persist *summary* under *key*.
 
         The spec payload is stored alongside for debuggability (a human
         can read what produced an entry); only the key is ever matched.
+        The stored checksum covers the summary payload, so later reads
+        can tell damage from a legitimate entry.
         """
-        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise CacheError(f"cannot create cache root {self.root}: {error}") from error
+        payload = summary_to_dict(summary)
         document = {
             "version": CACHE_FORMAT_VERSION,
             "key": key,
             "spec": spec_payload,
-            "summary": summary_to_dict(summary),
+            "summary": payload,
+            "checksum": summary_checksum(payload),
         }
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=str(self.root), prefix=f".{key[:12]}.", suffix=".tmp"
-        )
+        try:
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=str(self.root), prefix=f".{key[:12]}.", suffix=".tmp"
+            )
+        except OSError as error:
+            raise CacheError(f"cannot stage cache entry {key}: {error}") from error
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(document, handle, sort_keys=True)
             os.replace(temp_name, self.path(key))
-        except BaseException:
+        except BaseException as error:
             try:
                 os.unlink(temp_name)
             except OSError:
                 pass
+            if isinstance(error, OSError):
+                raise CacheError(
+                    f"cannot write cache entry {key}: {error}"
+                ) from error
             raise
 
     def __contains__(self, key: str) -> bool:

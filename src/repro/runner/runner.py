@@ -13,6 +13,24 @@ Sessions are deterministic given (config, seed), so serial and parallel
 execution of the same batch produce bit-identical summaries — asserted
 by the regression tests.
 
+The runner is also where execution failures are absorbed instead of
+propagated blindly (the contract in ``docs/FAILURE_MODES.md``):
+
+* a crashed or hung worker fails only its in-flight specs, which are
+  retried with exponential backoff up to ``retries`` times in a fresh
+  pool;
+* ``timeout_seconds`` bounds each spec's wall-clock execution; hung
+  workers are terminated, and the spec retries like any other failure;
+* a corrupt on-disk cache entry (bad checksum, truncated JSON) is
+  quarantined and the spec recomputed — a *degraded* success;
+* :meth:`SessionRunner.run_report` returns a
+  :class:`~repro.runner.report.RunReport` classifying every spec as
+  ok / retried / degraded / failed, while :meth:`SessionRunner.run`
+  keeps the raising contract (any failed spec re-raises).
+
+Only :class:`Exception` is ever absorbed — ``KeyboardInterrupt`` and
+other ``BaseException`` always propagate immediately.
+
 Drivers that do not care about runner placement use the module-level
 default runner (:func:`default_runner`), which the CLI configures from
 ``--jobs`` / ``--cache-dir`` and the ``REPRO_JOBS`` / ``REPRO_CACHE_DIR``
@@ -23,16 +41,22 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache
+from .report import RunReport, SpecOutcome
 from .spec import SessionSpec
 from ..errors import RunnerError
 from ..kernel.engine import Session
 from ..metrics.summary import SessionSummary, summarize
-from ..obs.events import RunnerCacheEvent, RunnerSessionEvent, TraceEvent
+from ..obs.events import (
+    RunnerCacheEvent,
+    RunnerRetryEvent,
+    RunnerSessionEvent,
+    TraceEvent,
+)
 from ..soc.platform import Platform
 
 __all__ = [
@@ -86,6 +110,7 @@ def execute_spec_full(spec: SessionSpec) -> SpecExecution:
         spec.config,
         pin_uncore_max=spec.pin_uncore_max,
         trace=bus,
+        faults=spec.faults,
     )
     summary = summarize(session.run())
     return SpecExecution(
@@ -113,6 +138,12 @@ class RunnerStats:
             zero on a fully warm cache.
         memo_hits: Batch entries served from the in-memory memo.
         cache_hits: Batch entries served from the on-disk cache.
+        retries: Execution attempts re-scheduled after a failure.
+        timeouts: Execution attempts terminated for exceeding
+            ``timeout_seconds``.
+        corrupt_cache_entries: On-disk entries that failed checksum or
+            parsing and were quarantined.
+        failed_specs: Specs that never produced a summary.
         wall_seconds: Wall-clock duration of the whole :meth:`run` call.
         spec_timings: Per-executed-spec ``(label, wall_seconds)`` pairs,
             in completion order (label falls back to the workload/policy
@@ -123,11 +154,16 @@ class RunnerStats:
     ticks_simulated: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    corrupt_cache_entries: int = 0
+    failed_specs: int = 0
     wall_seconds: float = 0.0
     spec_timings: List[Tuple[str, float]] = field(default_factory=list)
 
     @property
     def total(self) -> int:
+        """Specs that produced a summary, whichever path served them."""
         return self.sessions_executed + self.memo_hits + self.cache_hits
 
     @property
@@ -136,6 +172,23 @@ class RunnerStats:
         if self.wall_seconds <= 0:
             return 0.0
         return self.ticks_simulated / self.wall_seconds
+
+    def absorb(self, other: "RunnerStats") -> None:
+        """Accumulate *other*'s counters into this instance."""
+        self.sessions_executed += other.sessions_executed
+        self.ticks_simulated += other.ticks_simulated
+        self.memo_hits += other.memo_hits
+        self.cache_hits += other.cache_hits
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.corrupt_cache_entries += other.corrupt_cache_entries
+        self.failed_specs += other.failed_specs
+        self.wall_seconds += other.wall_seconds
+        self.spec_timings.extend(other.spec_timings)
+
+
+class _SpecTimeout(RunnerError):
+    """One spec exceeded the runner's wall-clock budget (internal marker)."""
 
 
 @dataclass
@@ -149,10 +202,23 @@ class SessionRunner:
             driver calls inside one process never re-simulate (the role
             the old hand-rolled ``game_eval._CACHE`` played, now shared
             by every consumer).
+        retries: How many times a failed execution attempt (worker
+            crash, exception, timeout) is re-scheduled before the spec
+            is reported failed.  0 (the default) keeps the historical
+            fail-fast behaviour.
+        retry_backoff_seconds: Base delay between retry rounds; round
+            *n* waits ``retry_backoff_seconds * 2**(n-1)``.
+        timeout_seconds: Per-spec wall-clock budget.  Enforced by
+            running portable specs in worker processes (even with
+            ``jobs=1``) and terminating workers that exceed it;
+            non-portable specs run in-process and cannot be preempted.
+            ``None`` (the default) disables the budget.
         last_stats: Accounting of the most recent :meth:`run` call.
         total_stats: The same counters accumulated over every
             :meth:`run` call on this runner — what ``--stats`` prints
             after a multi-batch command.
+        last_report: The :class:`~repro.runner.report.RunReport` of the
+            most recent batch (also returned by :meth:`run_report`).
         last_events: Traced event streams of the most recent batch,
             keyed by batch index (only traced specs appear).  Workers
             ship their event batches back with the summary, so traced
@@ -161,15 +227,20 @@ class SessionRunner:
             include events a ring buffer evicted).
         telemetry: Runner self-observation events for the most recent
             batch (:class:`RunnerSessionEvent` per execution,
-            :class:`RunnerCacheEvent` per batch entry), stamped with
-            wall-clock microseconds since the batch started.
+            :class:`RunnerCacheEvent` per batch entry,
+            :class:`RunnerRetryEvent` per re-scheduled attempt), stamped
+            with wall-clock microseconds since the batch started.
     """
 
     jobs: int = 1
     cache_dir: Optional[Union[str, os.PathLike]] = None
     memoize: bool = True
+    retries: int = 0
+    retry_backoff_seconds: float = 0.05
+    timeout_seconds: Optional[float] = None
     last_stats: RunnerStats = field(default_factory=RunnerStats)
     total_stats: RunnerStats = field(default_factory=RunnerStats)
+    last_report: Optional[RunReport] = None
     last_events: Dict[int, List[TraceEvent]] = field(default_factory=dict)
     last_event_counts: Dict[int, Dict[str, int]] = field(default_factory=dict)
     telemetry: List[TraceEvent] = field(default_factory=list)
@@ -178,6 +249,17 @@ class SessionRunner:
         if int(self.jobs) < 1:
             raise RunnerError(f"jobs must be >= 1, got {self.jobs}")
         self.jobs = int(self.jobs)
+        if int(self.retries) < 0:
+            raise RunnerError(f"retries must be >= 0, got {self.retries}")
+        self.retries = int(self.retries)
+        if self.retry_backoff_seconds < 0:
+            raise RunnerError(
+                f"retry_backoff_seconds must be >= 0, got {self.retry_backoff_seconds}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise RunnerError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
         if self.cache_dir and os.path.exists(self.cache_dir) and not os.path.isdir(
             self.cache_dir
         ):
@@ -196,6 +278,19 @@ class SessionRunner:
     def run(self, specs: Sequence[SessionSpec]) -> List[SessionSummary]:
         """Execute a batch, returning summaries in spec order.
 
+        The raising façade over :meth:`run_report`: when any spec is
+        still failed after the retry budget, the first failure's
+        exception is re-raised (wrapped in a
+        :class:`~repro.errors.RunnerError` when several specs failed).
+        Use :meth:`run_report` directly to keep partial results.
+        """
+        report = self.run_report(specs)
+        report.raise_on_failure()
+        return list(report.summaries)  # type: ignore[arg-type]
+
+    def run_report(self, specs: Sequence[SessionSpec]) -> RunReport:
+        """Execute a batch and classify what happened to every spec.
+
         Portable specs are looked up in the memo and the on-disk cache
         first; the remainder execute in worker processes when ``jobs > 1``
         (non-portable specs always run in-process).  Results land at the
@@ -205,23 +300,37 @@ class SessionRunner:
         Traced specs (``spec.trace`` set) always execute — a cached
         summary has no event stream — but their summaries are still
         stored, warming the cache for later untraced runs.
+
+        Failures are absorbed per spec: crashed/hung/raising executions
+        retry up to ``retries`` times, corrupt cache entries are
+        quarantined and recomputed, and the returned
+        :class:`~repro.runner.report.RunReport` carries a summary (or
+        the error) for every spec.  Interrupts always propagate.
         """
         batch_began = time.perf_counter()
         stats = RunnerStats()
         self.last_events = {}
         self.last_event_counts = {}
         self.telemetry = []
-        results: List[Optional[SessionSummary]] = [None] * len(specs)
+
+        report = RunReport()
+        for index, spec in enumerate(specs):
+            if not isinstance(spec, SessionSpec):
+                raise RunnerError(
+                    f"batch entry {index} is {type(spec).__name__}, not SessionSpec"
+                )
+            report.outcomes.append(
+                SpecOutcome(index=index, label=spec.label or f"spec[{index}]")
+            )
+            report.summaries.append(None)
+
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
         first_with_key: Dict[str, int] = {}
         aliases: List[int] = []
 
         for index, spec in enumerate(specs):
-            if not isinstance(spec, SessionSpec):
-                raise RunnerError(
-                    f"batch entry {index} is {type(spec).__name__}, not SessionSpec"
-                )
+            outcome = report.outcomes[index]
             if not spec.is_portable:
                 pending.append(index)
                 continue
@@ -238,63 +347,228 @@ class SessionRunner:
                 continue
             first_with_key[key] = index
             if self.memoize and key in self._memo:
-                results[index] = self._memo[key]
+                report.summaries[index] = self._memo[key]
+                outcome.source = "memo"
                 stats.memo_hits += 1
                 self._tell(batch_began, RunnerCacheEvent, outcome="memo_hit", key=key, label=spec.label)
                 continue
             if self._cache is not None:
-                cached = self._cache.load(key)
-                if cached is not None:
-                    results[index] = cached
+                lookup = self._cache.lookup(key)
+                if lookup.hit:
+                    report.summaries[index] = lookup.summary
+                    outcome.source = "cache"
                     if self.memoize:
-                        self._memo[key] = cached
+                        self._memo[key] = lookup.summary
                     stats.cache_hits += 1
                     self._tell(batch_began, RunnerCacheEvent, outcome="cache_hit", key=key, label=spec.label)
+                    continue
+                if lookup.corrupt:
+                    # Quarantine-and-recompute: the entry is preserved
+                    # for post-mortem, the spec re-executes from scratch.
+                    self._cache.quarantine(key)
+                    stats.corrupt_cache_entries += 1
+                    outcome.escalate("degraded")
+                    outcome.detail = f"corrupt cache entry quarantined ({lookup.detail})"
+                    self._tell(batch_began, RunnerCacheEvent, outcome="corrupt", key=key, label=spec.label)
+                    pending.append(index)
                     continue
             pending.append(index)
             self._tell(batch_began, RunnerCacheEvent, outcome="miss", key=key, label=spec.label)
 
         parallelizable = [i for i in pending if specs[i].is_portable]
         inline = [i for i in pending if not specs[i].is_portable]
-        if self.jobs > 1 and len(parallelizable) > 1:
-            with ProcessPoolExecutor(max_workers=min(self.jobs, len(parallelizable))) as pool:
-                for index, execution in zip(
-                    parallelizable,
-                    pool.map(execute_spec_full, [specs[i] for i in parallelizable]),
-                ):
-                    results[index] = execution.summary
+        use_pool = (self.jobs > 1 and len(parallelizable) > 1) or (
+            self.timeout_seconds is not None and bool(parallelizable)
+        )
+        if not use_pool:
+            inline = sorted(parallelizable + inline)
+            parallelizable = []
+
+        last_error: Dict[int, Exception] = {}
+        remaining_pool = list(parallelizable)
+        remaining_inline = list(inline)
+        for round_number in range(self.retries + 1):
+            if not remaining_pool and not remaining_inline:
+                break
+            if round_number:
+                delay = self.retry_backoff_seconds * (2 ** (round_number - 1))
+                if delay > 0:
+                    time.sleep(delay)
+            attempt: Dict[int, Union[SpecExecution, Exception]] = {}
+            if remaining_pool:
+                attempt.update(
+                    self._attempt_parallel(specs, remaining_pool, self.timeout_seconds)
+                )
+            for index in remaining_inline:
+                attempt[index] = self._attempt_inline(specs[index])
+            pool_set = set(remaining_pool)
+            remaining_pool, remaining_inline = [], []
+            for index in sorted(attempt):
+                execution = attempt[index]
+                outcome = report.outcomes[index]
+                outcome.attempts += 1
+                if isinstance(execution, SpecExecution):
+                    report.summaries[index] = execution.summary
                     self._record_executed(
                         index, specs[index], execution, keys[index], stats, batch_began
                     )
-        else:
-            inline = sorted(parallelizable + inline)
-        for index in inline:
-            execution = execute_spec_full(specs[index])
-            results[index] = execution.summary
-            self._record_executed(
-                index, specs[index], execution, keys[index], stats, batch_began
-            )
+                    if outcome.attempts > 1:
+                        outcome.escalate("retried")
+                    continue
+                last_error[index] = execution
+                outcome.error = str(execution) or type(execution).__name__
+                outcome.error_type = type(execution).__name__
+                if isinstance(execution, _SpecTimeout):
+                    stats.timeouts += 1
+                if index in pool_set:
+                    remaining_pool.append(index)
+                else:
+                    remaining_inline.append(index)
+            if (remaining_pool or remaining_inline) and round_number < self.retries:
+                for index in remaining_pool + remaining_inline:
+                    stats.retries += 1
+                    self._tell(
+                        batch_began,
+                        RunnerRetryEvent,
+                        label=report.outcomes[index].label,
+                        attempt=report.outcomes[index].attempts,
+                        error=report.outcomes[index].error,
+                    )
+
+        for index in remaining_pool + remaining_inline:
+            outcome = report.outcomes[index]
+            outcome.escalate("failed")
+            outcome.source = "none"
+            report.errors[index] = last_error[index]
+            stats.failed_specs += 1
+
         for index in aliases:
-            results[index] = results[first_with_key[keys[index]]]
-            stats.memo_hits += 1
-            self._tell(
-                batch_began,
-                RunnerCacheEvent,
-                outcome="alias",
-                key=keys[index],
-                label=specs[index].label,
-            )
+            outcome = report.outcomes[index]
+            source_index = first_with_key[keys[index]]
+            summary = report.summaries[source_index]
+            if summary is not None:
+                report.summaries[index] = summary
+                outcome.source = "alias"
+                stats.memo_hits += 1
+                self._tell(
+                    batch_began,
+                    RunnerCacheEvent,
+                    outcome="alias",
+                    key=keys[index],
+                    label=specs[index].label,
+                )
+            else:
+                # The spec this one aliases never produced a summary.
+                origin = report.outcomes[source_index]
+                outcome.escalate("failed")
+                outcome.source = "none"
+                outcome.error = origin.error
+                outcome.error_type = origin.error_type
+                report.errors[index] = report.errors.get(
+                    source_index,
+                    RunnerError(f"aliased spec {origin.label} failed"),
+                )
+                stats.failed_specs += 1
 
         stats.wall_seconds = time.perf_counter() - batch_began
         self.last_stats = stats
-        total = self.total_stats
-        total.sessions_executed += stats.sessions_executed
-        total.ticks_simulated += stats.ticks_simulated
-        total.memo_hits += stats.memo_hits
-        total.cache_hits += stats.cache_hits
-        total.wall_seconds += stats.wall_seconds
-        total.spec_timings.extend(stats.spec_timings)
-        return results  # type: ignore[return-value]
+        self.total_stats.absorb(stats)
+        self.last_report = report
+        return report
+
+    # -- attempt machinery ----------------------------------------------
+
+    @staticmethod
+    def _attempt_inline(spec: SessionSpec) -> Union[SpecExecution, Exception]:
+        """One in-process execution attempt; exceptions become values.
+
+        Only :class:`Exception` is absorbed — ``KeyboardInterrupt`` and
+        friends propagate to the caller untouched.
+        """
+        try:
+            return execute_spec_full(spec)
+        except Exception as error:
+            return error
+
+    def _attempt_parallel(
+        self,
+        specs: Sequence[SessionSpec],
+        indices: List[int],
+        timeout: Optional[float],
+    ) -> Dict[int, Union[SpecExecution, Exception]]:
+        """One pooled execution attempt per index, in waves.
+
+        Specs are dispatched in waves of at most ``jobs`` so every spec
+        in a wave starts immediately — which is what makes
+        ``timeout_seconds`` a genuine *per-spec* budget (measured from
+        its wave's start) instead of a whole-batch one.
+        """
+        outcomes: Dict[int, Union[SpecExecution, Exception]] = {}
+        wave_size = max(1, min(self.jobs, len(indices)))
+        position = 0
+        while position < len(indices):
+            wave = indices[position : position + wave_size]
+            position += len(wave)
+            outcomes.update(self._run_wave(specs, wave, timeout))
+        return outcomes
+
+    def _run_wave(
+        self,
+        specs: Sequence[SessionSpec],
+        wave: List[int],
+        timeout: Optional[float],
+    ) -> Dict[int, Union[SpecExecution, Exception]]:
+        """Run one wave in a fresh pool, enforcing the wall-clock budget.
+
+        A fresh pool per wave keeps failure domains small: a worker
+        crash breaks only this wave's pool (every in-flight future of a
+        broken pool fails — that blast radius is part of the documented
+        contract), and terminated hung workers cannot poison later
+        waves.
+        """
+        outcomes: Dict[int, Union[SpecExecution, Exception]] = {}
+        pool = ProcessPoolExecutor(max_workers=len(wave))
+        timed_out = False
+        try:
+            futures = {pool.submit(execute_spec_full, specs[i]): i for i in wave}
+            deadline = None if timeout is None else time.monotonic() + float(timeout)
+            not_done = set(futures)
+            while not_done:
+                wait_for = None
+                if deadline is not None:
+                    wait_for = deadline - time.monotonic()
+                    if wait_for <= 0:
+                        timed_out = True
+                        break
+                done, not_done = wait(not_done, timeout=wait_for)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        outcomes[index] = future.result()
+                    except Exception as error:
+                        outcomes[index] = error
+            if timed_out:
+                # Hung workers hold the GIL-free sleep forever; reclaim
+                # them by force, then classify the unfinished specs.
+                self._terminate_workers(pool)
+                for future in not_done:
+                    index = futures[future]
+                    label = report_label(specs[index], index)
+                    outcomes[index] = _SpecTimeout(
+                        f"{label} timed out after {timeout:g}s (worker terminated)"
+                    )
+        finally:
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+        return outcomes
+
+    @staticmethod
+    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
+        """Force-kill a pool's worker processes (hung-worker reclaim)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            process.terminate()
+
+    # -- bookkeeping -----------------------------------------------------
 
     def _tell(self, batch_began: float, event_cls, **fields) -> None:
         """Append one runner-telemetry event (wall-clock timestamped)."""
@@ -337,6 +611,11 @@ class SessionRunner:
         self._memo.clear()
 
 
+def report_label(spec: SessionSpec, index: int) -> str:
+    """The label a spec reports under (positional fallback included)."""
+    return spec.label or f"spec[{index}]"
+
+
 # -- the process-wide default runner ------------------------------------
 
 _default: Optional[SessionRunner] = None
@@ -364,9 +643,17 @@ def set_default_runner(runner: Optional[SessionRunner]) -> None:
 
 
 def configure_default_runner(
-    jobs: int = 1, cache_dir: Optional[Union[str, os.PathLike]] = None
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, os.PathLike]] = None,
+    retries: int = 0,
+    timeout_seconds: Optional[float] = None,
 ) -> SessionRunner:
     """Build, install, and return a default runner with these settings."""
-    runner = SessionRunner(jobs=jobs, cache_dir=cache_dir)
+    runner = SessionRunner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        retries=retries,
+        timeout_seconds=timeout_seconds,
+    )
     set_default_runner(runner)
     return runner

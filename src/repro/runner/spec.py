@@ -30,6 +30,7 @@ from typing import Any, Callable, Optional, Tuple, Union
 
 from ..config import SimulationConfig
 from ..errors import RunnerError
+from ..faults.plan import FaultPlan
 from ..obs.bus import TracepointBus
 from ..soc.catalog import get_phone_spec
 from ..soc.platform import PlatformSpec
@@ -38,7 +39,8 @@ __all__ = ["FactoryRef", "SessionSpec", "TraceRequest", "CACHE_FORMAT_VERSION"]
 
 #: Bump when the summary payload or key derivation changes shape;
 #: old cache entries then simply miss instead of deserialising garbage.
-CACHE_FORMAT_VERSION = 1
+#: Version 2 added the entry checksum and the optional fault plan.
+CACHE_FORMAT_VERSION = 2
 
 #: Argument types a portable (hashable, picklable) ref may carry.
 _PRIMITIVES = (type(None), bool, int, float, str)
@@ -167,6 +169,11 @@ class SessionSpec:
         trace: Optional :class:`TraceRequest`; a traced spec records a
             typed event stream while it runs.  Not part of the cache
             identity (see :class:`TraceRequest`).
+        faults: Optional :class:`~repro.faults.plan.FaultPlan` injected
+            into the session.  Faults change what the simulation
+            computes, so — unlike ``trace`` — the plan **is** part of the
+            cache identity: a faulted spec lives at a different content
+            address than its clean twin.
     """
 
     platform: PlatformLike
@@ -176,6 +183,7 @@ class SessionSpec:
     pin_uncore_max: bool = True
     label: str = ""
     trace: Optional[TraceRequest] = None
+    faults: Optional[FaultPlan] = None
 
     @property
     def is_portable(self) -> bool:
@@ -227,7 +235,7 @@ class SessionSpec:
             platform_payload = self.platform.payload()
         else:
             platform_payload = self.platform
-        return {
+        payload = {
             "version": CACHE_FORMAT_VERSION,
             "platform": platform_payload,
             "policy": self.policy.payload(),
@@ -235,6 +243,11 @@ class SessionSpec:
             "config": {f.name: getattr(self.config, f.name) for f in fields(self.config)},
             "pin_uncore_max": self.pin_uncore_max,
         }
+        if self.faults is not None and self.faults:
+            # Only present when faults are injected, so every pre-existing
+            # clean spec keeps the address it would have had anyway.
+            payload["faults"] = self.faults.payload()
+        return payload
 
     def cache_key(self) -> str:
         """Stable content address (sha256 hex) of the full spec."""

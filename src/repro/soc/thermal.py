@@ -67,6 +67,7 @@ class ThermalModel:
         self.opp_table = opp_table
         self._temperature_c = params.ambient_c
         self._throttle_steps = 0
+        self._injected_floor_steps = 0
 
     @property
     def temperature_c(self) -> float:
@@ -75,14 +76,40 @@ class ThermalModel:
 
     @property
     def throttle_steps(self) -> int:
-        """How many OPP steps the thermal governor has removed from the top."""
-        return self._throttle_steps
+        """OPP steps currently removed from the top of the table.
+
+        The maximum of the natural (temperature-driven) throttle state
+        and any injected floor (:meth:`inject_throttle_floor`).
+        """
+        return max(self._throttle_steps, self._injected_floor_steps)
+
+    @property
+    def injected_throttle_steps(self) -> int:
+        """The externally-injected throttle floor (0 when none is active)."""
+        return self._injected_floor_steps
 
     @property
     def max_allowed_frequency_khz(self) -> int:
         """Highest OPP frequency currently permitted by thermal state."""
-        index = len(self.opp_table) - 1 - self._throttle_steps
+        index = len(self.opp_table) - 1 - self.throttle_steps
         return self.opp_table.by_index(max(index, 0)).frequency_khz
+
+    def inject_throttle_floor(self, steps: int) -> None:
+        """Force at least *steps* throttle steps, regardless of temperature.
+
+        The fault-injection hook behind
+        :class:`~repro.faults.plan.ThermalThrottleFault`: a platform
+        thermal driver clamping the OPP table mid-session.  The natural
+        (temperature-driven) throttle state keeps evolving underneath and
+        takes over again once :meth:`clear_throttle_floor` is called.
+        """
+        if steps < 0:
+            raise ConfigError(f"throttle floor must be non-negative, got {steps}")
+        self._injected_floor_steps = min(steps, len(self.opp_table) - 1)
+
+    def clear_throttle_floor(self) -> None:
+        """Remove the injected throttle floor (natural state takes over)."""
+        self._injected_floor_steps = 0
 
     def steady_state_c(self, cpu_power_mw: float) -> float:
         """Steady-state temperature at a constant CPU power."""
@@ -107,6 +134,7 @@ class ThermalModel:
         return self._temperature_c
 
     def reset(self) -> None:
-        """Return to ambient with no throttling."""
+        """Return to ambient with no throttling (injected floors included)."""
         self._temperature_c = self.params.ambient_c
         self._throttle_steps = 0
+        self._injected_floor_steps = 0

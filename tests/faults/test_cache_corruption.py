@@ -1,0 +1,175 @@
+"""Cache corruption: detection, quarantine, and recompute-to-identical."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import CacheError
+from repro.faults import bitflip_cache_entry, truncate_cache_entry
+from repro.runner import (
+    CacheLookup,
+    FactoryRef,
+    ResultCache,
+    SessionRunner,
+    SessionSpec,
+    summary_checksum,
+)
+
+
+def make_spec(level=40.0, seed=0):
+    return SessionSpec(
+        "Nexus 5",
+        FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+        FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", level),
+        SimulationConfig(duration_seconds=2.0, seed=seed),
+        label=f"busyloop{level:.0f}",
+    )
+
+
+@pytest.fixture()
+def warm_cache(tmp_path):
+    """A cache holding one valid entry, plus the spec that produced it."""
+    cache_dir = tmp_path / "cache"
+    spec = make_spec()
+    SessionRunner(jobs=1, cache_dir=cache_dir).run([spec])
+    return ResultCache(cache_dir), spec
+
+
+def forge_summary_value(cache, key):
+    """Perturb one summary value in-place without updating the checksum.
+
+    Unlike a random bit-flip this keeps the JSON perfectly parseable, so
+    only checksum verification can catch it — the exact scenario the
+    checksum exists for.
+    """
+    path = cache.path(key)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["summary"]["energy_mj"] += 1.0
+    path.write_text(json.dumps(document), encoding="utf-8")
+
+
+class TestLookupClassification:
+    def test_missing_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        lookup = cache.lookup("deadbeef")
+        assert lookup.status == "miss"
+        assert not lookup.hit and not lookup.corrupt
+
+    def test_valid_entry_is_a_hit(self, warm_cache):
+        cache, spec = warm_cache
+        lookup = cache.lookup(spec.cache_key())
+        assert lookup.hit
+        assert lookup.summary is not None
+        assert lookup.summary.platform == "Nexus 5"
+
+    def test_truncated_entry_is_corrupt(self, warm_cache):
+        cache, spec = warm_cache
+        truncate_cache_entry(cache.path(spec.cache_key()))
+        lookup = cache.lookup(spec.cache_key())
+        assert lookup.corrupt
+        assert "JSON" in lookup.detail
+
+    def test_forged_value_caught_by_checksum(self, warm_cache):
+        # The JSON still parses; only the checksum notices the damage.
+        cache, spec = warm_cache
+        forge_summary_value(cache, spec.cache_key())
+        lookup = cache.lookup(spec.cache_key())
+        assert lookup.corrupt
+        assert "checksum mismatch" in lookup.detail
+
+    def test_bitflipped_entry_is_corrupt(self, warm_cache):
+        cache, spec = warm_cache
+        bitflip_cache_entry(cache.path(spec.cache_key()))
+        assert cache.lookup(spec.cache_key()).corrupt
+
+    def test_old_format_version_is_a_miss(self, warm_cache):
+        cache, spec = warm_cache
+        path = cache.path(spec.cache_key())
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["version"] = 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.lookup(spec.cache_key()).status == "miss"
+
+    def test_load_is_the_lenient_wrapper(self, warm_cache):
+        cache, spec = warm_cache
+        truncate_cache_entry(cache.path(spec.cache_key()))
+        assert cache.load(spec.cache_key()) is None
+
+
+class TestQuarantine:
+    def test_quarantine_moves_the_entry(self, warm_cache):
+        cache, spec = warm_cache
+        key = spec.cache_key()
+        target = cache.quarantine(key)
+        assert target is not None
+        assert target.is_file()
+        assert target.parent == cache.quarantine_root
+        assert not cache.path(key).is_file()
+
+    def test_quarantine_of_missing_entry_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.quarantine("deadbeef") is None
+
+    def test_quarantined_name_preserves_the_key(self, warm_cache):
+        cache, spec = warm_cache
+        key = spec.cache_key()
+        target = cache.quarantine(key)
+        assert target.name == f"{key}.json"
+
+
+class TestRecomputeMatchesColdRun:
+    @pytest.mark.parametrize("damage", [truncate_cache_entry, bitflip_cache_entry])
+    def test_corrupt_entry_recomputed_identically(self, tmp_path, damage):
+        """Damage -> quarantine -> recompute == a cold run, bit for bit."""
+        spec = make_spec()
+        cold = SessionRunner(jobs=1).run([spec])[0]
+
+        cache_dir = tmp_path / "cache"
+        SessionRunner(jobs=1, cache_dir=cache_dir).run([spec])
+        cache = ResultCache(cache_dir)
+        damage(cache.path(spec.cache_key()))
+
+        # A fresh runner, so the read really goes to disk (the warming
+        # runner would serve its in-memory memo and never see the damage).
+        runner = SessionRunner(jobs=1, cache_dir=cache_dir)
+        report = runner.run_report([spec])
+        assert report.outcomes[0].status == "degraded"
+        assert runner.last_stats.corrupt_cache_entries == 1
+        assert report.summaries[0] == cold
+
+        # The quarantined original is kept for post-mortem...
+        assert list(cache.quarantine_root.glob("*.json"))
+        # ...and the fresh entry is a verified hit again.
+        assert cache.lookup(spec.cache_key()).hit
+        clean_again = SessionRunner(jobs=1, cache_dir=cache_dir).run_report([spec])
+        assert clean_again.outcomes[0].status == "ok"
+        assert clean_again.outcomes[0].source == "cache"
+        assert clean_again.summaries[0] == cold
+
+    def test_checksum_covers_values_not_formatting(self, warm_cache):
+        # Rewriting the file with different whitespace must NOT trip the
+        # checksum: it hashes canonical JSON, not raw bytes.
+        cache, spec = warm_cache
+        path = cache.path(spec.cache_key())
+        document = json.loads(path.read_text(encoding="utf-8"))
+        path.write_text(json.dumps(document, indent=2), encoding="utf-8")
+        assert cache.lookup(spec.cache_key()).hit
+
+
+class TestStoreErrors:
+    def test_unwritable_root_raises_cache_error(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where a directory must go", encoding="utf-8")
+        cache = ResultCache(blocked / "cache")
+        spec = make_spec()
+        summary = SessionRunner(jobs=1).run([spec])[0]
+        with pytest.raises(CacheError):
+            cache.store(spec.cache_key(), summary, spec.cache_payload())
+
+    def test_checksum_is_canonical(self):
+        assert summary_checksum({"b": 1, "a": 2}) == summary_checksum(
+            {"a": 2, "b": 1}
+        )

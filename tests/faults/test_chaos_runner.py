@@ -1,0 +1,204 @@
+"""Chaos harness: crashed workers, hangs, and corruption under jobs=4.
+
+The acceptance scenario of the robustness layer: a parallel sweep in
+which two workers crash mid-batch and one cache entry is corrupt must
+still complete, classify every spec, and produce summaries bit-identical
+to a fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import FaultError
+from repro.faults import truncate_cache_entry
+from repro.runner import FactoryRef, ResultCache, SessionRunner, SessionSpec
+
+
+def busyloop_spec(seed, level, label="", **kwargs):
+    return SessionSpec(
+        "Nexus 5",
+        FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+        FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", level),
+        SimulationConfig(duration_seconds=2.0, seed=seed),
+        label=label,
+        **kwargs,
+    )
+
+
+def crashing_spec(seed, level, token_path, label=""):
+    spec = busyloop_spec(seed, level, label)
+    return SessionSpec(
+        spec.platform,
+        spec.policy,
+        FactoryRef.to(
+            "repro.faults.chaos:CrashOnceWorkload", str(token_path), level
+        ),
+        spec.config,
+        label=label,
+    )
+
+
+LEVELS = [20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0]
+
+
+class TestChaosSweep:
+    def test_sweep_survives_crashes_and_corruption(self, tmp_path):
+        """jobs=4, two worker crashes, one corrupt cache entry."""
+        cache_dir = tmp_path / "cache"
+
+        # Fault-free serial reference run (no cache, no parallelism).
+        serial = SessionRunner(jobs=1)
+        reference = serial.run(
+            [busyloop_spec(i, LEVELS[i], f"ref{i}") for i in range(8)]
+        )
+
+        # Pre-corrupt one cache entry: warm the cache for spec 5, then
+        # truncate its entry on disk.
+        warmer = SessionRunner(jobs=1, cache_dir=cache_dir)
+        warm_spec = busyloop_spec(5, LEVELS[5], "chaos5")
+        warmer.run([warm_spec])
+        cache = ResultCache(cache_dir)
+        truncate_cache_entry(cache.path(warm_spec.cache_key()))
+
+        # The chaos batch: specs 1 and 6 crash their worker once.
+        specs = []
+        for i in range(8):
+            if i in (1, 6):
+                specs.append(
+                    crashing_spec(i, LEVELS[i], tmp_path / f"crash{i}.token",
+                                  label=f"chaos{i}")
+                )
+            else:
+                specs.append(busyloop_spec(i, LEVELS[i], f"chaos{i}"))
+
+        runner = SessionRunner(
+            jobs=4, cache_dir=cache_dir, retries=3, retry_backoff_seconds=0.0
+        )
+        report = runner.run_report(specs)
+
+        # The sweep completed and every spec is classified.
+        assert report.succeeded, report.render()
+        assert len(report.outcomes) == 8
+        assert all(outcome.status in ("ok", "retried", "degraded")
+                   for outcome in report.outcomes)
+
+        # The corrupted entry was quarantined and recomputed.
+        degraded = report.outcomes[5]
+        assert degraded.status == "degraded"
+        assert "quarantined" in degraded.detail
+        assert list(cache.quarantine_root.glob("*.json"))
+        assert runner.last_stats.corrupt_cache_entries == 1
+
+        # The crashes were retried (a broken pool can fail innocent
+        # bystanders in the same wave, so at least the crashing specs
+        # retried — possibly more).
+        retried_indices = {outcome.index for outcome in report.retried}
+        assert {1, 6} <= retried_indices
+        assert runner.last_stats.retries >= 2
+
+        # Survivors are bit-identical to the fault-free serial run.
+        # (CrashOnceWorkload subclasses BusyLoopApp without changing its
+        # name or demand, so even the crashed specs' summaries match.)
+        for index in range(8):
+            assert report.summaries[index] == reference[index], index
+
+    def test_both_crash_tokens_were_claimed(self, tmp_path):
+        token = tmp_path / "crash.token"
+        spec = crashing_spec(0, 40.0, token, "crash")
+        runner = SessionRunner(jobs=2, retries=2, retry_backoff_seconds=0.0)
+        report = runner.run_report([spec, busyloop_spec(1, 50.0, "clean")])
+        assert report.succeeded
+        assert token.exists()
+
+
+class TestRetryBudget:
+    def test_crash_without_retries_fails_the_spec(self, tmp_path):
+        spec = crashing_spec(0, 40.0, tmp_path / "crash.token", "crash")
+        runner = SessionRunner(jobs=2, retries=0)
+        report = runner.run_report([spec, busyloop_spec(1, 50.0, "clean")])
+        crash_outcome = report.outcomes[0]
+        assert crash_outcome.status == "failed"
+        assert crash_outcome.error
+        assert report.first_error() is not None
+
+    def test_flaky_spec_retries_inline(self, tmp_path):
+        spec = SessionSpec(
+            "Nexus 5",
+            FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+            FactoryRef.to(
+                "repro.faults.chaos:FlakyOnceWorkload",
+                str(tmp_path / "flaky.token"), 40.0,
+            ),
+            SimulationConfig(duration_seconds=1.0, seed=0),
+            label="flaky",
+        )
+        runner = SessionRunner(jobs=1, retries=1, retry_backoff_seconds=0.0)
+        report = runner.run_report([spec])
+        assert report.outcomes[0].status == "retried"
+        assert report.outcomes[0].attempts == 2
+        assert report.outcomes[0].error_type == "FaultError"
+
+    def test_run_raises_the_original_error(self, tmp_path):
+        spec = SessionSpec(
+            "Nexus 5",
+            FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+            FactoryRef.to(
+                "repro.faults.chaos:FlakyOnceWorkload",
+                str(tmp_path / "flaky.token"), 40.0,
+            ),
+            SimulationConfig(duration_seconds=1.0, seed=0),
+        )
+        runner = SessionRunner(jobs=1, retries=0)
+        with pytest.raises(FaultError, match="injected flaky failure"):
+            runner.run([spec])
+
+    def test_retry_telemetry_emitted(self, tmp_path):
+        spec = SessionSpec(
+            "Nexus 5",
+            FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+            FactoryRef.to(
+                "repro.faults.chaos:FlakyOnceWorkload",
+                str(tmp_path / "flaky.token"), 40.0,
+            ),
+            SimulationConfig(duration_seconds=1.0, seed=0),
+            label="flaky",
+        )
+        runner = SessionRunner(jobs=1, retries=1, retry_backoff_seconds=0.0)
+        runner.run_report([spec])
+        retries = [
+            event for event in runner.telemetry
+            if event.category == "runner" and event.name == "retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0].label == "flaky"
+        assert "flaky" in retries[0].error
+
+
+class TestTimeouts:
+    def test_hung_worker_is_terminated_and_reported(self, tmp_path):
+        hang = SessionSpec(
+            "Nexus 5",
+            FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+            FactoryRef.to("repro.faults.chaos:HangingWorkload", 30.0, 40.0),
+            SimulationConfig(duration_seconds=1.0, seed=0),
+            label="hang",
+        )
+        runner = SessionRunner(jobs=2, retries=0, timeout_seconds=1.5)
+        report = runner.run_report([hang, busyloop_spec(1, 50.0, "clean")])
+        outcome = report.outcomes[0]
+        assert outcome.status == "failed"
+        assert "timed out" in outcome.error
+        assert runner.last_stats.timeouts == 1
+        # The clean spec in the same batch still succeeded.
+        assert report.outcomes[1].status in ("ok", "retried")
+        assert report.summaries[1] is not None
+
+    def test_fast_specs_pass_under_a_timeout(self):
+        runner = SessionRunner(jobs=2, timeout_seconds=60.0)
+        report = runner.run_report(
+            [busyloop_spec(i, 40.0 + i, f"s{i}") for i in range(3)]
+        )
+        assert report.succeeded
+        assert runner.last_stats.timeouts == 0

@@ -1,0 +1,129 @@
+"""FaultPlan: validation, windows, JSON round-trips, cache identity."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import FaultError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    HotplugFailFault,
+    MpdecisionStallFault,
+    SensorDropoutFault,
+    ThermalThrottleFault,
+)
+from repro.runner import FactoryRef, SessionSpec
+
+
+def sample_plan():
+    return FaultPlan.of(
+        ThermalThrottleFault(at_seconds=1.0, duration_seconds=2.0, steps=5),
+        HotplugFailFault(at_seconds=2.0, duration_seconds=1.0),
+        MpdecisionStallFault(at_seconds=3.0, duration_seconds=0.5),
+        SensorDropoutFault(at_seconds=4.0, duration_seconds=1.0),
+    )
+
+
+class TestFaultWindows:
+    def test_half_open_window(self):
+        fault = HotplugFailFault(at_seconds=1.0, duration_seconds=2.0)
+        assert not fault.active_at(0.99)
+        assert fault.active_at(1.0)
+        assert fault.active_at(2.99)
+        assert not fault.active_at(3.0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(FaultError):
+            HotplugFailFault(at_seconds=-1.0, duration_seconds=2.0)
+
+    def test_non_positive_duration_rejected(self):
+        with pytest.raises(FaultError):
+            SensorDropoutFault(at_seconds=0.0, duration_seconds=0.0)
+
+    def test_throttle_steps_validated(self):
+        with pytest.raises(FaultError):
+            ThermalThrottleFault(at_seconds=0.0, duration_seconds=1.0, steps=0)
+
+    def test_registry_covers_every_kind(self):
+        assert set(FAULT_KINDS) == {
+            "thermal_throttle",
+            "hotplug_fail",
+            "mpdecision_stall",
+            "sensor_dropout",
+        }
+
+
+class TestFaultPlanSerialisation:
+    def test_json_round_trip(self):
+        plan = sample_plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_payload_round_trip(self):
+        plan = sample_plan()
+        assert FaultPlan.from_payload(plan.payload()) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError, match="unknown fault kind"):
+            FaultPlan.from_payload(
+                {"faults": [{"kind": "quantum_bitflip", "at_seconds": 0.0,
+                             "duration_seconds": 1.0}]}
+            )
+
+    def test_unexpected_field_rejected(self):
+        with pytest.raises(FaultError, match="unexpected fields"):
+            FaultPlan.from_payload(
+                {"faults": [{"kind": "hotplug_fail", "at_seconds": 0.0,
+                             "duration_seconds": 1.0, "blast_radius": 9}]}
+            )
+
+    def test_invalid_json_typed_error(self):
+        with pytest.raises(FaultError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_missing_file_typed_error(self, tmp_path):
+        with pytest.raises(FaultError, match="cannot read"):
+            FaultPlan.load(tmp_path / "absent.json")
+
+    def test_load_from_file(self, tmp_path):
+        plan = sample_plan()
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert FaultPlan.load(path) == plan
+
+    def test_non_window_entry_rejected(self):
+        with pytest.raises(FaultError, match="FaultWindow"):
+            FaultPlan(("thermal_throttle",))  # type: ignore[arg-type]
+
+    def test_truthiness_tracks_contents(self):
+        assert not FaultPlan()
+        assert len(FaultPlan()) == 0
+        assert sample_plan()
+        assert len(sample_plan()) == 4
+
+
+class TestCacheIdentity:
+    def spec(self, faults=None):
+        return SessionSpec(
+            "Nexus 5",
+            FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+            FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", 40.0),
+            SimulationConfig(duration_seconds=2.0, seed=0),
+            faults=faults,
+        )
+
+    def test_fault_plan_forks_the_cache_key(self):
+        clean = self.spec()
+        faulted = self.spec(sample_plan())
+        assert clean.cache_key() != faulted.cache_key()
+
+    def test_empty_plan_keeps_the_clean_address(self):
+        assert self.spec().cache_key() == self.spec(FaultPlan()).cache_key()
+
+    def test_same_plan_same_key(self):
+        one = self.spec(sample_plan())
+        two = dataclasses.replace(self.spec(), faults=sample_plan())
+        assert one.cache_key() == two.cache_key()

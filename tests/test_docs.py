@@ -1,8 +1,8 @@
-"""Documentation snippets must run: README quickstart and the tutorial.
+"""Documentation snippets must run: README, tutorial, failure modes.
 
 Extracts every ```python fence and executes them sequentially in one
-shared namespace (the tutorial builds on earlier snippets), so the docs
-can never drift from the API.
+shared namespace per document (each document builds on its earlier
+snippets), so the docs can never drift from the API.
 """
 
 import pathlib
@@ -38,13 +38,28 @@ class TestReadme:
 class TestTutorial:
     def test_all_blocks_run_in_order(self, capsys):
         blocks = python_blocks(ROOT / "docs" / "TUTORIAL.md")
-        assert len(blocks) >= 6, "tutorial lost its snippets"
+        assert len(blocks) >= 8, "tutorial lost its snippets"
         namespace = {}
         for block in blocks:
             exec(shrink_durations(block), namespace)
         # spot-check the narrative's claims from the shared namespace
         assert namespace["summary"].mean_power_mw > 0
         assert namespace["saving"].n == 3
+        # §8: the corrupted cache entry was quarantined and recomputed
+        assert namespace["recovered"].outcomes[0].status == "degraded"
         out = capsys.readouterr().out
         assert "47.0" in out        # the static-power anchor printout
         assert "14" in out          # the OPP count printout
+        assert "degraded" in out    # the §8 recovery printout
+
+
+class TestFailureModes:
+    def test_every_mode_example_runs(self, capsys):
+        """FAILURE_MODES.md is a contract; its examples must hold."""
+        blocks = python_blocks(ROOT / "docs" / "FAILURE_MODES.md")
+        assert len(blocks) >= 7, "failure-mode contract lost its examples"
+        namespace = {}
+        for block in blocks:
+            exec(shrink_durations(block), namespace)
+        out = capsys.readouterr().out
+        assert "jobs must be >= 1" in out   # the mode-5 fail-fast printout
