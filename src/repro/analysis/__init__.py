@@ -8,7 +8,7 @@ series the way the paper's figures tabulate them.
 
 from .sweep import run_session, utilization_sweep, frequency_sweep, core_count_sweep
 from .ratio import performance_power_ratio, RatioPoint
-from .comparison import PolicyComparison, ComparisonRow
+from .comparison import PolicyComparison, ComparisonRow, comparison_rows
 from .report import render_table, render_series, format_mw, format_mhz
 from .battery import BatterySpec, NEXUS5_BATTERY, battery_life_hours, extra_minutes
 from .fitting import PowerSample, FitResult, fit_power_params, collect_samples
@@ -43,6 +43,7 @@ __all__ = [
     "RatioPoint",
     "PolicyComparison",
     "ComparisonRow",
+    "comparison_rows",
     "render_table",
     "render_series",
     "format_mw",

@@ -29,7 +29,30 @@ from ..runner.spec import FactoryLike, FactoryRef, PlatformLike, SessionSpec
 from ..soc.catalog import get_phone_spec
 from ..soc.platform import PlatformSpec
 
-__all__ = ["ComparisonRow", "PolicyComparison"]
+__all__ = ["ComparisonRow", "PolicyComparison", "comparison_rows"]
+
+
+def comparison_rows(summaries: Sequence[SessionSummary]) -> List["ComparisonRow"]:
+    """Fold a flat (baseline, candidate, baseline, ...) list into rows.
+
+    The folding half of the A/B contract: any batch whose policy axis is
+    innermost — ``PolicyComparison`` pairs, or a scenario matrix ending
+    in a two-policy axis — alternates baseline/candidate summaries, and
+    this pairs them back up.
+    """
+    if len(summaries) % 2:
+        raise ExperimentError(
+            f"comparison batches pair baseline/candidate summaries; "
+            f"got an odd count ({len(summaries)})"
+        )
+    return [
+        ComparisonRow(
+            workload=summaries[i].workload,
+            baseline=summaries[i],
+            candidate=summaries[i + 1],
+        )
+        for i in range(0, len(summaries), 2)
+    ]
 
 
 @dataclass(frozen=True)
@@ -137,15 +160,8 @@ class PolicyComparison:
 
     @staticmethod
     def _rows(summaries: Sequence[SessionSummary]) -> List[ComparisonRow]:
-        """Fold a flat (baseline, candidate, baseline, ...) list into rows."""
-        return [
-            ComparisonRow(
-                workload=summaries[i].workload,
-                baseline=summaries[i],
-                candidate=summaries[i + 1],
-            )
-            for i in range(0, len(summaries), 2)
-        ]
+        """Fold a flat summary list into rows (see :func:`comparison_rows`)."""
+        return comparison_rows(summaries)
 
     def compare(
         self, workload_factory: FactoryLike, seed: Optional[int] = None

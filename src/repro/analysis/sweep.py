@@ -24,6 +24,7 @@ from ..metrics.summary import SessionSummary
 from ..policies.base import CpuPolicy
 from ..runner.runner import SessionRunner, default_runner
 from ..runner.spec import FactoryLike, FactoryRef, PlatformLike, SessionSpec
+from ..scenario.registry import policy_ref, workload_ref
 from ..soc.platform import Platform, PlatformSpec
 from ..workloads.base import Workload
 
@@ -50,17 +51,17 @@ def run_session(
 
 
 def _static_policy_ref(online_count: int, frequency_khz: int) -> FactoryRef:
-    return FactoryRef.to(
-        "repro.policies.static:StaticPolicy", online_count, frequency_khz
+    return policy_ref(
+        "static", online_count=online_count, frequency_khz=frequency_khz
     )
 
 
 def _busyloop_ref(
     level: float, num_threads: int = 0, reference_frequency_khz: int = 0
 ) -> FactoryRef:
-    return FactoryRef.to(
-        "repro.workloads.busyloop:BusyLoopApp",
-        level,
+    return workload_ref(
+        "busyloop",
+        target_load_percent=level,
         num_threads=num_threads,
         reference_frequency_khz=reference_frequency_khz,
     )

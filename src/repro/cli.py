@@ -14,6 +14,11 @@ Usage::
     python -m repro faults template > plan.json
     python -m repro compare --workload busyloop:60 --faults plan.json
     python -m repro faults demo
+    python -m repro scenarios list
+    python -m repro scenarios validate examples/scenarios/paper_eval.json
+    python -m repro scenarios expand examples/scenarios/paper_eval.json
+    python -m repro scenarios run examples/scenarios/paper_eval.json --jobs 4
+    python -m repro compare --scenario my_scenario.json
 
 ``compare`` runs the Android default and MobiCore on the same demand
 (same seed) and prints the paper-style deltas.  ``--jobs N`` fans the
@@ -34,6 +39,13 @@ runs a clean-vs-faulted A/B showing the injected events end to end.
 exports the typed event stream — ``perfetto`` JSON (loadable in
 ``chrome://tracing`` / ui.perfetto.dev), ``jsonl``, or ``csv``.
 ``trace summary`` counts events per type in any of those files.
+
+``scenarios`` works with declarative scenario documents
+(:mod:`repro.scenario`): ``list`` shows every registered policy,
+workload, and platform key; ``validate`` / ``expand`` check and print a
+scenario or matrix file; ``run`` compiles and executes one.  ``compare``
+and ``run`` also accept ``--scenario file.json`` to take their session
+description from a document instead of flags.
 """
 
 from __future__ import annotations
@@ -66,6 +78,17 @@ from .runner import (
     SessionSpec,
     TraceRequest,
     configure_default_runner,
+)
+from .runner.cache import summary_to_dict
+from .scenario import (
+    PLATFORM_REGISTRY,
+    POLICY_REGISTRY,
+    WORKLOAD_REGISTRY,
+    Scenario,
+    compile_scenario,
+    load_scenarios,
+    policy_ref,
+    workload_ref,
 )
 from .soc.catalog import PHONE_CATALOG, get_phone_spec
 from .workloads.games import game_workload
@@ -113,6 +136,8 @@ def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if not args.ids and not args.scenario:
+        raise ReproError("run needs experiment ids and/or --scenario FILE")
     # Experiment drivers fall back to the default runner; configure it so
     # every figure's session matrix honours --jobs / --cache-dir.
     runner = configure_default_runner(
@@ -121,6 +146,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         retries=args.retries,
         timeout_seconds=args.timeout,
     )
+    if args.scenario:
+        _run_scenario_batch(load_scenarios(args.scenario), runner, out=None)
     for experiment_id in args.ids:
         experiment = get_experiment(experiment_id)
         print("=" * 72)
@@ -135,6 +162,85 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario_batch(
+    scenarios: List[Scenario],
+    runner: SessionRunner,
+    out: Optional[str],
+) -> None:
+    """Compile, execute, and report a scenario batch on *runner*."""
+    specs = [compile_scenario(scenario) for scenario in scenarios]
+    summaries = runner.run(specs)
+    rows = []
+    for spec, summary in zip(specs, summaries):
+        fps = f"{summary.mean_fps:.1f}" if summary.mean_fps is not None else "-"
+        rows.append(
+            (
+                spec.label,
+                f"{summary.mean_power_mw:.0f}",
+                fps,
+                f"{summary.mean_online_cores:.2f}",
+                f"{summary.mean_frequency_khz / 1000:.0f}",
+            )
+        )
+    print(render_table(("scenario", "power mW", "fps", "cores", "MHz"), rows))
+    if out:
+        document = [summary_to_dict(summary) for summary in summaries]
+        Path(out).write_text(
+            json.dumps(document, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        print(f"\nwrote {len(document)} summaries: {out}")
+
+
+def _cmd_scenarios_list(_args: argparse.Namespace) -> int:
+    for registry in (POLICY_REGISTRY, WORKLOAD_REGISTRY, PLATFORM_REGISTRY):
+        rows = [(entry.name, entry.summary) for entry in registry.entries()]
+        print(render_table((registry.kind, "description"), rows))
+        print()
+    return 0
+
+
+def _cmd_scenarios_validate(args: argparse.Namespace) -> int:
+    scenarios = load_scenarios(args.file)
+    for scenario in scenarios:
+        scenario.validate()
+    noun = "scenario" if len(scenarios) == 1 else "scenarios"
+    print(f"{args.file}: {len(scenarios)} {noun} valid")
+    return 0
+
+
+def _cmd_scenarios_expand(args: argparse.Namespace) -> int:
+    scenarios = load_scenarios(args.file)
+    rows = [
+        (str(index), scenario.describe(), scenario.compile().cache_key()[:12])
+        for index, scenario in enumerate(scenarios)
+    ]
+    print(render_table(("#", "scenario", "cache key"), rows))
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    scenarios = load_scenarios(args.file)
+    if args.only:
+        try:
+            scenarios = [scenarios[index] for index in args.only]
+        except IndexError:
+            raise ReproError(
+                f"--only index out of range; {args.file} expands to "
+                f"{len(scenarios)} scenarios"
+            ) from None
+    runner = SessionRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        retries=args.retries,
+        timeout_seconds=args.timeout,
+    )
+    _run_scenario_batch(scenarios, runner, out=args.out)
+    if args.stats:
+        print()
+        _print_runner_stats(runner.total_stats)
+    return 0
+
+
 def _cmd_specs(args: argparse.Namespace) -> int:
     names = [args.phone] if args.phone else list(PHONE_CATALOG)
     for name in names:
@@ -145,30 +251,66 @@ def _cmd_specs(args: argparse.Namespace) -> int:
 
 
 def _build_workload(description: str) -> FactoryRef:
-    """Parse a --workload string into a portable workload factory ref."""
+    """Parse a --workload string into a registered workload factory ref."""
     kind, _, argument = description.partition(":")
     kind = kind.strip().lower()
     if kind == "busyloop":
         level = float(argument) if argument else 50.0
-        return FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", level)
+        return workload_ref("busyloop", target_load_percent=level)
     if kind == "game":
         if not argument:
             raise ReproError("game workload needs a title, e.g. game:Subway Surf")
         game_workload(argument)  # validate the title eagerly
-        return FactoryRef.to("repro.workloads.games:game_workload", argument)
+        return workload_ref("game", title=argument)
     if kind == "geekbench":
-        return FactoryRef.to("repro.workloads.geekbench:GeekbenchWorkload")
+        return workload_ref("geekbench")
     raise ReproError(
         f"unknown workload {description!r}; use busyloop:<percent>, "
         f"game:<title>, or geekbench"
     )
 
 
+def _compare_scenario(path: str) -> Scenario:
+    """Load the single scenario a ``compare --scenario`` file must hold."""
+    scenarios = load_scenarios(path)
+    if len(scenarios) != 1:
+        raise ReproError(
+            f"compare --scenario needs a single-scenario file; "
+            f"{path} expands to {len(scenarios)} scenarios "
+            f"(use: repro scenarios run)"
+        )
+    return scenarios[0]
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    spec = get_phone_spec(args.phone)  # validate the phone name eagerly
-    config = SimulationConfig(
-        duration_seconds=args.duration, seed=args.seed, warmup_seconds=args.warmup
-    )
+    if args.scenario:
+        # The document supplies platform/workload/config/faults; the
+        # candidate policy is the scenario's own (MobiCore when the
+        # scenario declares the baseline itself).
+        scenario = _compare_scenario(args.scenario)
+        phone = scenario.platform
+        config = scenario.config
+        workload = workload_ref(scenario.workload, **dict(scenario.workload_params))
+        candidate_name = (
+            scenario.policy if scenario.policy != "android-default" else "mobicore"
+        )
+        entry = POLICY_REGISTRY.get(candidate_name)
+        candidate_params = dict(scenario.policy_params)
+        if entry.pass_platform:
+            candidate_params.setdefault("platform", phone)
+        candidate = entry.ref(**candidate_params)
+        pin_uncore = scenario.pin_uncore_max
+        faults = scenario.faults
+    else:
+        phone = args.phone
+        config = SimulationConfig(
+            duration_seconds=args.duration, seed=args.seed, warmup_seconds=args.warmup
+        )
+        workload = _build_workload(args.workload)
+        candidate = policy_ref("mobicore", platform=phone)
+        pin_uncore = args.pin_uncore
+        faults = _load_fault_plan(args.faults)
+    spec = get_phone_spec(phone)  # validate the phone name eagerly
     runner = SessionRunner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
@@ -176,19 +318,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         timeout_seconds=args.timeout,
     )
     comparison = PolicyComparison(
-        args.phone,
-        baseline_factory=FactoryRef.to(
-            "repro.policies.android_default:AndroidDefaultPolicy"
-        ),
-        candidate_factory=FactoryRef.to(
-            "repro.experiments.common:mobicore_for_phone", args.phone
-        ),
+        phone,
+        baseline_factory=policy_ref("android-default"),
+        candidate_factory=candidate,
         config=config,
-        pin_uncore_max=args.pin_uncore,
+        pin_uncore_max=pin_uncore,
         runner=runner,
-        faults=_load_fault_plan(args.faults),
+        faults=faults,
     )
-    row = comparison.compare(_build_workload(args.workload))
+    row = comparison.compare(workload)
     rows = [
         ("power (mW)", f"{row.baseline.mean_power_mw:.0f}",
          f"{row.candidate.mean_power_mw:.0f}"),
@@ -220,27 +358,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _parse_policies(text: str, phone: str) -> List[Tuple[str, FactoryRef]]:
-    """Parse ``--policies android,mobicore`` into labelled factory refs."""
+    """Parse ``--policies android,mobicore`` into labelled registry refs."""
     policies: List[Tuple[str, FactoryRef]] = []
     for name in (part.strip().lower() for part in text.split(",")):
         if not name:
             continue
         if name in ("android", "android-default", "default"):
-            policies.append(
-                (
-                    "android",
-                    FactoryRef.to(
-                        "repro.policies.android_default:AndroidDefaultPolicy"
-                    ),
-                )
-            )
+            policies.append(("android", policy_ref("android-default")))
         elif name == "mobicore":
-            policies.append(
-                (
-                    "mobicore",
-                    FactoryRef.to("repro.experiments.common:mobicore_for_phone", phone),
-                )
-            )
+            policies.append(("mobicore", policy_ref("mobicore", platform=phone)))
         else:
             raise ReproError(
                 f"unknown policy {name!r}; --policies takes android and/or mobicore"
@@ -350,7 +476,7 @@ def _cmd_faults_demo(args: argparse.Namespace) -> int:
     """A clean-vs-faulted A/B on one workload, fault events included."""
     config = SimulationConfig(duration_seconds=args.duration, seed=args.seed)
     plan = _load_fault_plan(args.faults) or _TEMPLATE_PLAN
-    policy = FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy")
+    policy = policy_ref("android-default")
     workload = _build_workload(args.workload)
     request = TraceRequest(categories=("fault", "policy"))
     specs = [
@@ -454,9 +580,57 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
 
     run = sub.add_parser("run", help="regenerate tables/figures by id")
-    run.add_argument("ids", nargs="+", metavar="id", help="e.g. fig9a table2")
+    run.add_argument("ids", nargs="*", metavar="id", help="e.g. fig9a table2")
+    run.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="also run a scenario/matrix JSON document",
+    )
     add_runner_options(run)
     run.set_defaults(func=_cmd_run)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="declarative scenario documents (registries, matrices)"
+    )
+    scenarios_sub = scenarios.add_subparsers(dest="scenarios_command", required=True)
+
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="show registered policy/workload/platform keys"
+    )
+    scenarios_list.set_defaults(func=_cmd_scenarios_list)
+
+    scenarios_validate = scenarios_sub.add_parser(
+        "validate", help="check a scenario or matrix file against the registries"
+    )
+    scenarios_validate.add_argument("file", help="scenario/matrix JSON document")
+    scenarios_validate.set_defaults(func=_cmd_scenarios_validate)
+
+    scenarios_expand = scenarios_sub.add_parser(
+        "expand", help="print a file's concrete scenarios and cache keys"
+    )
+    scenarios_expand.add_argument("file", help="scenario/matrix JSON document")
+    scenarios_expand.set_defaults(func=_cmd_scenarios_expand)
+
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="compile and execute a scenario or matrix file"
+    )
+    scenarios_run.add_argument("file", help="scenario/matrix JSON document")
+    scenarios_run.add_argument(
+        "--only",
+        type=int,
+        action="append",
+        metavar="INDEX",
+        help="run only these expansion indices (repeatable; see: expand)",
+    )
+    scenarios_run.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the summaries as a JSON list",
+    )
+    add_runner_options(scenarios_run)
+    scenarios_run.set_defaults(func=_cmd_scenarios_run)
 
     specs = sub.add_parser("specs", help="show device spec sheets")
     specs.add_argument("phone", nargs="?", help="catalog phone name")
@@ -485,6 +659,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN",
         help="JSON fault plan injected into every session "
         "(see: repro faults template)",
+    )
+    compare.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="take platform/workload/config from a single-scenario JSON "
+        "document instead of the flags above",
     )
     add_runner_options(compare)
     compare.set_defaults(func=_cmd_compare)

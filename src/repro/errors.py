@@ -26,6 +26,8 @@ __all__ = [
     "RunnerError",
     "CacheError",
     "FaultError",
+    "ScenarioError",
+    "RegistryError",
 ]
 
 
@@ -95,3 +97,11 @@ class CacheError(RunnerError):
 
 class FaultError(ReproError):
     """A fault plan is malformed, or an injected fault fired (chaos harness)."""
+
+
+class ScenarioError(ReproError):
+    """A scenario document is malformed or names something unknown."""
+
+
+class RegistryError(ScenarioError):
+    """A component registry rejected a registration or lookup."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..config import SimulationConfig
 from ..core.mobicore import MobiCorePolicy
@@ -56,7 +56,7 @@ def android_factory() -> AndroidDefaultPolicy:
     return AndroidDefaultPolicy()
 
 
-def mobicore_factory(spec: PlatformSpec = None) -> MobiCorePolicy:
+def mobicore_factory(spec: Optional[PlatformSpec] = None) -> MobiCorePolicy:
     """A fresh MobiCore policy calibrated for *spec* (Nexus 5 by default)."""
     if spec is None:
         spec = nexus5_spec()

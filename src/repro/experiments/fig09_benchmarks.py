@@ -17,14 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..analysis.comparison import ComparisonRow, PolicyComparison
+from ..analysis.comparison import ComparisonRow, comparison_rows
 from ..analysis.report import render_table
 from ..config import SimulationConfig
 from ..errors import ExperimentError
-from ..soc.catalog import nexus5_spec
-from ..workloads.busyloop import BusyLoopApp
-from ..workloads.geekbench import GeekbenchWorkload
-from .common import android_factory, default_config, mobicore_factory
+from ..scenario import Scenario, ScenarioMatrix, run_scenarios
+from .common import default_config
 
 __all__ = ["Fig09aResult", "Fig09bResult", "run_busyloop", "run_geekbench"]
 
@@ -135,18 +133,27 @@ def run_busyloop(
     config: Optional[SimulationConfig] = None,
     loads: Sequence[float] = DEFAULT_LOADS,
 ) -> Fig09aResult:
-    """Figure 9(a): the busy-loop A/B sweep (GPU/memory idle)."""
+    """Figure 9(a): the busy-loop A/B sweep (GPU/memory idle).
+
+    One declarative matrix — load x policy, policy innermost — so the
+    whole sweep is a single portable runner batch instead of the old
+    serial per-load lambdas.
+    """
     if config is None:
         config = default_config()
-    spec = nexus5_spec()
-    comparison = PolicyComparison(
-        spec,
-        baseline_factory=android_factory,
-        candidate_factory=lambda: mobicore_factory(spec),
-        config=config,
-        pin_uncore_max=False,
+    matrix = ScenarioMatrix(
+        base=Scenario(
+            platform="Nexus 5",
+            workload="busyloop",
+            config=config,
+            pin_uncore_max=False,
+        ),
+        axes=(
+            ("workload_params.target_load_percent", tuple(loads)),
+            ("policy", ("android-default", "mobicore")),
+        ),
     )
-    rows = [comparison.compare(lambda load=load: BusyLoopApp(load)) for load in loads]
+    rows = comparison_rows(run_scenarios(matrix))
     return Fig09aResult(loads=tuple(loads), rows=rows)
 
 
@@ -154,12 +161,13 @@ def run_geekbench(config: Optional[SimulationConfig] = None) -> Fig09bResult:
     """Figure 9(b): the GeekBench-like A/B run (GPU/memory idle)."""
     if config is None:
         config = default_config()
-    spec = nexus5_spec()
-    comparison = PolicyComparison(
-        spec,
-        baseline_factory=android_factory,
-        candidate_factory=lambda: mobicore_factory(spec),
-        config=config,
-        pin_uncore_max=False,
+    matrix = ScenarioMatrix(
+        base=Scenario(
+            platform="Nexus 5",
+            workload="geekbench",
+            config=config,
+            pin_uncore_max=False,
+        ),
+        axes=(("policy", ("android-default", "mobicore")),),
     )
-    return Fig09bResult(row=comparison.compare(GeekbenchWorkload))
+    return Fig09bResult(row=comparison_rows(run_scenarios(matrix))[0])

@@ -3,6 +3,9 @@
 Section 6.1.2's headlines: per-game savings between 0.04% (Real
 Racing 3) and 11.7% (Subway Surf); 5.3% on average; MobiCore never
 consumes meaningfully more than the default.
+
+Sessions come from :func:`~repro.experiments.game_eval.run_games`, i.e.
+the declarative games x seeds x policies scenario matrix.
 """
 
 from __future__ import annotations

@@ -3,6 +3,9 @@
 Section 6.2's headlines: the default policy always reaches a higher FPS;
 MobiCore's FPS stays in the acceptable 15-20 band (section 5.1); on
 average MobiCore delivers ~22% fewer FPS.
+
+Sessions come from :func:`~repro.experiments.game_eval.run_games`, i.e.
+the declarative games x seeds x policies scenario matrix.
 """
 
 from __future__ import annotations

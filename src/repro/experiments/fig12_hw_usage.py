@@ -4,6 +4,9 @@ Section 6.3's headlines: MobiCore generally runs a lower average
 frequency (22.5% lower on average) except Real Racing 3 (slightly
 *higher*); MobiCore's average active core count is below the default's
 (paper: 2.52 vs 2.75).
+
+Sessions come from :func:`~repro.experiments.game_eval.run_games`, i.e.
+the declarative games x seeds x policies scenario matrix.
 """
 
 from __future__ import annotations

@@ -7,6 +7,9 @@ percentage up while total executed work goes down; we therefore report
 both views: the raw global load (the thesis's metric) and the
 fmax-normalised load (the actual work executed), plus each session's
 load variation.
+
+Sessions come from :func:`~repro.experiments.game_eval.run_games`, i.e.
+the declarative games x seeds x policies scenario matrix.
 """
 
 from __future__ import annotations

@@ -1,38 +1,53 @@
 """Shared gaming-session evaluation for Figures 10-13.
 
 The four evaluation figures all derive from the same sessions: each of
-the five games played for the session length under both policies.  This
-module expresses that matrix declaratively and executes it through the
-shared :class:`~repro.runner.runner.SessionRunner` — one batch of
-``games x seeds x 2`` portable specs.  The runner's in-memory memo keeps
-repeated figure drivers instant within a process (the role the old
-hand-rolled ``_CACHE`` played), and its content-addressed on-disk cache
-(``--cache-dir`` / ``REPRO_CACHE_DIR``) makes warm re-runs across
-processes execute zero simulation ticks.  Unlike the old cache key, the
-spec hash covers *every* config field — including ``warmup_seconds`` and
-the per-trial seeds.
+the five games played for the session length under both policies.  That
+grid is now a declarative :class:`~repro.scenario.matrix.ScenarioMatrix`
+— games x seeds x {android-default, mobicore} — compiled into portable
+specs and executed through the shared
+:class:`~repro.runner.runner.SessionRunner` as one batch.  The runner's
+in-memory memo keeps repeated figure drivers instant within a process,
+and its content-addressed on-disk cache (``--cache-dir`` /
+``REPRO_CACHE_DIR``) makes warm re-runs across processes execute zero
+simulation ticks.
+
+``examples/scenarios/paper_eval.json`` is the same grid as a committed
+document: ``repro scenarios run examples/scenarios/paper_eval.json``
+reproduces these sessions without touching this module.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..analysis.comparison import ComparisonRow, PolicyComparison
+from ..analysis.comparison import ComparisonRow, PolicyComparison, comparison_rows
 from ..config import SimulationConfig
 from ..runner.runner import SessionRunner
 from ..runner.spec import FactoryRef
+from ..scenario import (
+    Scenario,
+    ScenarioMatrix,
+    game_key,
+    policy_ref,
+    run_scenarios,
+    workload_ref,
+)
 from .common import GAME_NAMES, default_config
 
-__all__ = ["run_games", "mean_rows", "games_comparison"]
+__all__ = ["run_games", "mean_rows", "games_comparison", "games_matrix"]
 
 #: Portable factories for the evaluation matrix (resolvable in workers).
-ANDROID_FACTORY = FactoryRef.to("repro.experiments.common:android_factory")
-MOBICORE_FACTORY = FactoryRef.to("repro.experiments.common:mobicore_factory")
+ANDROID_FACTORY = policy_ref("android-default")
+MOBICORE_FACTORY = policy_ref("mobicore", platform="Nexus 5")
+
+#: The two policies of every evaluation figure, baseline first — the
+#: matrix's innermost axis, so summaries alternate baseline/candidate.
+EVAL_POLICIES = ("android-default", "mobicore")
 
 
 def game_factory(name: str) -> FactoryRef:
     """A portable factory ref for one of the paper's five games."""
-    return FactoryRef.to("repro.workloads.games:game_workload", name)
+    return workload_ref("game", title=name)
 
 
 def games_comparison(
@@ -52,6 +67,34 @@ def games_comparison(
     )
 
 
+def games_matrix(
+    config: Optional[SimulationConfig] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+) -> ScenarioMatrix:
+    """The section 6 evaluation grid as one declarative document.
+
+    Axis order is load-bearing: workload outermost, policy innermost, so
+    the expanded batch alternates baseline/candidate per (game, seed) —
+    the exact ordering :func:`~repro.analysis.comparison.comparison_rows`
+    folds back into rows.
+    """
+    base = Scenario(
+        platform="Nexus 5",
+        workload="game",
+        policy=EVAL_POLICIES[0],
+        config=config if config is not None else default_config(),
+        pin_uncore_max=True,
+    )
+    return ScenarioMatrix(
+        base=base,
+        axes=(
+            ("workload", tuple(game_key(name) for name in GAME_NAMES)),
+            ("seed", tuple(seeds)),
+            ("policy", EVAL_POLICIES),
+        ),
+    )
+
+
 def run_games(
     config: Optional[SimulationConfig] = None,
     seeds: Sequence[int] = (1, 2, 3),
@@ -63,13 +106,20 @@ def run_games(
     ``jobs=N`` the ``5 x len(seeds) x 2`` sessions run N at a time, and a
     warm cache serves all of them without simulating a tick.
     """
-    comparison = games_comparison(config, runner)
-    return comparison.compare_matrix(
-        {name: game_factory(name) for name in GAME_NAMES}, tuple(seeds)
-    )
+    seeds = tuple(seeds)
+    summaries = run_scenarios(games_matrix(config, seeds), runner=runner)
+    rows = comparison_rows(summaries)
+    per_game = len(seeds)
+    return {
+        name: rows[i * per_game : (i + 1) * per_game]
+        for i, name in enumerate(GAME_NAMES)
+    }
 
 
-def mean_rows(rows: Sequence[ComparisonRow], attribute) -> Optional[float]:
+def mean_rows(
+    rows: Sequence[ComparisonRow],
+    attribute: Callable[[ComparisonRow], Optional[float]],
+) -> Optional[float]:
     """Average a ComparisonRow property over seeds.
 
     Rows whose attribute is ``None`` (e.g. FPS on a frameless workload)

@@ -65,8 +65,11 @@ class FactoryRef:
     Attributes:
         target: ``"package.module:attr"`` naming a callable.
         args: Positional arguments for the call (primitives only).
-        kwargs: Keyword arguments as a sorted tuple of (name, value)
-            pairs, kept as a tuple so the ref stays hashable.
+        kwargs: Keyword arguments as (name, value) pairs, kept as a
+            tuple so the ref stays hashable.  Normalised at
+            construction: pairs are sorted by name (so two refs built
+            with different kwarg orders are equal and share one cache
+            address) and duplicate names are rejected.
     """
 
     target: str
@@ -81,13 +84,24 @@ class FactoryRef:
                 f"got {self.target!r}"
             )
         _require_primitive(self.args, f"args of {self.target}")
+        names = [name for name, _ in self.kwargs]
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        if duplicates:
+            raise RunnerError(
+                f"duplicate kwarg name(s) {duplicates} for {self.target}"
+            )
         for name, value in self.kwargs:
             _require_primitive(value, f"kwargs[{name!r}] of {self.target}")
+        # Canonical ordering happens here — once, for every constructor
+        # path — so the content address never depends on call-site order.
+        object.__setattr__(
+            self, "kwargs", tuple(sorted(self.kwargs, key=lambda pair: pair[0]))
+        )
 
     @classmethod
     def to(cls, target: str, *args: Any, **kwargs: Any) -> "FactoryRef":
         """Build a ref the way you would write the call itself."""
-        return cls(target, tuple(args), tuple(sorted(kwargs.items())))
+        return cls(target, tuple(args), tuple(kwargs.items()))
 
     def resolve(self) -> Any:
         """Import the target and call it with the stored arguments."""

@@ -1,0 +1,67 @@
+"""Declarative scenario layer: registries + documents + compiler.
+
+This package unifies the repo's policy/workload/platform wiring behind
+three string-keyed registries (mirroring the governor registry that has
+existed since the seed) and a JSON-round-trippable
+:class:`~repro.scenario.scenario.Scenario` document.  A scenario names
+its components by key; :func:`~repro.scenario.compile.compile_scenario`
+turns it into the portable :class:`~repro.runner.spec.SessionSpec` the
+batch runner already executes, caches, and parallelises.  A
+:class:`~repro.scenario.matrix.ScenarioMatrix` expands axis grids
+(policy x game x seed x ...) into concrete scenarios, replacing the
+per-driver nested loops the experiment modules used to carry.
+
+Importing this package registers every built-in component
+(:mod:`repro.scenario.builtins`), so registry keys like ``"mobicore"``,
+``"game:asphalt8"``, and ``"Nexus 5"`` resolve immediately.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    PLATFORM_REGISTRY,
+    POLICY_REGISTRY,
+    WORKLOAD_REGISTRY,
+    Registry,
+    RegistryEntry,
+    platform_ref,
+    policy_ref,
+    register_platform,
+    register_policy,
+    register_workload,
+    workload_ref,
+)
+from . import builtins as _builtins  # populate the registries on import
+from .scenario import Scenario
+from .matrix import AXIS_FIELDS, ScenarioMatrix
+from .compile import (
+    compile_matrix,
+    compile_scenario,
+    default_label,
+    load_scenarios,
+    run_scenarios,
+)
+from .builtins import game_key
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "POLICY_REGISTRY",
+    "WORKLOAD_REGISTRY",
+    "PLATFORM_REGISTRY",
+    "register_policy",
+    "register_workload",
+    "register_platform",
+    "policy_ref",
+    "workload_ref",
+    "platform_ref",
+    "game_key",
+    "Scenario",
+    "ScenarioMatrix",
+    "AXIS_FIELDS",
+    "compile_scenario",
+    "compile_matrix",
+    "run_scenarios",
+    "load_scenarios",
+    "default_label",
+]

@@ -1,0 +1,165 @@
+"""The built-in component catalog: every policy, workload, and platform
+the paper's evaluation touches, registered by string key.
+
+Importing :mod:`repro.scenario` loads this module once, so scenario
+documents can name components ("mobicore", "game:asphalt8", "Nexus 5")
+without any driver wiring.  The factory functions below are the
+:class:`~repro.runner.spec.FactoryRef` targets the compiled
+``SessionSpec``s carry — module-level, keyword-only-primitive callables
+that worker processes import and call.
+
+Policies whose construction depends on the device (MobiCore's energy
+model is fit on the deployment phone, section 4.1.2) are registered with
+``pass_platform=True``: the scenario compiler injects the scenario's
+platform name as the ``platform`` keyword automatically.
+"""
+
+from __future__ import annotations
+
+from ..core.mobicore import MobiCorePolicy
+from ..policies.android_default import AndroidDefaultPolicy
+from ..policies.single_mechanism import (
+    DcsOnlyPolicy,
+    DvfsOnlyPolicy,
+    RaceToIdlePolicy,
+)
+from ..policies.static import StaticPolicy
+from ..soc.catalog import PHONE_CATALOG, get_phone_spec
+from ..workloads.busyloop import BusyLoopApp
+from ..workloads.games import GAME_PROFILES, GameWorkload, game_workload
+from ..workloads.geekbench import GeekbenchWorkload
+from .registry import (
+    PLATFORM_REGISTRY,
+    WORKLOAD_REGISTRY,
+    register_policy,
+    register_workload,
+)
+
+__all__ = [
+    "android_default_policy",
+    "mobicore_policy",
+    "static_policy",
+    "dvfs_only_policy",
+    "dcs_only_policy",
+    "race_to_idle_policy",
+    "busyloop_app",
+    "geekbench_app",
+    "game_session",
+    "game_key",
+]
+
+
+# -- policies ------------------------------------------------------------
+
+
+@register_policy("android-default")
+def android_default_policy() -> AndroidDefaultPolicy:
+    """Stock Android 6.0: per-core ondemand DVFS + default hotplug driver."""
+    return AndroidDefaultPolicy()
+
+
+@register_policy("mobicore", pass_platform=True)
+def mobicore_policy(
+    platform: str = "Nexus 5",
+    offline_threshold_percent: float = 10.0,
+    use_quota: bool = True,
+    use_optimizer: bool = True,
+    use_dcs: bool = True,
+) -> MobiCorePolicy:
+    """MobiCore calibrated for a catalog phone (the paper's policy)."""
+    spec = get_phone_spec(platform)
+    return MobiCorePolicy(
+        power_params=spec.power_params,
+        opp_table=spec.opp_table,
+        num_cores=spec.num_cores,
+        offline_threshold_percent=offline_threshold_percent,
+        use_quota=use_quota,
+        use_optimizer=use_optimizer,
+        use_dcs=use_dcs,
+    )
+
+
+@register_policy("static")
+def static_policy(online_count: int, frequency_khz: int) -> StaticPolicy:
+    """Pin an exact (cores, frequency) operating point (section 3 sweeps)."""
+    return StaticPolicy(online_count, frequency_khz)
+
+
+@register_policy("dvfs-only")
+def dvfs_only_policy(governor: str = "ondemand", num_cores: int = 4) -> DvfsOnlyPolicy:
+    """Ablation baseline: a stock governor per core, no core scaling."""
+    return DvfsOnlyPolicy(governor_name=governor, num_cores=num_cores)
+
+
+@register_policy("dcs-only")
+def dcs_only_policy(frequency_khz: int = 0) -> DcsOnlyPolicy:
+    """Ablation baseline: fixed frequency (0 = fmax), hotplug-only scaling."""
+    return DcsOnlyPolicy(frequency_khz=frequency_khz or None)
+
+
+@register_policy("race-to-idle")
+def race_to_idle_policy() -> RaceToIdlePolicy:
+    """All cores online at fmax: the principle section 4.1.2 argues against."""
+    return RaceToIdlePolicy()
+
+
+# -- workloads -----------------------------------------------------------
+
+
+@register_workload("busyloop")
+def busyloop_app(
+    target_load_percent: float = 50.0,
+    num_threads: int = 0,
+    idle_gap_seconds: float = 0.040,
+    cycle_seconds: float = 1.0,
+    reference_frequency_khz: int = 0,
+) -> BusyLoopApp:
+    """The paper's in-house kernel app: busy loops at a target load."""
+    return BusyLoopApp(
+        target_load_percent,
+        num_threads=num_threads,
+        idle_gap_seconds=idle_gap_seconds,
+        cycle_seconds=cycle_seconds,
+        reference_frequency_khz=reference_frequency_khz,
+    )
+
+
+@register_workload("geekbench")
+def geekbench_app() -> GeekbenchWorkload:
+    """The GeekBench-4-like phased benchmark (Figure 9b)."""
+    return GeekbenchWorkload()
+
+
+@register_workload("game")
+def game_session(title: str) -> GameWorkload:
+    """One of the five evaluation games, by its paper title."""
+    return game_workload(title)
+
+
+def game_key(title: str) -> str:
+    """The registry alias for a game title: ``"Asphalt 8" -> "game:asphalt8"``."""
+    return "game:" + "".join(ch for ch in title.lower() if ch.isalnum())
+
+
+# Each game also gets its own key ("game:asphalt8"), so scenario axes can
+# enumerate games without carrying a params dict per point.
+for _title in GAME_PROFILES:
+    WORKLOAD_REGISTRY.add(
+        game_key(_title),
+        f"{game_session.__module__}:{game_session.__qualname__}",
+        defaults={"title": _title},
+        summary=f"{_title} gaming session (section 6 evaluation)",
+    )
+
+
+# -- platforms -----------------------------------------------------------
+
+# The Figure 1 phone fleet, keyed exactly like repro.soc.catalog so a
+# scenario's platform string doubles as the SessionSpec platform name
+# (which keeps compiled cache addresses stable).
+for _name, _factory in PHONE_CATALOG.items():
+    PLATFORM_REGISTRY.add(
+        _name,
+        f"{_factory.__module__}:{_factory.__qualname__}",
+        summary=(_factory.__doc__ or "").strip().splitlines()[0],
+    )

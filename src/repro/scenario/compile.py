@@ -1,0 +1,133 @@
+"""Compile scenarios into runner specs, and run them.
+
+The compiler is the only bridge between the declarative layer and the
+execution layer: a :class:`~repro.scenario.scenario.Scenario` goes in, a
+portable :class:`~repro.runner.spec.SessionSpec` comes out, and
+:class:`~repro.runner.runner.SessionRunner` takes it from there
+unchanged.  Compilation is where registry keys are actually resolved —
+an unknown policy/workload/platform name raises
+:class:`~repro.errors.RegistryError` here, listing the known keys.
+
+The compiled spec keeps the platform as its catalog *name string* (the
+shape every hand-wired driver used), so scenarios land on the same
+runner cache addresses the legacy paths populated.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..errors import ScenarioError
+from ..metrics.summary import SessionSummary
+from ..runner.runner import SessionRunner, default_runner
+from ..runner.spec import SessionSpec
+from .matrix import ScenarioMatrix
+from .registry import PLATFORM_REGISTRY, POLICY_REGISTRY, workload_ref
+from .scenario import Scenario
+
+__all__ = [
+    "compile_scenario",
+    "compile_matrix",
+    "run_scenarios",
+    "load_scenarios",
+    "default_label",
+]
+
+
+def default_label(scenario: Scenario) -> str:
+    """The label a compiled spec gets when the scenario declares none.
+
+    ``workload/policy@seed`` — enough to group a batch's summaries back
+    into rows without consulting the scenario list.
+    """
+    return f"{scenario.workload}/{scenario.policy}@{scenario.config.seed}"
+
+
+def compile_scenario(scenario: Scenario) -> SessionSpec:
+    """The :class:`SessionSpec` equivalent of one scenario.
+
+    Raises:
+        RegistryError: The scenario names an unknown policy, workload,
+            or platform.
+        ScenarioError: A factory parameter is rejected by the ref layer.
+    """
+    if not isinstance(scenario, Scenario):
+        raise ScenarioError(
+            f"expected a Scenario, got {type(scenario).__name__}"
+        )
+    # Resolve the platform through the registry purely for validation —
+    # the spec itself carries the catalog name so cache addresses match
+    # the hand-wired drivers byte for byte.
+    PLATFORM_REGISTRY.get(scenario.platform)
+    entry = POLICY_REGISTRY.get(scenario.policy)
+    policy_params = dict(scenario.policy_params)
+    if entry.pass_platform:
+        # Explicit policy_params win; the scenario's platform fills in.
+        policy_params.setdefault("platform", scenario.platform)
+    policy = entry.ref(**policy_params)
+    workload = workload_ref(scenario.workload, **dict(scenario.workload_params))
+    return SessionSpec(
+        platform=scenario.platform,
+        policy=policy,
+        workload=workload,
+        config=scenario.config,
+        pin_uncore_max=scenario.pin_uncore_max,
+        label=scenario.label or default_label(scenario),
+        trace=scenario.trace,
+        faults=scenario.faults,
+    )
+
+
+def compile_matrix(matrix: ScenarioMatrix) -> List[SessionSpec]:
+    """Every grid point of a matrix, compiled in expansion order."""
+    if not isinstance(matrix, ScenarioMatrix):
+        raise ScenarioError(
+            f"expected a ScenarioMatrix, got {type(matrix).__name__}"
+        )
+    return [compile_scenario(scenario) for scenario in matrix.expand()]
+
+
+def run_scenarios(
+    scenarios: Union[Scenario, ScenarioMatrix, Iterable[Scenario]],
+    runner: Optional[SessionRunner] = None,
+) -> List[SessionSummary]:
+    """Compile and execute scenarios on a runner, in order.
+
+    Accepts a single scenario, a matrix (expanded first), or any
+    iterable of scenarios.  Uses the process-wide
+    :func:`~repro.runner.runner.default_runner` unless one is passed, so
+    callers inherit the configured parallelism and cache.
+    """
+    if isinstance(scenarios, Scenario):
+        specs = [compile_scenario(scenarios)]
+    elif isinstance(scenarios, ScenarioMatrix):
+        specs = compile_matrix(scenarios)
+    else:
+        specs = [compile_scenario(scenario) for scenario in scenarios]
+    active = runner if runner is not None else default_runner()
+    return active.run(specs)
+
+
+def load_scenarios(path: Union[str, Path]) -> List[Scenario]:
+    """Read a scenario file and return its concrete scenarios.
+
+    The document may be a single scenario or a matrix — matrices are
+    recognised by their ``axes`` key and expanded.  Used by the CLI so
+    ``--scenario file.json`` accepts either spelling.
+    """
+    import json
+
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise ScenarioError(f"cannot read scenario file {path}: {error}") from error
+    try:
+        doc = json.loads(text)
+    except ValueError as error:
+        raise ScenarioError(
+            f"scenario file {path} is not valid JSON: {error}"
+        ) from error
+    if isinstance(doc, dict) and ("axes" in doc or "base" in doc):
+        return ScenarioMatrix.from_payload(doc).expand()
+    return [Scenario.from_payload(doc)]

@@ -1,0 +1,249 @@
+"""String-keyed component registries: policies, workloads, platforms.
+
+Governors have had a registry since the seed (``GOVERNOR_REGISTRY`` in
+:mod:`repro.governors.base`); this module generalises that pattern to
+the other three axes every experiment varies.  A :class:`Registry` maps
+a short string key ("mobicore", "game:asphalt8", "Nexus 5") to a
+:class:`RegistryEntry` whose ``target`` is a portable
+``"package.module:attr"`` dotted path — the exact shape
+:class:`~repro.runner.spec.FactoryRef` needs — so every registered name
+is automatically picklable across process boundaries and
+content-addressable in the runner's result cache.
+
+Registration mirrors :func:`~repro.governors.base.register_governor`:
+
+    @register_policy("mobicore", pass_platform=True)
+    def mobicore_policy(platform: str = "Nexus 5") -> MobiCorePolicy:
+        ...
+
+Duplicate names raise :class:`~repro.errors.RegistryError`; unknown
+lookups raise it too, listing the known keys (the
+:func:`~repro.governors.base.create_governor` error style).  Entries can
+also be added without a decorator via :meth:`Registry.add`, which keeps
+registration lazy: the target module is only imported when a ref is
+actually resolved in a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple, TypeVar
+
+from ..errors import RegistryError
+from ..runner.spec import FactoryRef
+
+__all__ = [
+    "RegistryEntry",
+    "Registry",
+    "POLICY_REGISTRY",
+    "WORKLOAD_REGISTRY",
+    "PLATFORM_REGISTRY",
+    "register_policy",
+    "register_workload",
+    "register_platform",
+    "policy_ref",
+    "workload_ref",
+    "platform_ref",
+]
+
+_Factory = TypeVar("_Factory", bound=Callable[..., Any])
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered component: a name bound to a portable factory target.
+
+    Attributes:
+        kind: Which registry owns the entry ("policy", "workload",
+            "platform") — used only for error messages.
+        name: The string key experiments and scenario documents use.
+        target: ``"package.module:attr"`` naming the factory callable,
+            resolvable from any worker process.
+        defaults: Keyword arguments baked into every ref built from this
+            entry (callers may override them); how one factory serves
+            several registered names (e.g. each ``game:*`` alias).
+        pass_platform: True when the factory wants the scenario's
+            platform name injected as its ``platform`` keyword (policies
+            calibrated against a device, like MobiCore's energy model).
+        summary: One-line description shown by ``repro scenarios list``.
+    """
+
+    kind: str
+    name: str
+    target: str
+    defaults: Tuple[Tuple[str, Any], ...] = ()
+    pass_platform: bool = False
+    summary: str = ""
+
+    def ref(self, **params: Any) -> FactoryRef:
+        """A portable :class:`FactoryRef` for this entry.
+
+        ``params`` override the entry's ``defaults``; the result hashes
+        into the runner cache key, so equal (entry, params) pairs share
+        one content address.
+        """
+        merged = dict(self.defaults)
+        merged.update(params)
+        return FactoryRef.to(self.target, **merged)
+
+
+class Registry:
+    """An ordered, string-keyed catalog of :class:`RegistryEntry`.
+
+    Args:
+        kind: Singular component noun ("policy", "workload", "platform")
+            used in error messages and listings.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        target: str,
+        *,
+        defaults: Optional[Mapping[str, Any]] = None,
+        pass_platform: bool = False,
+        summary: str = "",
+    ) -> RegistryEntry:
+        """Register *name* -> *target* directly (no decorator needed).
+
+        Raises:
+            RegistryError: On an empty name, a malformed target, or a
+                duplicate registration.
+        """
+        if not name or not isinstance(name, str):
+            raise RegistryError(f"{self.kind} name must be a non-empty string")
+        if name in self._entries:
+            raise RegistryError(f"{self.kind} {name!r} is already registered")
+        entry = RegistryEntry(
+            kind=self.kind,
+            name=name,
+            target=target,
+            defaults=tuple(sorted((defaults or {}).items())),
+            pass_platform=pass_platform,
+            summary=summary,
+        )
+        # Build a throwaway ref so malformed targets fail at registration
+        # time, not at the first lookup inside a worker process.
+        entry.ref()
+        self._entries[name] = entry
+        return entry
+
+    def register(
+        self,
+        name: str,
+        *,
+        defaults: Optional[Mapping[str, Any]] = None,
+        pass_platform: bool = False,
+        summary: str = "",
+    ) -> Callable[[_Factory], _Factory]:
+        """Decorator form of :meth:`add`, mirroring ``register_governor``.
+
+        The target is derived from the decorated callable
+        (``module:qualname``), so the factory stays importable from
+        worker processes.  The summary defaults to the factory
+        docstring's first line.
+        """
+
+        def decorate(factory: _Factory) -> _Factory:
+            if "." in factory.__qualname__:
+                raise RegistryError(
+                    f"{self.kind} factory {factory.__qualname__!r} must be a "
+                    f"module-level callable to be referable from workers"
+                )
+            doc = (factory.__doc__ or "").strip().splitlines()
+            self.add(
+                name,
+                f"{factory.__module__}:{factory.__qualname__}",
+                defaults=defaults,
+                pass_platform=pass_platform,
+                summary=summary or (doc[0] if doc else ""),
+            )
+            return factory
+
+        return decorate
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, name: str) -> RegistryEntry:
+        """Look an entry up by name; unknown names list the known keys."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries))
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: {known}"
+            ) from None
+
+    def ref(self, name: str, **params: Any) -> FactoryRef:
+        """Shorthand for ``get(name).ref(**params)``."""
+        return self.get(name).ref(**params)
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered keys in registration order."""
+        return tuple(self._entries)
+
+    def entries(self) -> Tuple[RegistryEntry, ...]:
+        """Registered entries in registration order."""
+        return tuple(self._entries.values())
+
+    def __contains__(self, name: object) -> bool:
+        """``name in registry`` membership by string key."""
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate the registered keys in registration order."""
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        """Number of registered entries."""
+        return len(self._entries)
+
+
+#: Whole-system CPU policies (the paper's comparison axis).
+POLICY_REGISTRY = Registry("policy")
+#: Demand generators (busy-loop, GeekBench-like, the five games, ...).
+WORKLOAD_REGISTRY = Registry("workload")
+#: Device catalog entries resolvable to a PlatformSpec.
+PLATFORM_REGISTRY = Registry("platform")
+
+#: Decorator registering a policy factory, e.g. ``@register_policy("mobicore")``.
+register_policy = POLICY_REGISTRY.register
+#: Decorator registering a workload factory, e.g. ``@register_workload("busyloop")``.
+register_workload = WORKLOAD_REGISTRY.register
+#: Decorator registering a platform-spec factory by catalog key.
+register_platform = PLATFORM_REGISTRY.register
+
+
+def policy_ref(
+    name: str, platform: Optional[str] = None, **params: Any
+) -> FactoryRef:
+    """A portable factory ref for a registered policy.
+
+    Args:
+        name: Registered policy key (``repro scenarios list`` shows them).
+        platform: Catalog platform name, injected as the factory's
+            ``platform`` keyword when the entry asks for it
+            (``pass_platform``) — how device-calibrated policies like
+            MobiCore receive the right power model.
+        params: Extra factory keyword arguments (primitives only).
+    """
+    entry = POLICY_REGISTRY.get(name)
+    if entry.pass_platform and platform is not None and "platform" not in params:
+        params["platform"] = platform
+    return entry.ref(**params)
+
+
+def workload_ref(name: str, **params: Any) -> FactoryRef:
+    """A portable factory ref for a registered workload."""
+    return WORKLOAD_REGISTRY.ref(name, **params)
+
+
+def platform_ref(name: str, **params: Any) -> FactoryRef:
+    """A portable factory ref producing a registered platform's spec."""
+    return PLATFORM_REGISTRY.ref(name, **params)

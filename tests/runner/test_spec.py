@@ -37,6 +37,25 @@ class TestFactoryRef:
         b = FactoryRef.to("m.o:f", y=2, x=1)
         assert a == b
 
+    def test_kwargs_normalise_on_every_constructor_path(self):
+        # The direct constructor used to bypass .to()'s sorting, so refs
+        # built with different kwarg orders hashed to different cache
+        # addresses.  Normalisation now happens in __post_init__.
+        a = FactoryRef("m.o:f", kwargs=(("y", 2), ("x", 1)))
+        b = FactoryRef("m.o:f", kwargs=(("x", 1), ("y", 2)))
+        assert a == b
+        assert a.kwargs == (("x", 1), ("y", 2))
+        assert a.payload() == b.payload()
+
+    def test_kwarg_order_does_not_change_spec_cache_key(self):
+        spec_a = make_spec(workload=FactoryRef("m.o:f", kwargs=(("y", 2), ("x", 1))))
+        spec_b = make_spec(workload=FactoryRef("m.o:f", kwargs=(("x", 1), ("y", 2))))
+        assert spec_a.cache_key() == spec_b.cache_key()
+
+    def test_duplicate_kwarg_names_rejected(self):
+        with pytest.raises(RunnerError, match="duplicate kwarg"):
+            FactoryRef("m.o:f", kwargs=(("x", 1), ("x", 2)))
+
     def test_target_must_have_module_and_attr(self):
         with pytest.raises(RunnerError):
             FactoryRef.to("repro.policies.static.StaticPolicy")

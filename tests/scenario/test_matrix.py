@@ -1,0 +1,95 @@
+"""ScenarioMatrix: expansion order, axis vocabulary, JSON round trips."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenario import Scenario, ScenarioMatrix
+
+
+def eval_matrix():
+    return ScenarioMatrix(
+        base=Scenario(workload="game", policy="android-default"),
+        axes=(
+            ("workload", ("game:badland", "game:asphalt8")),
+            ("seed", (1, 2)),
+            ("policy", ("android-default", "mobicore")),
+        ),
+    )
+
+
+class TestExpansion:
+    def test_size_is_the_axis_product(self):
+        matrix = eval_matrix()
+        assert len(matrix) == 8
+        assert len(matrix.expand()) == 8
+
+    def test_last_axis_varies_fastest(self):
+        scenarios = eval_matrix().expand()
+        # Policy innermost: baseline/candidate adjacent for each (game, seed).
+        assert [s.policy for s in scenarios[:4]] == [
+            "android-default", "mobicore", "android-default", "mobicore",
+        ]
+        assert [s.config.seed for s in scenarios[:4]] == [1, 1, 2, 2]
+        assert all(s.workload == "game:badland" for s in scenarios[:4])
+        assert all(s.workload == "game:asphalt8" for s in scenarios[4:])
+
+    def test_config_axis_sets_the_field(self):
+        matrix = ScenarioMatrix(axes={"config.duration_seconds": [5.0, 10.0]})
+        durations = [s.config.duration_seconds for s in matrix.expand()]
+        assert durations == [5.0, 10.0]
+
+    def test_params_axes_merge_over_base_params(self):
+        matrix = ScenarioMatrix(
+            base=Scenario(workload_params={"num_threads": 2}),
+            axes={"workload_params.target_load_percent": [10.0, 20.0]},
+        )
+        expanded = matrix.expand()
+        assert expanded[0].workload_params == (
+            ("num_threads", 2), ("target_load_percent", 10.0),
+        )
+        assert expanded[1].workload_params[1] == ("target_load_percent", 20.0)
+
+    def test_seed_axis_requires_integers(self):
+        matrix = ScenarioMatrix(axes={"seed": ["one"]})
+        with pytest.raises(ScenarioError, match="must be integers"):
+            matrix.expand()
+
+    def test_unknown_axis_rejected_at_construction(self):
+        with pytest.raises(ScenarioError, match="unknown axis 'policyy'"):
+            ScenarioMatrix(axes={"policyy": ["mobicore"]})
+
+    def test_unknown_config_axis_lists_fields(self):
+        with pytest.raises(ScenarioError, match="unknown config axis"):
+            ScenarioMatrix(axes={"config.durationn": [5.0]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioError, match="has no values"):
+            ScenarioMatrix(axes={"seed": []})
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ScenarioError, match="duplicate axis"):
+            ScenarioMatrix(axes=(("seed", (1,)), ("seed", (2,))))
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_axes_and_order(self):
+        matrix = eval_matrix()
+        again = ScenarioMatrix.from_json(matrix.to_json())
+        assert again == matrix
+        assert [s.describe() for s in again.expand()] == [
+            s.describe() for s in matrix.expand()
+        ]
+
+    def test_axes_accept_json_object_spelling(self):
+        matrix = ScenarioMatrix.from_payload(
+            {"base": {}, "axes": {"seed": [1, 2], "policy": ["android-default"]}}
+        )
+        assert [name for name, _ in matrix.axes] == ["seed", "policy"]
+
+    def test_unknown_matrix_field_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown matrix field"):
+            ScenarioMatrix.from_payload({"base": {}, "grid": {}})
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            ScenarioMatrix.load(tmp_path / "missing.json")

@@ -1,0 +1,123 @@
+"""Registry semantics: registration, lookup errors, ref building."""
+
+import pytest
+
+from repro.errors import RegistryError, ReproError, ScenarioError
+from repro.runner.spec import FactoryRef
+from repro.scenario import (
+    PLATFORM_REGISTRY,
+    POLICY_REGISTRY,
+    WORKLOAD_REGISTRY,
+    Registry,
+    game_key,
+    policy_ref,
+    workload_ref,
+)
+
+
+def sample_factory():
+    """A module-level factory for decorator tests."""
+    return object()
+
+
+class TestRegistration:
+    def test_duplicate_name_raises_typed_error(self):
+        registry = Registry("policy")
+        registry.add("x", "tests.scenario.test_registry:sample_factory")
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.add("x", "tests.scenario.test_registry:sample_factory")
+
+    def test_empty_name_rejected(self):
+        registry = Registry("policy")
+        with pytest.raises(RegistryError, match="non-empty"):
+            registry.add("", "tests.scenario.test_registry:sample_factory")
+
+    def test_malformed_target_rejected_at_registration(self):
+        registry = Registry("workload")
+        with pytest.raises(ReproError):
+            registry.add("bad", "no-colon-here")
+
+    def test_decorator_derives_importable_target(self):
+        registry = Registry("workload")
+        decorated = registry.register("sample")(sample_factory)
+        assert decorated is sample_factory
+        entry = registry.get("sample")
+        assert entry.target == "tests.scenario.test_registry:sample_factory"
+        assert entry.ref().resolve() is not None
+
+    def test_decorator_rejects_nested_callables(self):
+        registry = Registry("policy")
+
+        def nested():
+            pass
+
+        with pytest.raises(RegistryError, match="module-level"):
+            registry.register("nested")(nested)
+
+    def test_decorator_summary_defaults_to_docstring(self):
+        registry = Registry("workload")
+        registry.register("sample")(sample_factory)
+        assert "module-level factory" in registry.get("sample").summary
+
+
+class TestLookup:
+    def test_unknown_name_lists_known_keys(self):
+        with pytest.raises(RegistryError, match="unknown policy 'nope'") as excinfo:
+            POLICY_REGISTRY.get("nope")
+        # Matches the create_governor error style: name + available keys.
+        assert "available:" in str(excinfo.value)
+        assert "mobicore" in str(excinfo.value)
+
+    def test_registry_errors_are_scenario_and_repro_errors(self):
+        with pytest.raises(ScenarioError):
+            WORKLOAD_REGISTRY.get("nope")
+        with pytest.raises(ReproError):
+            WORKLOAD_REGISTRY.get("nope")
+
+    def test_membership_and_iteration(self):
+        assert "mobicore" in POLICY_REGISTRY
+        assert "nope" not in POLICY_REGISTRY
+        assert list(POLICY_REGISTRY) == list(POLICY_REGISTRY.names())
+        assert len(POLICY_REGISTRY) == len(POLICY_REGISTRY.names())
+
+
+class TestBuiltins:
+    def test_expected_policy_keys_registered(self):
+        for name in ("android-default", "mobicore", "static", "dvfs-only",
+                     "dcs-only", "race-to-idle"):
+            assert name in POLICY_REGISTRY
+
+    def test_expected_workload_keys_registered(self):
+        for name in ("busyloop", "geekbench", "game", "game:asphalt8"):
+            assert name in WORKLOAD_REGISTRY
+
+    def test_platform_keys_match_phone_catalog(self):
+        from repro.soc.catalog import PHONE_CATALOG
+
+        assert PLATFORM_REGISTRY.names() == tuple(PHONE_CATALOG)
+
+    def test_game_key_slugs_titles(self):
+        assert game_key("Asphalt 8") == "game:asphalt8"
+        assert game_key("Real Racing 3") == "game:realracing3"
+
+    def test_game_alias_builds_the_titled_workload(self):
+        workload = WORKLOAD_REGISTRY.ref("game:badland").resolve()
+        assert workload.name == WORKLOAD_REGISTRY.ref(
+            "game", title="Badland"
+        ).resolve().name
+
+    def test_refs_are_portable_factory_refs(self):
+        ref = workload_ref("busyloop", target_load_percent=30.0)
+        assert isinstance(ref, FactoryRef)
+        assert ref.kwargs == (("target_load_percent", 30.0),)
+
+    def test_policy_ref_injects_platform_when_asked(self):
+        ref = policy_ref("mobicore", platform="Nexus 4")
+        assert ("platform", "Nexus 4") in ref.kwargs
+        # Non-calibrated policies never receive the platform kwarg.
+        plain = policy_ref("android-default", platform="Nexus 4")
+        assert plain.kwargs == ()
+
+    def test_platform_keyword_binds_like_a_param(self):
+        ref = policy_ref("mobicore", **{"platform": "LG G3"})
+        assert ("platform", "LG G3") in ref.kwargs

@@ -1,8 +1,27 @@
 """The command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+from repro.scenario import Scenario, ScenarioMatrix
+from repro.config import SimulationConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+PAPER_EVAL = REPO_ROOT / "examples" / "scenarios" / "paper_eval.json"
+
+
+def short_scenario(**overrides):
+    values = dict(
+        workload="busyloop",
+        workload_params={"target_load_percent": 30.0},
+        config=SimulationConfig(duration_seconds=5.0, warmup_seconds=1.0),
+        pin_uncore_max=False,
+    )
+    values.update(overrides)
+    return Scenario(**values)
 
 
 class TestList:
@@ -87,6 +106,89 @@ class TestCompare:
         assert len(list(tmp_path.glob("*.json"))) == 2  # both sessions cached
         assert main(argv) == 0  # warm re-run, served from the cache
         assert capsys.readouterr().out == cold
+
+
+class TestScenarios:
+    def test_list_shows_registered_keys(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("mobicore", "game:asphalt8", "Nexus 5", "busyloop"):
+            assert key in out
+
+    def test_validate_the_committed_paper_matrix(self, capsys):
+        assert main(["scenarios", "validate", str(PAPER_EVAL)]) == 0
+        assert "20 scenarios valid" in capsys.readouterr().out
+
+    def test_validate_reports_unknown_names(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        document = json.loads(Scenario().to_json())
+        document["policy"] = "not-a-policy"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert main(["scenarios", "validate", str(path)]) == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_expand_prints_grid_points_and_cache_keys(self, capsys):
+        assert main(["scenarios", "expand", str(PAPER_EVAL)]) == 0
+        out = capsys.readouterr().out
+        assert "game:asphalt8 x mobicore" in out
+        assert "cache key" in out
+
+    def test_run_single_scenario_writes_summaries(self, capsys, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(short_scenario().to_json(), encoding="utf-8")
+        out_file = tmp_path / "summaries.json"
+        code = main(["scenarios", "run", str(path), "--out", str(out_file)])
+        assert code == 0
+        assert "busyloop/android-default@0" in capsys.readouterr().out
+        summaries = json.loads(out_file.read_text(encoding="utf-8"))
+        assert len(summaries) == 1
+        assert summaries[0]["policy"].startswith("android-default")
+
+    def test_run_matrix_with_only_selects_indices(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        matrix = ScenarioMatrix(base=short_scenario(), axes={"seed": [1, 2, 3]})
+        path.write_text(matrix.to_json(), encoding="utf-8")
+        assert main(["scenarios", "run", str(path), "--only", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "busyloop/android-default@2" in out
+        assert "@1" not in out and "@3" not in out
+
+    def test_run_only_out_of_range_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(short_scenario().to_json(), encoding="utf-8")
+        assert main(["scenarios", "run", str(path), "--only", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert main(["scenarios", "validate", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestScenarioFlags:
+    def test_compare_accepts_a_scenario_document(self, capsys, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(short_scenario().to_json(), encoding="utf-8")
+        assert main(["compare", "--scenario", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "power saving" in out
+        assert "mobicore" in out
+
+    def test_compare_rejects_matrix_documents(self, capsys, tmp_path):
+        path = tmp_path / "grid.json"
+        matrix = ScenarioMatrix(base=short_scenario(), axes={"seed": [1, 2]})
+        path.write_text(matrix.to_json(), encoding="utf-8")
+        assert main(["compare", "--scenario", str(path)]) == 2
+        assert "single-scenario" in capsys.readouterr().err
+
+    def test_run_accepts_a_scenario_document(self, capsys, tmp_path):
+        path = tmp_path / "one.json"
+        path.write_text(short_scenario().to_json(), encoding="utf-8")
+        assert main(["run", "--scenario", str(path)]) == 0
+        assert "busyloop/android-default@0" in capsys.readouterr().out
+
+    def test_run_without_ids_or_scenario_fails_cleanly(self, capsys):
+        assert main(["run"]) == 2
+        assert "experiment ids" in capsys.readouterr().err
 
 
 class TestTrace:

@@ -1,8 +1,9 @@
 """The documentation gates CI enforces, runnable locally.
 
-The infrastructure packages (`repro.faults`, `repro.runner`) promise
-complete docstrings — docs/API.md points readers at `help()` — so the
-gate is 100%, checked by `tools/docstring_coverage.py` in CI and here.
+The infrastructure packages (`repro.faults`, `repro.runner`,
+`repro.scenario`) promise complete docstrings — docs/API.md points
+readers at `help()` — so the gate is 100%, checked by
+`tools/docstring_coverage.py` in CI and here.
 """
 
 import pathlib
@@ -23,6 +24,11 @@ def run_tool(*args):
 class TestGatedPackages:
     def test_faults_and_runner_fully_documented(self):
         result = run_tool("src/repro/faults", "src/repro/runner")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "(100.0%)" in result.stdout
+
+    def test_scenario_package_fully_documented(self):
+        result = run_tool("src/repro/scenario")
         assert result.returncode == 0, result.stdout + result.stderr
         assert "(100.0%)" in result.stdout
 

@@ -14,7 +14,8 @@ Usage::
 
 Exits non-zero when coverage over all named paths is below ``--min``
 (default 100), listing every undocumented definition so the failure is
-actionable. CI runs this over ``repro/faults`` and ``repro/runner``.
+actionable. CI runs this over ``repro/faults``, ``repro/runner``, and
+``repro/scenario``.
 """
 
 from __future__ import annotations
