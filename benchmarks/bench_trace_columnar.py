@@ -1,0 +1,160 @@
+"""Columnar trace spine vs the frozen record-per-tick recorder.
+
+Replays the exact per-tick row stream of a 60-second MobiCore game
+session through both recorder implementations — the frozen pre-refactor
+:class:`~repro.kernel._legacy_tracing.LegacyTraceRecorder` and the
+columnar :class:`~repro.kernel.tracing.TraceRecorder` — timing the
+record loop plus the full summary-statistics pass for each.  The bench
+fails unless
+
+* every summary statistic is **bit-identical** across the two paths
+  (the CSV exports too), and
+* the columnar path is at least ``TRACE_BENCH_MIN_SPEEDUP`` times
+  faster (default 3.0; CI's smoke job relaxes it to 2.0 for noisy
+  shared runners).
+
+Results land in ``BENCH_trace.json`` (override the location with
+``TRACE_BENCH_OUT``) so CI can archive the measured ratio.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.config import SimulationConfig
+from repro.kernel._legacy_tracing import LegacyTickRecord, LegacyTraceRecorder
+from repro.kernel.engine import Session
+from repro.kernel.tracing import TraceRecorder
+from repro.scenario.builtins import mobicore_policy
+from repro.soc.catalog import nexus5_spec
+from repro.soc.platform import Platform
+from repro.workloads.games import game_workload
+
+GAME = "Asphalt 8"
+REPEATS = 5
+#: Replays of the 60 s row stream per timed pass: 3000 ticks in ~4 ms is
+#: within scheduler-noise territory, 15000 in ~20 ms is not.
+REPLAY_FACTOR = 5
+MIN_SPEEDUP = float(os.environ.get("TRACE_BENCH_MIN_SPEEDUP", "3.0"))
+OUT_PATH = Path(os.environ.get("TRACE_BENCH_OUT", "BENCH_trace.json"))
+
+
+def _capture_rows(config):
+    """One real 60 s game session -> its per-tick row stream."""
+    session = Session(
+        Platform.from_spec(nexus5_spec()),
+        game_workload(GAME),
+        mobicore_policy(),
+        config,
+    )
+    result = session.run()
+    trace = result.trace
+    return list(trace.buffer.iter_rows()), trace.warmup_ticks
+
+
+def _replicate(rows, factor):
+    """Concatenate *factor* replays, renumbering ticks to stay ordered."""
+    period = rows[-1][0] + 1
+    out = []
+    for k in range(factor):
+        offset = k * period
+        out.extend((row[0] + offset,) + row[1:] for row in rows)
+    return out
+
+
+def _summaries(recorder, tick_seconds):
+    """Every summary statistic both recorder APIs expose."""
+    return {
+        "mean_power_mw": recorder.mean_power_mw(),
+        "mean_cpu_power_mw": recorder.mean_cpu_power_mw(),
+        "mean_online_cores": recorder.mean_online_cores(),
+        "mean_frequency_khz": recorder.mean_frequency_khz(),
+        "mean_global_util_percent": recorder.mean_global_util_percent(),
+        "mean_scaled_load_percent": recorder.mean_scaled_load_percent(),
+        "mean_quota": recorder.mean_quota(),
+        "mean_fps": recorder.mean_fps(),
+        "max_temperature_c": recorder.max_temperature_c(),
+        "energy_mj": recorder.energy_mj(tick_seconds),
+    }
+
+
+def _legacy_pass(rows, warmup_ticks, tick_seconds):
+    start = time.perf_counter()
+    recorder = LegacyTraceRecorder(warmup_ticks=warmup_ticks)
+    append = recorder.append
+    for row in rows:
+        append(LegacyTickRecord(*row))
+    summary = _summaries(recorder, tick_seconds)
+    return time.perf_counter() - start, summary, recorder
+
+
+def _columnar_pass(rows, warmup_ticks, tick_seconds):
+    start = time.perf_counter()
+    recorder = TraceRecorder(warmup_ticks=warmup_ticks, expected_ticks=len(rows))
+    record = recorder.record_tick
+    for row in rows:
+        record(*row)
+    summary = _summaries(recorder, tick_seconds)
+    return time.perf_counter() - start, summary, recorder
+
+
+def run_trace_benchmark(config=None):
+    """Time both recorder paths on identical inputs; return the report."""
+    config = config or SimulationConfig(
+        duration_seconds=60.0, seed=0, warmup_seconds=4.0
+    )
+    rows, warmup_ticks = _capture_rows(config)
+    rows = _replicate(rows, REPLAY_FACTOR)
+
+    legacy_s = columnar_s = float("inf")
+    for _ in range(REPEATS):
+        elapsed, legacy_summary, legacy_recorder = _legacy_pass(
+            rows, warmup_ticks, config.tick_seconds
+        )
+        legacy_s = min(legacy_s, elapsed)
+        elapsed, columnar_summary, columnar_recorder = _columnar_pass(
+            rows, warmup_ticks, config.tick_seconds
+        )
+        columnar_s = min(columnar_s, elapsed)
+
+    summaries_identical = legacy_summary == columnar_summary
+    csv_identical = legacy_recorder.to_csv() == columnar_recorder.to_csv()
+    return {
+        "game": GAME,
+        "ticks": len(rows),
+        "legacy_s": legacy_s,
+        "columnar_s": columnar_s,
+        "speedup": legacy_s / columnar_s,
+        "min_speedup": MIN_SPEEDUP,
+        "summaries_identical": summaries_identical,
+        "csv_identical": csv_identical,
+        "summary": columnar_summary,
+    }
+
+
+def _check(report):
+    assert report["summaries_identical"], "summary statistics diverged"
+    assert report["csv_identical"], "CSV exports diverged"
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"columnar speedup x{report['speedup']:.2f} "
+        f"below the x{MIN_SPEEDUP:.1f} floor"
+    )
+
+
+def test_trace_columnar(bench_once):
+    report = bench_once(run_trace_benchmark)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\n{report['ticks']} ticks: legacy {report['legacy_s'] * 1e3:.1f} ms, "
+        f"columnar {report['columnar_s'] * 1e3:.1f} ms "
+        f"(speedup x{report['speedup']:.2f}, floor x{MIN_SPEEDUP:.1f})"
+    )
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = run_trace_benchmark()
+    OUT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)

@@ -6,7 +6,13 @@ compare two policies on identical demand, and render ASCII tables or
 series the way the paper's figures tabulate them.
 """
 
-from .sweep import run_session, utilization_sweep, frequency_sweep, core_count_sweep
+from .sweep import (
+    run_session,
+    summary_columns,
+    utilization_sweep,
+    frequency_sweep,
+    core_count_sweep,
+)
 from .ratio import performance_power_ratio, RatioPoint
 from .comparison import PolicyComparison, ComparisonRow, comparison_rows
 from .report import render_table, render_series, format_mw, format_mhz
@@ -36,6 +42,7 @@ __all__ = [
     "battery_life_hours",
     "extra_minutes",
     "run_session",
+    "summary_columns",
     "utilization_sweep",
     "frequency_sweep",
     "core_count_sweep",

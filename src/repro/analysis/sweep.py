@@ -15,7 +15,9 @@ traces never cross process boundaries, so it executes directly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import ExperimentError
@@ -28,7 +30,49 @@ from ..scenario.registry import policy_ref, workload_ref
 from ..soc.platform import Platform, PlatformSpec
 from ..workloads.base import Workload
 
-__all__ = ["run_session", "utilization_sweep", "frequency_sweep", "core_count_sweep"]
+__all__ = [
+    "run_session",
+    "summary_columns",
+    "utilization_sweep",
+    "frequency_sweep",
+    "core_count_sweep",
+]
+
+#: SessionSummary fields :func:`summary_columns` extracts by default —
+#: the quantities the characterisation figures plot against sweep axes.
+_DEFAULT_SUMMARY_FIELDS = (
+    "mean_power_mw",
+    "mean_cpu_power_mw",
+    "energy_mj",
+    "mean_frequency_khz",
+    "mean_online_cores",
+    "mean_load_percent",
+    "mean_scaled_load_percent",
+)
+
+
+def summary_columns(
+    summaries: Sequence[SessionSummary],
+    fields: Sequence[str] = _DEFAULT_SUMMARY_FIELDS,
+) -> Dict[str, np.ndarray]:
+    """Transpose sweep summaries into per-field numpy columns.
+
+    Every sweep returns one :class:`SessionSummary` per grid point; the
+    figures then want *columns* (power vs level, frequency vs point...).
+    This builds them in one pass — ``fields`` may name any float-valued
+    summary attribute.  ``mean_fps`` is allowed and maps its ``None``
+    (no-FPS session) entries to ``NaN``, mirroring the trace buffer's
+    FPS column convention.
+    """
+    if not summaries:
+        raise ExperimentError("no summaries to columnise")
+    columns: Dict[str, np.ndarray] = {}
+    for field in fields:
+        values = [getattr(summary, field) for summary in summaries]
+        columns[field] = np.asarray(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+    return columns
 
 
 def run_session(

@@ -105,6 +105,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_bytes(count: int) -> str:
+    """Human-readable byte count for the stats table (binary units)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(size)} B"
+
+
 def _print_runner_stats(stats: RunnerStats) -> None:
     """Render the ``--stats`` accounting block."""
     rows = [
@@ -115,6 +125,14 @@ def _print_runner_stats(stats: RunnerStats) -> None:
         ("wall time (s)", f"{stats.wall_seconds:.2f}"),
         ("ticks/second", f"{stats.ticks_per_second:.0f}"),
     ]
+    # Trace-memory accounting: zero on a fully warm cache, so only shown
+    # when sessions actually executed and recorded columns.
+    if stats.trace_bytes:
+        rows.append(("trace bytes recorded", _format_bytes(stats.trace_bytes)))
+    if stats.peak_recorder_bytes:
+        rows.append(
+            ("peak recorder memory", _format_bytes(stats.peak_recorder_bytes))
+        )
     # Robustness counters only earn a row when something actually went
     # wrong, keeping the clean-run output identical to before.
     for name, value in (

@@ -17,7 +17,8 @@ from .cpuidle import CpuidleStats
 from .hotplug import HotplugSubsystem
 from .cgroup import CpuBandwidthController
 from .sysfs import SysfsTree
-from .tracing import TickRecord, TraceRecorder
+from .trace_buffer import TraceBuffer, sequential_sum
+from .tracing import TickRecord, TraceRecorder, TraceView
 from .engine import KernelStack, Session
 from .simulator import Simulator, SessionResult
 
@@ -40,7 +41,10 @@ __all__ = [
     "CpuBandwidthController",
     "SysfsTree",
     "TickRecord",
+    "TraceBuffer",
     "TraceRecorder",
+    "TraceView",
+    "sequential_sum",
     "Simulator",
     "SessionResult",
 ]

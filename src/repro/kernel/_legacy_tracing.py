@@ -1,0 +1,183 @@
+"""Frozen pre-columnar trace recorder: the parity/benchmark reference.
+
+This is the record-per-tick implementation that ``tracing.py`` shipped
+before the columnar refactor, kept verbatim (one frozen dataclass per
+tick, pure-Python generator sums).  It exists so the benchmark and the
+parity tests can run the *same inputs* through both paths on the same
+machine and require bit-identical summaries and CSV exports — a
+committed float fixture would break on cross-platform libm differences,
+a live reference cannot.  Nothing in the production code path imports
+this module.  Do not "improve" it; its value is that it never changes.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import TraceError
+
+__all__ = ["LegacyTickRecord", "LegacyTraceRecorder"]
+
+
+@dataclass(frozen=True)
+class LegacyTickRecord:
+    """Hardware and policy state of one simulation tick (frozen legacy copy)."""
+
+    tick: int
+    time_seconds: float
+    frequencies_khz: Sequence[int]
+    online_mask: Sequence[bool]
+    busy_fractions: Sequence[float]
+    global_util_percent: float
+    quota: float
+    power_mw: float
+    cpu_power_mw: float
+    temperature_c: float
+    backlog_cycles: float = 0.0
+    dropped_cycles: float = 0.0
+    fps: Optional[float] = None
+    scaled_load_percent: float = 0.0
+
+    @property
+    def online_count(self) -> int:
+        """Cores online during the tick."""
+        return sum(1 for on in self.online_mask if on)
+
+    @property
+    def mean_online_frequency_khz(self) -> float:
+        """Average frequency over online cores."""
+        online = [f for f, on in zip(self.frequencies_khz, self.online_mask) if on]
+        if not online:
+            return 0.0
+        return sum(online) / len(online)
+
+
+_CSV_COLUMNS = (
+    "tick",
+    "time_s",
+    "global_util_pct",
+    "scaled_load_pct",
+    "quota",
+    "power_mw",
+    "cpu_power_mw",
+    "temperature_c",
+    "online_count",
+    "mean_freq_khz",
+    "backlog_cycles",
+    "dropped_cycles",
+    "fps",
+)
+
+
+class LegacyTraceRecorder:
+    """Append-only store of :class:`LegacyTickRecord` (frozen legacy copy)."""
+
+    def __init__(self, warmup_ticks: int = 0) -> None:
+        if warmup_ticks < 0:
+            raise TraceError(f"warmup_ticks must be non-negative, got {warmup_ticks}")
+        self.warmup_ticks = warmup_ticks
+        self._records: List[LegacyTickRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, record: LegacyTickRecord) -> None:
+        """Append one tick record (ticks must arrive in order)."""
+        if self._records and record.tick <= self._records[-1].tick:
+            raise TraceError(
+                f"out-of-order tick {record.tick} after {self._records[-1].tick}"
+            )
+        self._records.append(record)
+
+    @property
+    def records(self) -> List[LegacyTickRecord]:
+        """All records including warmup."""
+        return list(self._records)
+
+    @property
+    def measured(self) -> List[LegacyTickRecord]:
+        """Records after the warmup window -- the ones summaries use."""
+        return self._records[self.warmup_ticks:]
+
+    def _require_measured(self) -> List[LegacyTickRecord]:
+        measured = self.measured
+        if not measured:
+            raise TraceError("no measured ticks recorded yet")
+        return measured
+
+    def mean_power_mw(self) -> float:
+        """Session-average platform power."""
+        measured = self._require_measured()
+        return sum(r.power_mw for r in measured) / len(measured)
+
+    def mean_cpu_power_mw(self) -> float:
+        """Session-average CPU-attributable power."""
+        measured = self._require_measured()
+        return sum(r.cpu_power_mw for r in measured) / len(measured)
+
+    def mean_online_cores(self) -> float:
+        """Average number of active CPU cores."""
+        measured = self._require_measured()
+        return sum(r.online_count for r in measured) / len(measured)
+
+    def mean_frequency_khz(self) -> float:
+        """Average per-core frequency over online cores."""
+        measured = self._require_measured()
+        return sum(r.mean_online_frequency_khz for r in measured) / len(measured)
+
+    def mean_global_util_percent(self) -> float:
+        """Average global CPU load."""
+        measured = self._require_measured()
+        return sum(r.global_util_percent for r in measured) / len(measured)
+
+    def mean_scaled_load_percent(self) -> float:
+        """Average fmax-normalised load."""
+        measured = self._require_measured()
+        return sum(r.scaled_load_percent for r in measured) / len(measured)
+
+    def mean_quota(self) -> float:
+        """Average bandwidth quota in effect."""
+        measured = self._require_measured()
+        return sum(r.quota for r in measured) / len(measured)
+
+    def mean_fps(self) -> Optional[float]:
+        """Average FPS over ticks that reported one (None when none did)."""
+        values = [r.fps for r in self._require_measured() if r.fps is not None]
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def max_temperature_c(self) -> float:
+        """Peak CPU-area temperature of the session."""
+        measured = self._require_measured()
+        return max(r.temperature_c for r in measured)
+
+    def energy_mj(self, tick_seconds: float) -> float:
+        """Total measured energy, millijoules (rectangle rule)."""
+        measured = self._require_measured()
+        return sum(r.power_mw for r in measured) * tick_seconds
+
+    def to_csv(self) -> str:
+        """Render all records (including warmup) as CSV text."""
+        out = io.StringIO()
+        out.write(",".join(_CSV_COLUMNS) + "\n")
+        for r in self._records:
+            row = (
+                r.tick,
+                f"{r.time_seconds:.3f}",
+                f"{r.global_util_percent:.2f}",
+                f"{r.scaled_load_percent:.2f}",
+                f"{r.quota:.3f}",
+                f"{r.power_mw:.2f}",
+                f"{r.cpu_power_mw:.2f}",
+                f"{r.temperature_c:.2f}",
+                r.online_count,
+                f"{r.mean_online_frequency_khz:.0f}",
+                f"{r.backlog_cycles:.0f}",
+                f"{r.dropped_cycles:.0f}",
+                "" if r.fps is None else f"{r.fps:.2f}",
+            )
+            out.write(",".join(str(v) for v in row) + "\n")
+        return out.getvalue()

@@ -345,16 +345,28 @@ class Session:
         )
         self.workload.prepare(context)
         self._clock = SimClock(self.config.tick_seconds)
-        self._trace = TraceRecorder(warmup_ticks=self.config.warmup_ticks)
+        # Columnar recorder sized to the session: one allocation, no growth.
+        self._trace = TraceRecorder(
+            warmup_ticks=self.config.warmup_ticks,
+            num_cores=len(self.platform.cluster),
+            expected_ticks=self.config.total_ticks,
+        )
         self._tick = 0
 
     def step(self) -> TickRecord:
         """Execute one tick; auto-starts a session not yet started.
 
-        Returns the tick's trace record.  Raises
+        Returns the tick's trace record (materialized from the columnar
+        buffer; :meth:`run` drives :meth:`_step_core` directly and never
+        pays for record objects).  Raises
         :class:`~repro.errors.ExperimentError` when stepping past the
         configured duration.
         """
+        self._step_core()
+        return self._trace.latest()
+
+    def _step_core(self) -> None:
+        """Execute one tick, recording columns only (no record objects)."""
         if not self.started:
             self.start()
         if self.finished:
@@ -404,23 +416,26 @@ class Session:
             )
             / len(cluster)
         )
-        record = TickRecord(
-            tick=tick,
-            time_seconds=self._clock.now_seconds,
-            frequencies_khz=tuple(cluster.frequencies_khz),
-            online_mask=tuple(cluster.online_mask),
-            busy_fractions=tuple(dispatch.busy_fractions),
-            global_util_percent=snapshot.global_percent,
-            quota=stack.bandwidth.quota,
-            power_mw=breakdown.total_mw,
-            cpu_power_mw=breakdown.cpu_mw,
-            temperature_c=temperature,
-            backlog_cycles=dispatch.total_backlog,
-            dropped_cycles=dispatch.dropped_cycles,
-            fps=self.workload.tick_fps(),
-            scaled_load_percent=scaled_load,
+        # Columns go straight into the trace buffer; the buffer copies
+        # the per-core sequences into its staging lists before returning,
+        # so the cluster/dispatch scratch state can never alias recorded
+        # history.
+        self._trace.record_tick(
+            tick,
+            self._clock.now_seconds,
+            cluster.frequencies_khz,
+            cluster.online_mask,
+            dispatch.busy_fractions,
+            snapshot.global_percent,
+            stack.bandwidth.quota,
+            breakdown.total_mw,
+            breakdown.cpu_mw,
+            temperature,
+            dispatch.total_backlog,
+            dispatch.dropped_cycles,
+            self.workload.tick_fps(),
+            scaled_load,
         )
-        self._trace.append(record)
 
         tp = self._tp_counters
         if tp.enabled:
@@ -480,13 +495,13 @@ class Session:
         stack.apply(decision)
         self._clock.advance()
         self._tick += 1
-        return record
 
     def run(self) -> SessionResult:
         """Execute the whole session from a fresh start and return its result."""
         self.start()
+        step_core = self._step_core
         while not self.finished:
-            self.step()
+            step_core()
         return self.result()
 
     def result(self) -> SessionResult:

@@ -4,21 +4,29 @@ Figure 12 reports the average per-core frequency and the average number
 of active CPU cores per gaming session; Figure 13 the average global CPU
 load and its variation between policies.  These collectors compute all
 of them from a session trace (or live, sample by sample).
+
+``from_trace`` reads the trace's columnar buffer directly — no record
+objects — and every reduction runs vectorized over numpy while staying
+bit-identical to the pure-Python sums it replaced
+(:func:`~repro.kernel.trace_buffer.sequential_sum`).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List
+
+import numpy as np
 
 from ..errors import MeterError
+from ..kernel.trace_buffer import sequential_sum
 from ..kernel.tracing import TraceRecorder
 
 __all__ = ["FrequencyCollector", "CoreCountCollector", "LoadCollector"]
 
 
 class _ScalarCollector:
-    """Shared mean/std/min/max accumulator."""
+    """Shared mean/std/min/max accumulator with vectorized reductions."""
 
     def __init__(self) -> None:
         self._samples: List[float] = []
@@ -30,30 +38,42 @@ class _ScalarCollector:
         """Record one observation."""
         self._samples.append(value)
 
-    def _require(self) -> None:
+    def _require(self) -> np.ndarray:
         if not self._samples:
             raise MeterError(f"{type(self).__name__} has no samples yet")
+        return np.asarray(self._samples, dtype=np.float64)
 
     def mean(self) -> float:
         """Arithmetic mean over the session."""
-        self._require()
-        return sum(self._samples) / len(self._samples)
+        samples = self._require()
+        return sequential_sum(samples) / len(samples)
 
     def std(self) -> float:
         """Standard deviation over the session."""
-        self._require()
-        mean = self.mean()
-        return math.sqrt(sum((s - mean) ** 2 for s in self._samples) / len(self._samples))
+        samples = self._require()
+        mean = sequential_sum(samples) / len(samples)
+        return math.sqrt(sequential_sum((samples - mean) ** 2) / len(samples))
 
     def minimum(self) -> float:
         """Smallest observation."""
-        self._require()
-        return min(self._samples)
+        return float(self._require().min())
 
     def maximum(self) -> float:
         """Largest observation."""
-        self._require()
-        return max(self._samples)
+        return float(self._require().max())
+
+    def residency_fractions(self) -> Dict[float, float]:
+        """Fraction of ticks spent at each distinct sampled value.
+
+        The Figure-12-style residency buckets: for a core-count collector
+        this is the share of the session spent with 1, 2, ... cores
+        online; for a frequency collector the share per operating point.
+        One vectorized ``np.unique`` pass, keys in ascending order.
+        """
+        samples = self._require()
+        values, counts = np.unique(samples, return_counts=True)
+        total = len(samples)
+        return {float(v): int(c) / total for v, c in zip(values, counts)}
 
 
 class FrequencyCollector(_ScalarCollector):
@@ -61,9 +81,11 @@ class FrequencyCollector(_ScalarCollector):
 
     @classmethod
     def from_trace(cls, trace: TraceRecorder) -> "FrequencyCollector":
+        """Collect the per-tick online-mean frequency column of *trace*."""
         collector = cls()
-        for record in trace.measured:
-            collector.sample(record.mean_online_frequency_khz)
+        collector._samples = trace.buffer.mean_online_frequencies(
+            trace.warmup_ticks
+        ).tolist()
         return collector
 
     def mean_mhz(self) -> float:
@@ -76,9 +98,11 @@ class CoreCountCollector(_ScalarCollector):
 
     @classmethod
     def from_trace(cls, trace: TraceRecorder) -> "CoreCountCollector":
+        """Collect the per-tick online-core counts of *trace*."""
         collector = cls()
-        for record in trace.measured:
-            collector.sample(float(record.online_count))
+        collector._samples = (
+            trace.buffer.online_counts(trace.warmup_ticks).astype(np.float64).tolist()
+        )
         return collector
 
 
@@ -87,9 +111,11 @@ class LoadCollector(_ScalarCollector):
 
     @classmethod
     def from_trace(cls, trace: TraceRecorder) -> "LoadCollector":
+        """Collect the global-utilization column of *trace*."""
         collector = cls()
-        for record in trace.measured:
-            collector.sample(record.global_util_percent)
+        collector._samples = trace.buffer.scalar(
+            "global_util_percent", trace.warmup_ticks
+        ).tolist()
         return collector
 
     def variation(self) -> float:

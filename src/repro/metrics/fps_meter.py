@@ -12,7 +12,10 @@ from __future__ import annotations
 import math
 from typing import List
 
+import numpy as np
+
 from ..errors import MeterError
+from ..kernel.trace_buffer import sequential_sum
 from ..kernel.tracing import TraceRecorder
 from ..units import require_non_negative
 
@@ -31,11 +34,19 @@ class FpsMeter:
 
     @classmethod
     def from_trace(cls, trace: TraceRecorder) -> "FpsMeter":
-        """Collect the FPS column of a finished session's measured ticks."""
+        """Collect the FPS column of a finished session's measured ticks.
+
+        Reads the columnar buffer directly (ticks without an FPS sample
+        are NaN there and are skipped), with the same validation
+        :meth:`sample` applies.
+        """
+        column = trace.buffer.scalar("fps", trace.warmup_ticks)
+        values = column[~np.isnan(column)]
+        negative = np.flatnonzero(values < 0)
+        if len(negative):
+            require_non_negative(float(values[negative[0]]), "fps")
         meter = cls()
-        for record in trace.measured:
-            if record.fps is not None:
-                meter.sample(record.fps)
+        meter._samples = values.tolist()
         return meter
 
     def __len__(self) -> int:
@@ -53,37 +64,45 @@ class FpsMeter:
     def mean(self) -> float:
         """Session-average FPS (the Figure 11 bar)."""
         self._require_samples()
-        return sum(self._samples) / len(self._samples)
+        samples = np.asarray(self._samples)
+        return sequential_sum(samples) / len(samples)
 
     def minimum(self) -> float:
         """Worst tick (stutter depth)."""
         self._require_samples()
-        return min(self._samples)
+        return float(np.asarray(self._samples).min())
 
     def maximum(self) -> float:
         """Best tick."""
         self._require_samples()
-        return max(self._samples)
+        return float(np.asarray(self._samples).max())
 
     def std(self) -> float:
         """FPS jitter (standard deviation)."""
         self._require_samples()
-        mean = self.mean()
-        return math.sqrt(sum((s - mean) ** 2 for s in self._samples) / len(self._samples))
+        samples = np.asarray(self._samples)
+        mean = sequential_sum(samples) / len(samples)
+        return math.sqrt(sequential_sum((samples - mean) ** 2) / len(samples))
 
     def percentile(self, q: float) -> float:
-        """The q-th percentile (q in [0, 100]), linear interpolation."""
+        """The q-th percentile (q in [0, 100]), linear interpolation.
+
+        Sorting is vectorized; the interpolation keeps the historical
+        ``low*(1-f) + high*f`` arithmetic (numpy's own percentile rounds
+        differently), so results match the pre-columnar meter bit for
+        bit.
+        """
         if not 0.0 <= q <= 100.0:
             raise MeterError(f"percentile must be in [0, 100], got {q}")
         self._require_samples()
-        ordered = sorted(self._samples)
+        ordered = np.sort(np.asarray(self._samples))
         if len(ordered) == 1:
-            return ordered[0]
+            return float(ordered[0])
         position = (q / 100.0) * (len(ordered) - 1)
         low = int(position)
         high = min(low + 1, len(ordered) - 1)
         fraction = position - low
-        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+        return float(ordered[low]) * (1.0 - fraction) + float(ordered[high]) * fraction
 
     def in_acceptable_band(self) -> bool:
         """True when the session mean sits in (or above) the 15-20 band."""

@@ -13,7 +13,10 @@ from __future__ import annotations
 import math
 from typing import List
 
+import numpy as np
+
 from ..errors import MeterError
+from ..kernel.trace_buffer import sequential_sum
 from ..kernel.tracing import TraceRecorder
 from ..units import require_non_negative, require_positive
 
@@ -21,7 +24,12 @@ __all__ = ["PowerMeter"]
 
 
 class PowerMeter:
-    """Accumulates (power, duration) samples; reports averages and energy."""
+    """Accumulates (power, duration) samples; reports averages and energy.
+
+    Reductions run vectorized over numpy but sum sequentially
+    (:func:`~repro.kernel.trace_buffer.sequential_sum`), so they are
+    bit-identical to the per-sample Python loops they replaced.
+    """
 
     def __init__(self) -> None:
         self._samples_mw: List[float] = []
@@ -29,10 +37,19 @@ class PowerMeter:
 
     @classmethod
     def from_trace(cls, trace: TraceRecorder, tick_seconds: float) -> "PowerMeter":
-        """Build a meter from a finished session's measured ticks."""
+        """Build a meter from a finished session's measured ticks.
+
+        Reads the power column of the trace's buffer directly — no
+        record objects — with the same validation :meth:`sample` applies.
+        """
+        require_positive(tick_seconds, "duration_seconds")
+        column = trace.buffer.scalar("power_mw", trace.warmup_ticks)
+        negative = np.flatnonzero(column < 0)
+        if len(negative):
+            require_non_negative(float(column[negative[0]]), "power_mw")
         meter = cls()
-        for record in trace.measured:
-            meter.sample(record.power_mw, tick_seconds)
+        meter._samples_mw = column.tolist()
+        meter._durations_s = [tick_seconds] * len(column)
         return meter
 
     def __len__(self) -> int:
@@ -52,40 +69,41 @@ class PowerMeter:
     @property
     def total_seconds(self) -> float:
         """Total observed time."""
-        return sum(self._durations_s)
+        return sequential_sum(np.asarray(self._durations_s))
 
     def mean_mw(self) -> float:
         """Duration-weighted average power (the Monsoon headline number)."""
         self._require_samples()
-        total_time = self.total_seconds
-        weighted = sum(p * d for p, d in zip(self._samples_mw, self._durations_s))
-        return weighted / total_time
+        powers = np.asarray(self._samples_mw)
+        durations = np.asarray(self._durations_s)
+        return sequential_sum(powers * durations) / sequential_sum(durations)
 
     def peak_mw(self) -> float:
         """Highest sampled power."""
         self._require_samples()
-        return max(self._samples_mw)
+        return float(np.asarray(self._samples_mw).max())
 
     def min_mw(self) -> float:
         """Lowest sampled power."""
         self._require_samples()
-        return min(self._samples_mw)
+        return float(np.asarray(self._samples_mw).min())
 
     def std_mw(self) -> float:
         """Duration-weighted standard deviation of power."""
         self._require_samples()
-        mean = self.mean_mw()
-        total_time = self.total_seconds
-        variance = (
-            sum(d * (p - mean) ** 2 for p, d in zip(self._samples_mw, self._durations_s))
-            / total_time
-        )
+        powers = np.asarray(self._samples_mw)
+        durations = np.asarray(self._durations_s)
+        total_time = sequential_sum(durations)
+        mean = sequential_sum(powers * durations) / total_time
+        variance = sequential_sum(durations * (powers - mean) ** 2) / total_time
         return math.sqrt(variance)
 
     def energy_mj(self) -> float:
         """Total energy in millijoules (Eq. 5 over the session)."""
         self._require_samples()
-        return sum(p * d for p, d in zip(self._samples_mw, self._durations_s))
+        return sequential_sum(
+            np.asarray(self._samples_mw) * np.asarray(self._durations_s)
+        )
 
     def energy_j(self) -> float:
         """Total energy in joules."""

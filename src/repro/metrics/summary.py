@@ -12,8 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..errors import MeterError
 from ..kernel.simulator import SessionResult
+from ..kernel.trace_buffer import sequential_sum
 
 __all__ = ["SessionSummary", "summarize"]
 
@@ -73,12 +76,23 @@ class SessionSummary:
 
 
 def summarize(result: SessionResult) -> SessionSummary:
-    """Reduce a finished session to its summary row."""
+    """Reduce a finished session to its summary row.
+
+    All statistics are vectorized reductions over the trace's columnar
+    buffer — no :class:`~repro.kernel.tracing.TickRecord` objects are
+    materialized — and remain bit-identical to the per-record sums they
+    replaced (see :func:`~repro.kernel.trace_buffer.sequential_sum`).
+    """
     trace = result.trace
-    loads = [r.global_util_percent for r in trace.measured]
-    if loads:
-        mean_load = sum(loads) / len(loads)
-        load_std = (sum((x - mean_load) ** 2 for x in loads) / len(loads)) ** 0.5
+    buffer = getattr(trace, "buffer", None)
+    if buffer is not None:
+        loads = buffer.scalar("global_util_percent", trace.warmup_ticks)
+    else:  # pragma: no cover - legacy record-based recorders
+        loads = np.asarray([r.global_util_percent for r in trace.measured])
+    count = len(loads)
+    if count:
+        mean_load = sequential_sum(loads) / count
+        load_std = (sequential_sum((loads - mean_load) ** 2) / count) ** 0.5
     else:
         raise MeterError("session produced no measured ticks")
     return SessionSummary(

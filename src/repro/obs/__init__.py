@@ -14,11 +14,20 @@ substrate of the simulation:
 * :mod:`repro.obs.perfetto` — Chrome-trace/Perfetto JSON export
   (loadable in ``chrome://tracing`` / ui.perfetto.dev);
 * :mod:`repro.obs.export` — JSONL/CSV export and trace-file summaries;
+* :mod:`repro.obs.columnar` — per-tick CSV/JSONL/Chrome-counter export
+  streamed straight from a session's columnar trace buffer;
 * :mod:`repro.obs.debugfs` — ``/sys/kernel/debug/tracing``-style knobs
   over a :class:`~repro.kernel.sysfs.SysfsTree`.
 """
 
 from .bus import NULL_TRACEPOINT, Tracepoint, TracepointBus
+from .columnar import (
+    TICK_CSV_COLUMNS,
+    columns_chrome_events,
+    columns_to_chrome_trace,
+    ticks_to_csv,
+    ticks_to_jsonl,
+)
 from .debugfs import TRACING_ROOT, register_tracing_knobs
 from .events import (
     EVENT_TYPES,
@@ -70,6 +79,11 @@ __all__ = [
     "RunnerCacheEvent",
     "RunnerRetryEvent",
     "event_to_dict",
+    "TICK_CSV_COLUMNS",
+    "ticks_to_csv",
+    "ticks_to_jsonl",
+    "columns_chrome_events",
+    "columns_to_chrome_trace",
     "count_events",
     "events_to_csv",
     "events_to_jsonl",

@@ -19,7 +19,13 @@ The failure semantics (what retries, what degrades, what raises) are
 documented in ``docs/FAILURE_MODES.md``.
 """
 
-from .spec import FactoryRef, SessionSpec, TraceRequest, CACHE_FORMAT_VERSION
+from .spec import (
+    FactoryRef,
+    SessionSpec,
+    TraceRequest,
+    CACHE_FORMAT_VERSION,
+    KEY_SCHEMA_VERSION,
+)
 from .cache import (
     CacheLookup,
     ResultCache,
@@ -44,6 +50,7 @@ __all__ = [
     "SessionSpec",
     "TraceRequest",
     "CACHE_FORMAT_VERSION",
+    "KEY_SCHEMA_VERSION",
     "CacheLookup",
     "ResultCache",
     "summary_to_dict",

@@ -5,7 +5,10 @@ Workers reduce a finished session to a
 :class:`~repro.metrics.summary.SessionSummary` before it ever reaches the
 cache, so entries are small scalar rows, not multi-megabyte traces.
 JSON round-trips Python floats exactly (shortest-repr parsing), so a
-cache hit reproduces the summary bit for bit.
+cache hit reproduces the summary bit for bit.  A ``keep_columns`` spec
+additionally stores the session's columnar trace as a compressed
+``key.npz`` blob next to the entry, referenced (with its own sha256)
+from the entry document — format version 3.
 
 Writes are atomic (temp file + rename) so parallel workers racing on the
 same key at worst redo the work, never corrupt an entry.  Reads verify a
@@ -14,8 +17,9 @@ a torn write on a full disk, a flipped bit on bad media — is detected
 and classified, not silently deserialised.  :meth:`ResultCache.lookup`
 distinguishes three outcomes:
 
-* **hit** — entry present, version current, checksum verified;
-* **miss** — no entry, or an entry from an older format version
+* **hit** — entry present, version readable (current v3, or a v2 entry
+  read-migrated transparently), checksum verified;
+* **miss** — no entry, or an entry from an unreadable format version
   (harmless: the runner recomputes and overwrites);
 * **corrupt** — an entry that exists but fails parsing or checksum
   verification.  The runner moves it aside with
@@ -40,9 +44,15 @@ from .spec import CACHE_FORMAT_VERSION
 from ..errors import CacheError
 from ..metrics.summary import SessionSummary
 
+#: Entry file versions this reader accepts.  Version 2 entries (no
+#: column blob support) remain verified hits — transparent
+#: read-migration — while anything else is a plain miss.
+READABLE_VERSIONS = frozenset({2, CACHE_FORMAT_VERSION})
+
 __all__ = [
     "CacheLookup",
     "ResultCache",
+    "READABLE_VERSIONS",
     "summary_to_dict",
     "summary_from_dict",
     "summary_checksum",
@@ -99,11 +109,15 @@ class CacheLookup:
         detail: Human-readable reason for a corrupt entry (checksum
             mismatch, truncated JSON, malformed summary...); empty
             otherwise.
+        version: The entry file's format version on a hit (``2`` for a
+            read-migrated pre-columnar entry, ``3`` for current), else
+            ``None``.
     """
 
     status: str
     summary: Optional[SessionSummary] = None
     detail: str = ""
+    version: Optional[int] = None
 
     @property
     def hit(self) -> bool:
@@ -133,6 +147,10 @@ class ResultCache:
         """Where *key*'s entry lives."""
         return self.root / f"{key}.json"
 
+    def columns_path(self, key: str) -> Path:
+        """Where *key*'s optional columnar ``.npz`` trace blob lives."""
+        return self.root / f"{key}.npz"
+
     @property
     def quarantine_root(self) -> Path:
         """Where corrupt entries are moved for post-mortem inspection."""
@@ -141,12 +159,14 @@ class ResultCache:
     def lookup(self, key: str) -> CacheLookup:
         """Read and classify *key*'s entry (hit / miss / corrupt).
 
-        A missing file or an entry written by an older format version is
-        a plain miss.  An entry that exists at the current version but
-        fails JSON parsing, checksum verification, or summary
-        reconstruction is *corrupt* — the caller should
-        :meth:`quarantine` it and recompute.  Unexpected I/O failures
-        raise :class:`~repro.errors.CacheError`; interrupts propagate.
+        A missing file or an entry written by an unreadable format
+        version is a plain miss; version-2 entries are still verified
+        hits (read-migration — their summary schema is unchanged).  An
+        entry that exists at a readable version but fails JSON parsing,
+        checksum verification, or summary reconstruction is *corrupt* —
+        the caller should :meth:`quarantine` it and recompute.
+        Unexpected I/O failures raise
+        :class:`~repro.errors.CacheError`; interrupts propagate.
         """
         try:
             with open(self.path(key), "r", encoding="utf-8") as handle:
@@ -161,8 +181,11 @@ class ResultCache:
             return CacheLookup("corrupt", detail=f"unparseable JSON: {error}")
         if not isinstance(document, dict):
             return CacheLookup("corrupt", detail="entry is not a JSON object")
-        if document.get("version") != CACHE_FORMAT_VERSION:
-            # A format migration, not damage: recompute and overwrite.
+        version = document.get("version")
+        if version not in READABLE_VERSIONS:
+            # A format migration we cannot read, not damage: recompute
+            # and overwrite.  Version-2 entries read fine (their summary
+            # schema and checksum are unchanged) and migrate for free.
             return CacheLookup("miss")
         payload = document.get("summary")
         if not isinstance(payload, dict):
@@ -176,7 +199,9 @@ class ResultCache:
                 f"computed {actual[:12]}...)",
             )
         try:
-            return CacheLookup("hit", summary=summary_from_dict(payload))
+            return CacheLookup(
+                "hit", summary=summary_from_dict(payload), version=version
+            )
         except (KeyError, TypeError) as error:
             return CacheLookup("corrupt", detail=f"malformed summary: {error}")
 
@@ -206,15 +231,42 @@ class ResultCache:
             return None
         except OSError as error:
             raise CacheError(f"cannot quarantine cache entry {key}: {error}") from error
+        # A column blob without its entry is unverifiable (the checksum
+        # lives in the entry): move it aside with the entry.
+        try:
+            os.replace(
+                self.columns_path(key),
+                self.quarantine_root / self.columns_path(key).name,
+            )
+        except FileNotFoundError:
+            pass
+        except OSError as error:
+            raise CacheError(
+                f"cannot quarantine cache columns {key}: {error}"
+            ) from error
         return target
 
-    def store(self, key: str, summary: SessionSummary, spec_payload: dict) -> None:
-        """Atomically persist *summary* under *key*.
+    def store(
+        self,
+        key: str,
+        summary: SessionSummary,
+        spec_payload: dict,
+        columns: Optional[bytes] = None,
+    ) -> None:
+        """Atomically persist *summary* (and optional columns) under *key*.
 
         The spec payload is stored alongside for debuggability (a human
         can read what produced an entry); only the key is ever matched.
         The stored checksum covers the summary payload, so later reads
         can tell damage from a legitimate entry.
+
+        *columns*, when given, is a columnar trace blob
+        (:meth:`~repro.kernel.trace_buffer.TraceBuffer.to_npz_bytes`)
+        written to :meth:`columns_path`; the entry records its sha256, so
+        :meth:`load_columns` can verify the blob before trusting it.
+        The blob lands on disk *before* the entry that references it, so
+        a crash between the two writes leaves an orphan blob (harmless),
+        never a dangling reference.
         """
         try:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -228,6 +280,18 @@ class ResultCache:
             "summary": payload,
             "checksum": summary_checksum(payload),
         }
+        if columns is not None:
+            self._write_atomic(self.columns_path(key), columns, key)
+            document["columns"] = {
+                "file": self.columns_path(key).name,
+                "bytes": len(columns),
+                "checksum": hashlib.sha256(columns).hexdigest(),
+            }
+        text = json.dumps(document, sort_keys=True)
+        self._write_atomic(self.path(key), text.encode("utf-8"), key)
+
+    def _write_atomic(self, target: Path, data: bytes, key: str) -> None:
+        """Write *data* to *target* via temp-file + rename (crash-safe)."""
         try:
             descriptor, temp_name = tempfile.mkstemp(
                 dir=str(self.root), prefix=f".{key[:12]}.", suffix=".tmp"
@@ -235,9 +299,9 @@ class ResultCache:
         except OSError as error:
             raise CacheError(f"cannot stage cache entry {key}: {error}") from error
         try:
-            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
-                json.dump(document, handle, sort_keys=True)
-            os.replace(temp_name, self.path(key))
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(data)
+            os.replace(temp_name, target)
         except BaseException as error:
             try:
                 os.unlink(temp_name)
@@ -248,6 +312,70 @@ class ResultCache:
                     f"cannot write cache entry {key}: {error}"
                 ) from error
             raise
+
+    # -- columnar trace blobs ---------------------------------------------
+
+    def has_columns(self, key: str) -> bool:
+        """True when *key*'s entry references a column blob that exists.
+
+        A cheap existence probe (no checksum verification) the runner
+        uses to decide whether a ``keep_columns`` spec can be served
+        from cache or must re-execute.
+        """
+        entry = self.path(key)
+        try:
+            with open(entry, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return False
+        if not isinstance(document, dict) or "columns" not in document:
+            return False
+        return self.columns_path(key).is_file()
+
+    def load_columns(self, key: str) -> Optional[bytes]:
+        """The verified column blob for *key*, or ``None``.
+
+        ``None`` covers every non-hit: no entry, an entry without a
+        column reference, or a missing blob file.  A blob that exists
+        but fails its recorded sha256 is **quarantined** (moved aside
+        like a corrupt entry) and also reported as ``None`` — the caller
+        re-executes, exactly like the summary corruption path.
+        """
+        entry = self.path(key)
+        try:
+            with open(entry, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except ValueError:
+            return None
+        except OSError as error:
+            raise CacheError(f"cannot read cache entry {key}: {error}") from error
+        if not isinstance(document, dict):
+            return None
+        meta = document.get("columns")
+        if not isinstance(meta, dict):
+            return None
+        try:
+            with open(self.columns_path(key), "rb") as handle:
+                blob = handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as error:
+            raise CacheError(f"cannot read cache columns {key}: {error}") from error
+        if hashlib.sha256(blob).hexdigest() != meta.get("checksum"):
+            source = self.columns_path(key)
+            try:
+                self.quarantine_root.mkdir(parents=True, exist_ok=True)
+                os.replace(source, self.quarantine_root / source.name)
+            except FileNotFoundError:
+                pass
+            except OSError as error:
+                raise CacheError(
+                    f"cannot quarantine cache columns {key}: {error}"
+                ) from error
+            return None
+        return blob
 
     def __contains__(self, key: str) -> bool:
         return self.path(key).is_file()

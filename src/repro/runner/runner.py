@@ -84,6 +84,13 @@ class SpecExecution:
         wall_seconds: Wall-clock execution time inside the worker.
         ticks: Simulation ticks the session ran.
         worker_pid: The executing process, for worker attribution.
+        trace_bytes: Bytes of columnar trace data the session recorded
+            (trimmed to recorded ticks).
+        peak_recorder_bytes: Bytes the recorder's preallocated column
+            blocks occupied — the spec's peak trace-memory footprint.
+        columns: The session's columnar trace as a compressed ``.npz``
+            blob, only when the spec set ``keep_columns`` (the runner
+            persists it into the version-3 cache entry).
     """
 
     summary: SessionSummary
@@ -92,6 +99,9 @@ class SpecExecution:
     wall_seconds: float = 0.0
     ticks: int = 0
     worker_pid: int = 0
+    trace_bytes: int = 0
+    peak_recorder_bytes: int = 0
+    columns: Optional[bytes] = None
 
 
 def execute_spec_full(spec: SessionSpec) -> SpecExecution:
@@ -112,7 +122,9 @@ def execute_spec_full(spec: SessionSpec) -> SpecExecution:
         trace=bus,
         faults=spec.faults,
     )
-    summary = summarize(session.run())
+    result = session.run()
+    summary = summarize(result)
+    buffer = result.trace.buffer
     return SpecExecution(
         summary=summary,
         events=bus.events if bus is not None else [],
@@ -120,6 +132,9 @@ def execute_spec_full(spec: SessionSpec) -> SpecExecution:
         wall_seconds=time.perf_counter() - began,
         ticks=session.ticks_run,
         worker_pid=os.getpid(),
+        trace_bytes=buffer.nbytes,
+        peak_recorder_bytes=buffer.capacity_bytes,
+        columns=buffer.to_npz_bytes() if spec.keep_columns else None,
     )
 
 
@@ -148,6 +163,11 @@ class RunnerStats:
         spec_timings: Per-executed-spec ``(label, wall_seconds)`` pairs,
             in completion order (label falls back to the workload/policy
             description when the spec carries none).
+        trace_bytes: Total columnar trace data recorded by executed
+            sessions (zero on a fully warm cache).
+        peak_recorder_bytes: Largest single-spec recorder memory
+            footprint seen (preallocated column blocks, not just rows
+            in use).
     """
 
     sessions_executed: int = 0
@@ -160,6 +180,8 @@ class RunnerStats:
     failed_specs: int = 0
     wall_seconds: float = 0.0
     spec_timings: List[Tuple[str, float]] = field(default_factory=list)
+    trace_bytes: int = 0
+    peak_recorder_bytes: int = 0
 
     @property
     def total(self) -> int:
@@ -185,6 +207,10 @@ class RunnerStats:
         self.failed_specs += other.failed_specs
         self.wall_seconds += other.wall_seconds
         self.spec_timings.extend(other.spec_timings)
+        self.trace_bytes += other.trace_bytes
+        self.peak_recorder_bytes = max(
+            self.peak_recorder_bytes, other.peak_recorder_bytes
+        )
 
 
 class _SpecTimeout(RunnerError):
@@ -340,6 +366,15 @@ class SessionRunner:
                 # Traced specs bypass memo/cache/alias: only a real
                 # execution produces the event stream.
                 pending.append(index)
+                continue
+            if spec.keep_columns and (
+                self._cache is None or not self._cache.has_columns(key)
+            ):
+                # A column-keeping spec is only served from cache when the
+                # entry already carries its blob; otherwise it re-executes
+                # (and the execution stores summary + columns together).
+                pending.append(index)
+                first_with_key.setdefault(key, index)
                 continue
             if key in first_with_key:
                 # Duplicate spec within the batch: simulate once, copy after.
@@ -586,6 +621,10 @@ class SessionRunner:
     ) -> None:
         stats.sessions_executed += 1
         stats.ticks_simulated += spec.config.total_ticks
+        stats.trace_bytes += execution.trace_bytes
+        stats.peak_recorder_bytes = max(
+            stats.peak_recorder_bytes, execution.peak_recorder_bytes
+        )
         label = spec.label or f"spec[{index}]"
         stats.spec_timings.append((label, execution.wall_seconds))
         self._tell(
@@ -604,7 +643,12 @@ class SessionRunner:
         if self.memoize:
             self._memo[key] = execution.summary
         if self._cache is not None:
-            self._cache.store(key, execution.summary, spec.cache_payload())
+            self._cache.store(
+                key,
+                execution.summary,
+                spec.cache_payload(),
+                columns=execution.columns,
+            )
 
     def clear_memo(self) -> None:
         """Drop the in-memory memo (the on-disk cache is untouched)."""

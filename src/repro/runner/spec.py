@@ -35,12 +35,26 @@ from ..obs.bus import TracepointBus
 from ..soc.catalog import get_phone_spec
 from ..soc.platform import PlatformSpec
 
-__all__ = ["FactoryRef", "SessionSpec", "TraceRequest", "CACHE_FORMAT_VERSION"]
+__all__ = [
+    "FactoryRef",
+    "SessionSpec",
+    "TraceRequest",
+    "CACHE_FORMAT_VERSION",
+    "KEY_SCHEMA_VERSION",
+]
 
-#: Bump when the summary payload or key derivation changes shape;
-#: old cache entries then simply miss instead of deserialising garbage.
-#: Version 2 added the entry checksum and the optional fault plan.
-CACHE_FORMAT_VERSION = 2
+#: Version of the *key derivation* — the canonical payload a spec hashes
+#: into its content address.  Deliberately decoupled from
+#: :data:`CACHE_FORMAT_VERSION`: bumping the entry file format must NOT
+#: re-address every existing entry, or read-migration would have nothing
+#: left to read.  Bump only when the payload itself changes shape.
+KEY_SCHEMA_VERSION = 2
+
+#: Version of the on-disk *entry file* format.  Version 2 added the
+#: entry checksum and the optional fault plan; version 3 adds the
+#: optional columnar ``.npz`` trace blob next to the summary.  Readers
+#: migrate transparently: a version-2 entry is still a verified hit.
+CACHE_FORMAT_VERSION = 3
 
 #: Argument types a portable (hashable, picklable) ref may carry.
 _PRIMITIVES = (type(None), bool, int, float, str)
@@ -188,6 +202,11 @@ class SessionSpec:
             computes, so — unlike ``trace`` — the plan **is** part of the
             cache identity: a faulted spec lives at a different content
             address than its clean twin.
+        keep_columns: Ask the runner to persist the session's columnar
+            trace (a compact ``.npz`` blob) next to the cached summary.
+            Like ``trace``, this is pure observation and **not** part of
+            the cache identity — but a spec whose entry lacks a column
+            blob re-executes, so asking for columns always yields them.
     """
 
     platform: PlatformLike
@@ -198,6 +217,7 @@ class SessionSpec:
     label: str = ""
     trace: Optional[TraceRequest] = None
     faults: Optional[FaultPlan] = None
+    keep_columns: bool = False
 
     @property
     def is_portable(self) -> bool:
@@ -250,7 +270,7 @@ class SessionSpec:
         else:
             platform_payload = self.platform
         payload = {
-            "version": CACHE_FORMAT_VERSION,
+            "version": KEY_SCHEMA_VERSION,
             "platform": platform_payload,
             "policy": self.policy.payload(),
             "workload": self.workload.payload(),

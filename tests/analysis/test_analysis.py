@@ -15,6 +15,7 @@ from repro.analysis.sweep import (
     core_count_sweep,
     frequency_sweep,
     run_session,
+    summary_columns,
     utilization_sweep,
 )
 from repro.config import SimulationConfig
@@ -58,6 +59,28 @@ class TestSweeps:
         first = run_session(spec, BusyLoopApp(100.0), StaticPolicy(4, 2_265_600), CFG)
         second = run_session(spec, BusyLoopApp(100.0), StaticPolicy(4, 2_265_600), CFG)
         assert first.trace.to_csv() == second.trace.to_csv()
+
+
+class TestSummaryColumns:
+    def test_columns_align_with_summary_rows(self, spec):
+        summaries = frequency_sweep(spec, 1, [300_000, 960_000], 100.0, CFG)
+        columns = summary_columns(summaries)
+        assert columns["mean_power_mw"].tolist() == [
+            s.mean_power_mw for s in summaries
+        ]
+        assert all(len(column) == len(summaries) for column in columns.values())
+
+    def test_fps_none_becomes_nan(self, spec):
+        import numpy as np
+
+        summaries = frequency_sweep(spec, 1, [960_000], 100.0, CFG)
+        assert summaries[0].mean_fps is None  # busyloop reports no frames
+        column = summary_columns(summaries, fields=("mean_fps",))["mean_fps"]
+        assert np.isnan(column[0])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ExperimentError):
+            summary_columns([])
 
 
 class TestRatio:

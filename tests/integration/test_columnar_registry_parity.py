@@ -1,0 +1,70 @@
+"""Registry-wide parity: columnar summaries match the legacy recorder
+for every registered policy x workload combination.
+
+Each pair runs one short session on the columnar engine, then replays
+the recorded row stream through the frozen pre-refactor
+:class:`~repro.kernel._legacy_tracing.LegacyTraceRecorder`.  Summary
+statistics and CSV exports must be bit-identical — ``==``, not approx.
+"""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.kernel._legacy_tracing import LegacyTickRecord, LegacyTraceRecorder
+from repro.kernel.engine import Session
+from repro.scenario import (
+    POLICY_REGISTRY,
+    WORKLOAD_REGISTRY,
+    policy_ref,
+    workload_ref,
+)
+from repro.soc.catalog import nexus5_spec
+from repro.soc.platform import Platform
+
+PLATFORM = "Nexus 5"
+
+#: Required factory parameters for entries without usable defaults.
+POLICY_PARAMS = {"static": {"online_count": 2, "frequency_khz": 1_190_400}}
+WORKLOAD_PARAMS = {"game": {"title": "Badland"}}
+
+CONFIG = SimulationConfig(duration_seconds=2.0, seed=3, warmup_seconds=0.4)
+
+PAIRS = [
+    (policy, workload)
+    for policy in POLICY_REGISTRY.names()
+    for workload in WORKLOAD_REGISTRY.names()
+]
+
+
+def summaries(recorder):
+    return (
+        recorder.mean_power_mw(),
+        recorder.mean_cpu_power_mw(),
+        recorder.mean_online_cores(),
+        recorder.mean_frequency_khz(),
+        recorder.mean_global_util_percent(),
+        recorder.mean_scaled_load_percent(),
+        recorder.mean_quota(),
+        recorder.mean_fps(),
+        recorder.max_temperature_c(),
+        recorder.energy_mj(CONFIG.tick_seconds),
+    )
+
+
+@pytest.mark.parametrize("policy_name,workload_name", PAIRS)
+def test_summaries_match_legacy_for_registry_pair(policy_name, workload_name):
+    policy = policy_ref(
+        policy_name, platform=PLATFORM, **POLICY_PARAMS.get(policy_name, {})
+    ).resolve()
+    workload = workload_ref(
+        workload_name, **WORKLOAD_PARAMS.get(workload_name, {})
+    ).resolve()
+    session = Session(Platform.from_spec(nexus5_spec()), workload, policy, CONFIG)
+    trace = session.run().trace
+
+    legacy = LegacyTraceRecorder(warmup_ticks=trace.warmup_ticks)
+    for row in trace.buffer.iter_rows():
+        legacy.append(LegacyTickRecord(*row))
+
+    assert summaries(trace) == summaries(legacy)
+    assert trace.to_csv() == legacy.to_csv()

@@ -139,3 +139,17 @@ class TestCollectors:
     def test_empty_collector_raises(self):
         with pytest.raises(MeterError):
             LoadCollector().mean()
+
+    def test_residency_fractions_bucket_by_value(self):
+        # Core counts alternate 4, 3, 4, 3: half the ticks in each bucket.
+        collector = CoreCountCollector.from_trace(make_trace())
+        assert collector.residency_fractions() == {3.0: 0.5, 4.0: 0.5}
+
+    def test_residency_fractions_sum_to_one(self):
+        fractions = LoadCollector.from_trace(make_trace()).residency_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        assert len(fractions) == 4  # every load value distinct
+
+    def test_residency_fractions_need_samples(self):
+        with pytest.raises(MeterError):
+            FrequencyCollector().residency_fractions()

@@ -1,0 +1,177 @@
+"""Cache format v3: column blobs, v2 read-migration, runner telemetry."""
+
+import dataclasses
+import json
+
+from repro.config import SimulationConfig
+from repro.kernel.trace_buffer import TraceBuffer
+from repro.runner import (
+    FactoryRef,
+    ResultCache,
+    SessionRunner,
+    SessionSpec,
+    execute_spec_full,
+    summary_checksum,
+    summary_to_dict,
+)
+from repro.runner.cache import READABLE_VERSIONS
+
+CFG = SimulationConfig(duration_seconds=2.0, seed=0, warmup_seconds=0.5)
+
+
+def busyloop_spec(**overrides):
+    values = dict(
+        platform="Nexus 5",
+        policy=FactoryRef.to("repro.policies.static:StaticPolicy", 2, 960_000),
+        workload=FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", 40.0),
+        config=CFG,
+        pin_uncore_max=False,
+    )
+    values.update(overrides)
+    return SessionSpec(**values)
+
+
+def rewrite_as_v2(cache, key):
+    """Rewrite *key*'s entry as a pre-columnar version-2 document."""
+    path = cache.path(key)
+    document = json.loads(path.read_text())
+    document["version"] = 2
+    document.pop("columns", None)
+    path.write_text(json.dumps(document, sort_keys=True))
+    cache.columns_path(key).unlink(missing_ok=True)
+
+
+class TestV2Migration:
+    def test_v2_entry_is_a_verified_hit(self, tmp_path):
+        spec = busyloop_spec()
+        warm = SessionRunner(jobs=1, cache_dir=tmp_path)
+        first = warm.run([spec])
+        cache = ResultCache(tmp_path)
+        rewrite_as_v2(cache, spec.cache_key())
+
+        lookup = cache.lookup(spec.cache_key())
+        assert lookup.hit and lookup.version == 2
+
+        cold = SessionRunner(jobs=1, cache_dir=tmp_path)
+        assert cold.run([spec]) == first
+        assert cold.last_stats.cache_hits == 1
+        assert cold.last_stats.sessions_executed == 0
+
+    def test_unknown_future_version_is_a_miss_not_corrupt(self, tmp_path):
+        spec = busyloop_spec()
+        SessionRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        cache = ResultCache(tmp_path)
+        path = cache.path(spec.cache_key())
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        assert cache.lookup(spec.cache_key()).status == "miss"
+
+    def test_readable_versions_pin(self):
+        assert READABLE_VERSIONS == {2, 3}
+
+
+class TestColumnBlobs:
+    def test_keep_columns_stores_a_loadable_blob(self, tmp_path):
+        spec = busyloop_spec(keep_columns=True)
+        runner = SessionRunner(jobs=1, cache_dir=tmp_path)
+        runner.run([spec])
+        cache = ResultCache(tmp_path)
+        key = spec.cache_key()
+        assert cache.has_columns(key)
+        blob = cache.load_columns(key)
+        buffer = TraceBuffer.from_npz_bytes(blob)
+        assert len(buffer) == CFG.total_ticks
+        document = json.loads(cache.path(key).read_text())
+        assert document["columns"]["bytes"] == len(blob)
+
+    def test_blob_matches_the_session_trace(self, tmp_path):
+        spec = busyloop_spec(keep_columns=True)
+        execution = execute_spec_full(spec)
+        SessionRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        blob = ResultCache(tmp_path).load_columns(spec.cache_key())
+        assert blob == execution.columns
+
+    def test_plain_spec_stores_no_blob(self, tmp_path):
+        spec = busyloop_spec()
+        SessionRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        cache = ResultCache(tmp_path)
+        assert not cache.has_columns(spec.cache_key())
+        assert cache.load_columns(spec.cache_key()) is None
+
+    def test_corrupt_blob_is_quarantined_and_none(self, tmp_path):
+        spec = busyloop_spec(keep_columns=True)
+        SessionRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        cache = ResultCache(tmp_path)
+        key = spec.cache_key()
+        cache.columns_path(key).write_bytes(b"flipped bits")
+        assert cache.load_columns(key) is None
+        assert not cache.columns_path(key).exists()
+        assert (cache.quarantine_root / cache.columns_path(key).name).exists()
+
+    def test_quarantine_moves_blob_with_entry(self, tmp_path):
+        spec = busyloop_spec(keep_columns=True)
+        SessionRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        cache = ResultCache(tmp_path)
+        key = spec.cache_key()
+        cache.quarantine(key)
+        assert not cache.path(key).exists()
+        assert not cache.columns_path(key).exists()
+        assert (cache.quarantine_root / f"{key}.npz").exists()
+
+
+class TestKeepColumnsExecution:
+    def test_summary_only_entry_forces_reexecution(self, tmp_path):
+        plain = busyloop_spec()
+        runner = SessionRunner(jobs=1, cache_dir=tmp_path)
+        runner.run([plain])
+        wants_columns = dataclasses.replace(plain, keep_columns=True)
+        runner.run([wants_columns])
+        # Same cache identity, but the entry had no blob: must re-run.
+        assert runner.last_stats.sessions_executed == 1
+        assert ResultCache(tmp_path).has_columns(plain.cache_key())
+
+    def test_entry_with_blob_serves_keep_columns_spec(self, tmp_path):
+        spec = busyloop_spec(keep_columns=True)
+        SessionRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        cold = SessionRunner(jobs=1, cache_dir=tmp_path)
+        cold.run([spec])
+        assert cold.last_stats.sessions_executed == 0
+        assert cold.last_stats.cache_hits == 1
+
+
+class TestTraceTelemetry:
+    def test_execution_reports_trace_memory(self):
+        execution = execute_spec_full(busyloop_spec())
+        assert execution.trace_bytes > 0
+        assert execution.peak_recorder_bytes >= execution.trace_bytes
+        assert execution.columns is None
+
+    def test_runner_stats_accumulate_trace_bytes(self):
+        runner = SessionRunner(jobs=1)
+        runner.run([busyloop_spec(), busyloop_spec(config=dataclasses.replace(CFG, seed=5))])
+        stats = runner.last_stats
+        single = execute_spec_full(busyloop_spec())
+        assert stats.trace_bytes == 2 * single.trace_bytes
+        assert stats.peak_recorder_bytes == single.peak_recorder_bytes
+
+    def test_cache_hits_record_no_trace_bytes(self, tmp_path):
+        spec = busyloop_spec()
+        SessionRunner(jobs=1, cache_dir=tmp_path).run([spec])
+        cold = SessionRunner(jobs=1, cache_dir=tmp_path)
+        cold.run([spec])
+        assert cold.last_stats.trace_bytes == 0
+        assert cold.last_stats.peak_recorder_bytes == 0
+
+
+class TestStoreChecksums:
+    def test_store_records_summary_checksum(self, tmp_path):
+        spec = busyloop_spec()
+        execution = execute_spec_full(spec)
+        cache = ResultCache(tmp_path)
+        cache.store(spec.cache_key(), execution.summary, spec.cache_payload())
+        document = json.loads(cache.path(spec.cache_key()).read_text())
+        assert document["version"] == 3
+        assert document["checksum"] == summary_checksum(
+            summary_to_dict(execution.summary)
+        )

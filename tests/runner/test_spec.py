@@ -7,7 +7,12 @@ import pytest
 from repro.config import SimulationConfig
 from repro.errors import RunnerError
 from repro.policies.static import StaticPolicy
-from repro.runner import CACHE_FORMAT_VERSION, FactoryRef, SessionSpec
+from repro.runner import (
+    CACHE_FORMAT_VERSION,
+    KEY_SCHEMA_VERSION,
+    FactoryRef,
+    SessionSpec,
+)
 from repro.soc.catalog import nexus5_spec
 from repro.workloads.busyloop import BusyLoopApp
 
@@ -102,9 +107,22 @@ class TestCacheKey:
 
     def test_payload_covers_every_config_field(self):
         payload = make_spec().cache_payload()
-        assert payload["version"] == CACHE_FORMAT_VERSION
+        # Keys hash the *key schema* version, decoupled from the entry
+        # file format so format bumps never re-address existing entries.
+        assert payload["version"] == KEY_SCHEMA_VERSION
         for field in dataclasses.fields(SimulationConfig):
             assert field.name in payload["config"]
+
+    def test_key_schema_and_entry_format_are_decoupled(self):
+        # Bumping CACHE_FORMAT_VERSION (v3 columns) must not have moved
+        # any content address: addresses still hash schema version 2.
+        assert KEY_SCHEMA_VERSION == 2
+        assert CACHE_FORMAT_VERSION == 3
+
+    def test_keep_columns_does_not_change_cache_identity(self):
+        spec = make_spec()
+        with_columns = dataclasses.replace(spec, keep_columns=True)
+        assert spec.cache_key() == with_columns.cache_key()
 
     @pytest.mark.parametrize(
         "variant",

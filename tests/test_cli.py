@@ -252,3 +252,5 @@ class TestStatsFlag:
         assert "ticks simulated" in out
         assert "memo hits" in out
         assert "wall time (s)" in out
+        assert "trace bytes recorded" in out
+        assert "peak recorder memory" in out

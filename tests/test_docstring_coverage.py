@@ -1,9 +1,10 @@
 """The documentation gates CI enforces, runnable locally.
 
 The infrastructure packages (`repro.faults`, `repro.runner`,
-`repro.scenario`) promise complete docstrings — docs/API.md points
-readers at `help()` — so the gate is 100%, checked by
-`tools/docstring_coverage.py` in CI and here.
+`repro.scenario`) and the columnar trace spine
+(`repro.kernel.trace_buffer`, `repro.obs.columnar`) promise complete
+docstrings — docs/API.md points readers at `help()` — so the gate is
+100%, checked by `tools/docstring_coverage.py` in CI and here.
 """
 
 import pathlib
@@ -29,6 +30,13 @@ class TestGatedPackages:
 
     def test_scenario_package_fully_documented(self):
         result = run_tool("src/repro/scenario")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "(100.0%)" in result.stdout
+
+    def test_trace_spine_fully_documented(self):
+        result = run_tool(
+            "src/repro/kernel/trace_buffer.py", "src/repro/obs/columnar.py"
+        )
         assert result.returncode == 0, result.stdout + result.stderr
         assert "(100.0%)" in result.stdout
 
