@@ -5,16 +5,22 @@ serially and over worker processes, and checks the parallel run is
 bit-identical to the serial one.  The speedup is bounded by the host's
 core count — on a single-core runner the two times match; the point of
 record is the ratio, not an absolute.
+
+Results land in ``BENCH_runner.json`` (override the location with
+``RUNNER_BENCH_OUT``) so scaling regressions show up in review.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 from repro.config import SimulationConfig
 from repro.experiments.game_eval import run_games
 from repro.runner import SessionRunner
 
 JOBS = max(2, min(4, os.cpu_count() or 1))
+OUT_PATH = Path(os.environ.get("RUNNER_BENCH_OUT", "BENCH_runner.json"))
 
 
 def _timed(jobs, config):
@@ -24,19 +30,42 @@ def _timed(jobs, config):
     return time.perf_counter() - start, rows, runner.last_stats
 
 
-def test_runner_scaling(bench_once):
+def run_scaling_benchmark():
+    """Time the game matrix serially and at ``jobs=N``; return the report."""
     config = SimulationConfig(duration_seconds=15.0, seed=0, warmup_seconds=2.0)
+    serial_s, serial_rows, stats = _timed(1, config)
+    parallel_s, parallel_rows, _ = _timed(JOBS, config)
+    return {
+        "jobs": JOBS,
+        "cpus": os.cpu_count(),
+        "sessions": stats.sessions_executed,
+        "ticks": stats.ticks_simulated,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "rows_identical": parallel_rows == serial_rows,
+    }
 
-    def scale():
-        serial_s, serial_rows, stats = _timed(1, config)
-        parallel_s, parallel_rows, _ = _timed(JOBS, config)
-        return serial_s, parallel_s, serial_rows, parallel_rows, stats
 
-    serial_s, parallel_s, serial_rows, parallel_rows, stats = bench_once(scale)
+def _check(report):
+    assert report["sessions"] == 10
+    assert report["rows_identical"]  # placement never changes results
+
+
+def test_runner_scaling(bench_once):
+    report = bench_once(run_scaling_benchmark)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(
-        f"\n{stats.sessions_executed} sessions, {stats.ticks_simulated} ticks: "
-        f"serial {serial_s:.2f} s, jobs={JOBS} {parallel_s:.2f} s "
-        f"(speedup x{serial_s / parallel_s:.2f} on {os.cpu_count()} cpus)"
+        f"\n{report['sessions']} sessions, {report['ticks']} ticks: "
+        f"serial {report['serial_s']:.2f} s, "
+        f"jobs={report['jobs']} {report['parallel_s']:.2f} s "
+        f"(speedup x{report['speedup']:.2f} on {report['cpus']} cpus)"
     )
-    assert stats.sessions_executed == 10
-    assert parallel_rows == serial_rows  # placement never changes results
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = run_scaling_benchmark()
+    OUT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)

@@ -19,6 +19,11 @@ Usage::
     python -m repro scenarios expand examples/scenarios/paper_eval.json
     python -m repro scenarios run examples/scenarios/paper_eval.json --jobs 4
     python -m repro compare --scenario my_scenario.json
+    python -m repro scenarios run matrix.json --jobs 4 --status-dir .status
+    python -m repro status .status
+    python -m repro status .status --follow
+    python -m repro metrics .status
+    python -m repro metrics .status --format json
 
 ``compare`` runs the Android default and MobiCore on the same demand
 (same seed) and prints the paper-style deltas.  ``--jobs N`` fans the
@@ -34,6 +39,12 @@ terminated).  ``--faults plan.json`` injects a deterministic fault plan
 into every session — see ``docs/FAILURE_MODES.md`` for the contract and
 ``repro faults template`` for the file format.  ``repro faults demo``
 runs a clean-vs-faulted A/B showing the injected events end to end.
+
+``--status-dir DIR`` (on every runner-backed command) makes the runner
+write a live heartbeat file and a ``metrics.json`` snapshot into DIR:
+``repro status DIR`` renders sweep progress from the heartbeat (once,
+or continuously with ``--follow``), and ``repro metrics DIR`` dumps the
+metrics registry as Prometheus text exposition or JSON.
 
 ``trace run`` executes sessions with the tracepoint bus recording and
 exports the typed event stream — ``perfetto`` JSON (loadable in
@@ -71,6 +82,14 @@ from .obs import (
     to_chrome_trace,
     validate_chrome_trace,
 )
+from .obs.metrics_plane import (
+    heartbeat_path,
+    metrics_path,
+    read_heartbeat,
+    render_prometheus,
+    render_status,
+    stats_rows,
+)
 from .runner import (
     FactoryRef,
     RunnerStats,
@@ -105,45 +124,16 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _format_bytes(count: int) -> str:
-    """Human-readable byte count for the stats table (binary units)."""
-    size = float(count)
-    for unit in ("B", "KiB", "MiB", "GiB"):
-        if size < 1024.0 or unit == "GiB":
-            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
-        size /= 1024.0
-    return f"{int(size)} B"
-
-
 def _print_runner_stats(stats: RunnerStats) -> None:
-    """Render the ``--stats`` accounting block."""
-    rows = [
-        ("sessions executed", str(stats.sessions_executed)),
-        ("ticks simulated", str(stats.ticks_simulated)),
-        ("memo hits", str(stats.memo_hits)),
-        ("disk cache hits", str(stats.cache_hits)),
-        ("wall time (s)", f"{stats.wall_seconds:.2f}"),
-        ("ticks/second", f"{stats.ticks_per_second:.0f}"),
-    ]
-    # Trace-memory accounting: zero on a fully warm cache, so only shown
-    # when sessions actually executed and recorded columns.
-    if stats.trace_bytes:
-        rows.append(("trace bytes recorded", _format_bytes(stats.trace_bytes)))
-    if stats.peak_recorder_bytes:
-        rows.append(
-            ("peak recorder memory", _format_bytes(stats.peak_recorder_bytes))
-        )
-    # Robustness counters only earn a row when something actually went
-    # wrong, keeping the clean-run output identical to before.
-    for name, value in (
-        ("retries", stats.retries),
-        ("timeouts", stats.timeouts),
-        ("corrupt cache entries", stats.corrupt_cache_entries),
-        ("failed specs", stats.failed_specs),
-    ):
-        if value:
-            rows.append((name, str(value)))
-    print(render_table(("runner stats", "value"), rows))
+    """Render the ``--stats`` accounting block.
+
+    The rows come from :func:`repro.obs.metrics_plane.stats_rows`, which
+    reads them back out of a metrics registry fed by the same bridge the
+    exposition uses — so this table and ``repro metrics`` can never
+    disagree.  Every row is always present (robustness counters render
+    0 on clean runs) and the row set is documented in ``docs/API.md``.
+    """
+    print(render_table(("runner stats", "value"), stats_rows(stats)))
 
 
 def _load_fault_plan(path: Optional[str]) -> Optional[FaultPlan]:
@@ -163,6 +153,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
+        status_dir=args.status_dir,
     )
     if args.scenario:
         _run_scenario_batch(load_scenarios(args.scenario), runner, out=None)
@@ -251,6 +242,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
+        status_dir=args.status_dir,
     )
     _run_scenario_batch(scenarios, runner, out=args.out)
     if args.stats:
@@ -334,6 +326,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
+        status_dir=args.status_dir,
     )
     comparison = PolicyComparison(
         phone,
@@ -431,6 +424,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
+        status_dir=args.status_dir,
     )
     runner.run(specs)
     sessions = [
@@ -466,6 +460,49 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     if args.stats:
         print()
         _print_runner_stats(runner.total_stats)
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Render sweep progress from a runner's heartbeat file.
+
+    One-shot by default; ``--follow`` re-reads every ``--interval``
+    seconds (clearing the screen between frames, top-style) until the
+    batch finishes.
+    """
+    path = heartbeat_path(args.dir)
+    if not args.follow:
+        print(render_status(read_heartbeat(path)))
+        return 0
+    while True:
+        state = read_heartbeat(path)
+        # ANSI clear + home, so the view refreshes in place like top.
+        sys.stdout.write("\x1b[2J\x1b[H")
+        print(render_status(state))
+        sys.stdout.flush()
+        if state.finished:
+            return 0
+        time.sleep(args.interval)
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump a runner's persisted metrics snapshot.
+
+    Reads ``metrics.json`` from the status directory and re-renders it —
+    Prometheus text exposition by default (the bytes a gateway's
+    ``/metrics`` endpoint would serve), or the raw JSON snapshot.
+    """
+    path = metrics_path(args.dir)
+    try:
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ReproError(f"cannot read metrics snapshot {path}: {error}") from error
+    except ValueError as error:
+        raise ReproError(f"metrics snapshot {path} is not valid JSON: {error}") from error
+    if args.format == "json":
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        print(render_prometheus(snapshot), end="")
     return 0
 
 
@@ -594,6 +631,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="SECONDS",
             help="per-spec wall-clock budget; hung workers are terminated",
         )
+        command.add_argument(
+            "--status-dir",
+            default=None,
+            metavar="DIR",
+            help="write a live heartbeat + metrics.json here "
+            "(watch with: repro status DIR)",
+        )
 
     sub.add_parser("list", help="list experiment ids").set_defaults(func=_cmd_list)
 
@@ -649,6 +693,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runner_options(scenarios_run)
     scenarios_run.set_defaults(func=_cmd_scenarios_run)
+
+    status = sub.add_parser(
+        "status", help="render sweep progress from a --status-dir heartbeat"
+    )
+    status.add_argument("dir", help="the directory passed as --status-dir")
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="refresh continuously (top-style) until the batch finishes",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period for --follow (default: 1s)",
+    )
+    status.set_defaults(func=_cmd_status)
+
+    metrics = sub.add_parser(
+        "metrics", help="dump the metrics registry written to a --status-dir"
+    )
+    metrics.add_argument("dir", help="the directory passed as --status-dir")
+    metrics.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="text exposition format 0.0.4 (default) or the JSON snapshot",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     specs = sub.add_parser("specs", help="show device spec sheets")
     specs.add_argument("phone", nargs="?", help="catalog phone name")

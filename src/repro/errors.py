@@ -28,6 +28,7 @@ __all__ = [
     "FaultError",
     "ScenarioError",
     "RegistryError",
+    "MetricsError",
 ]
 
 
@@ -105,3 +106,8 @@ class ScenarioError(ReproError):
 
 class RegistryError(ScenarioError):
     """A component registry rejected a registration or lookup."""
+
+
+class MetricsError(ReproError):
+    """A metrics-plane operation is malformed (bad metric name or labels,
+    exposition parse failure, unreadable heartbeat file)."""

@@ -20,7 +20,7 @@ results content-addressed.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .plan import (
     FaultPlan,
@@ -69,6 +69,11 @@ class FaultInjector:
         self._tp_injection = NULL_TRACEPOINT
         self._stale_observation: Optional[SystemObservation] = None
         self._last_observation: Optional[SystemObservation] = None
+        #: Windows fired so far, per fault kind — the session exposes this
+        #: as ``fault_firings`` and the runner folds it into the
+        #: ``repro_fault_injections_total`` metric.  Deterministic (driven
+        #: by the simulated clock), unlike the wall-clock runner counters.
+        self.firings: Dict[str, int] = {}
 
     def attach_trace(self, bus: TracepointBus) -> None:
         """Register the fault tracepoint on *bus* (idempotent)."""
@@ -148,6 +153,7 @@ class FaultInjector:
             detail = "governor sees stale utilization"
         else:  # pragma: no cover - FAULT_KINDS is the closed registry
             raise FaultError(f"no injector hook for fault {fault.kind!r}")
+        self.firings[fault.kind] = self.firings.get(fault.kind, 0) + 1
         self._emit(fault, "fired", detail)
 
     def _clear(self, armed: _ArmedFault) -> None:

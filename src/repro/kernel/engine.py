@@ -496,12 +496,24 @@ class Session:
         self._clock.advance()
         self._tick += 1
 
+    @property
+    def fault_firings(self) -> Dict[str, int]:
+        """Fault windows fired so far, per kind (empty without a plan)."""
+        if self._injector is None:
+            return {}
+        return dict(self._injector.firings)
+
     def run(self) -> SessionResult:
         """Execute the whole session from a fresh start and return its result."""
-        self.start()
-        step_core = self._step_core
-        while not self.finished:
-            step_core()
+        # Ambient span: a no-op unless a profiler is installed (the runner
+        # workers install one around each spec execution).
+        from ..obs.metrics_plane.spans import span
+
+        with span("execute"):
+            self.start()
+            step_core = self._step_core
+            while not self.finished:
+                step_core()
         return self.result()
 
     def result(self) -> SessionResult:

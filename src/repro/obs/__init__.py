@@ -17,7 +17,12 @@ substrate of the simulation:
 * :mod:`repro.obs.columnar` — per-tick CSV/JSONL/Chrome-counter export
   streamed straight from a session's columnar trace buffer;
 * :mod:`repro.obs.debugfs` — ``/sys/kernel/debug/tracing``-style knobs
-  over a :class:`~repro.kernel.sysfs.SysfsTree`.
+  over a :class:`~repro.kernel.sysfs.SysfsTree`;
+* :mod:`repro.obs.metrics_plane` — the host-side ops plane: a
+  Prometheus-style metrics registry, hierarchical span profiler, and
+  the heartbeat protocol behind ``repro status`` / ``repro metrics``
+  (imported on demand, not re-exported here — the simulated-device
+  and runner-fleet observability surfaces stay distinct).
 """
 
 from .bus import NULL_TRACEPOINT, Tracepoint, TracepointBus

@@ -1,0 +1,231 @@
+"""Folds runner telemetry into registry metrics — one schema, one place.
+
+Every runner-facing metric name, label set, and feeding rule lives
+here, so the ``--stats`` table, the Prometheus exposition, and the
+persisted ``metrics.json`` can never drift apart: they are all reads
+of the same :class:`~repro.obs.metrics_plane.registry.MetricsRegistry`
+fed by the same observe functions.
+
+The feeding discipline avoids double counting by giving each source
+exactly one consumer:
+
+* scalar batch counters (:func:`observe_stats`) come from the runner's
+  ``RunnerStats`` accounting;
+* per-tier cache lookups come from ``RunnerCacheEvent`` telemetry;
+* per-status spec outcomes come from the :class:`RunReport`;
+* per-execution signals (:func:`observe_execution`) — phase wall
+  breakdowns, session wall histogram, fault firings, peak recorder
+  memory — come from each ``SpecExecution`` as it completes.
+
+Everything is duck-typed on attribute names (``sessions_executed``,
+``phase_seconds``, ``outcome``…) so this module never imports
+:mod:`repro.runner` and the runner can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from .registry import DEFAULT_SECONDS_BUCKETS, MetricsRegistry
+
+__all__ = [
+    "ensure_runner_metrics",
+    "observe_stats",
+    "observe_batch",
+    "observe_execution",
+    "stats_rows",
+    "format_bytes",
+]
+
+#: Scalar ``RunnerStats`` fields and the counters they feed, in the
+#: order the ``--stats`` table renders them.
+_STATS_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
+    ("sessions_executed", "repro_runner_sessions_executed_total",
+     "Sessions simulated from scratch."),
+    ("ticks_simulated", "repro_runner_ticks_simulated_total",
+     "Simulation ticks executed across the batch."),
+    ("memo_hits", "repro_runner_memo_hits_total",
+     "Batch entries served from the in-memory memo."),
+    ("cache_hits", "repro_runner_disk_cache_hits_total",
+     "Batch entries served from the on-disk cache."),
+    ("retries", "repro_runner_retries_total",
+     "Execution attempts re-scheduled after a failure."),
+    ("timeouts", "repro_runner_timeouts_total",
+     "Execution attempts terminated for exceeding the wall budget."),
+    ("corrupt_cache_entries", "repro_runner_corrupt_cache_entries_total",
+     "On-disk entries that failed checksum or parsing and were quarantined."),
+    ("failed_specs", "repro_runner_failed_specs_total",
+     "Specs that never produced a summary."),
+    ("wall_seconds", "repro_runner_wall_seconds_total",
+     "Wall-clock seconds spent inside runner batches."),
+    ("trace_bytes", "repro_runner_trace_bytes_total",
+     "Columnar trace bytes recorded by executed sessions."),
+)
+
+#: How a ``RunnerCacheEvent.outcome`` maps onto the cache-lookup
+#: counter's ``(tier, outcome)`` labels.
+_CACHE_TIERS: Dict[str, Tuple[str, str]] = {
+    "memo_hit": ("memo", "hit"),
+    "cache_hit": ("disk", "hit"),
+    "miss": ("disk", "miss"),
+    "corrupt": ("disk", "corrupt"),
+    "alias": ("batch", "alias"),
+}
+
+
+def ensure_runner_metrics(registry: MetricsRegistry) -> None:
+    """Declare the full runner metric schema on *registry* (idempotent).
+
+    Registration is get-or-create, so calling this before every batch
+    simply guarantees the exposition always carries the whole schema —
+    zero-valued families included — rather than only what happened to
+    fire.
+    """
+    for _, name, help_text in _STATS_COUNTERS:
+        registry.counter(name, help_text)
+    registry.counter(
+        "repro_runner_cache_lookups_total",
+        "Cache-tier lookups by tier (memo/disk/batch) and outcome.",
+        labelnames=("tier", "outcome"),
+    )
+    registry.counter(
+        "repro_runner_spec_outcomes_total",
+        "Finished specs by report status (ok/retried/degraded/failed).",
+        labelnames=("status",),
+    )
+    registry.counter(
+        "repro_runner_pools_created_total",
+        "Process pools created for execution waves.",
+    )
+    registry.counter(
+        "repro_runner_waves_dispatched_total",
+        "Execution waves dispatched to worker pools.",
+    )
+    registry.counter(
+        "repro_runner_workers_terminated_total",
+        "Worker processes terminated for exceeding the wall budget.",
+    )
+    registry.counter(
+        "repro_fault_injections_total",
+        "Injected fault firings across executed sessions, by fault kind.",
+        labelnames=("fault",),
+    )
+    registry.gauge(
+        "repro_runner_peak_recorder_bytes",
+        "Largest single-spec trace-recorder footprint seen.",
+    )
+    registry.histogram(
+        "repro_runner_phase_seconds",
+        "Per-spec wall seconds by runner phase (compile/execute/...).",
+        labelnames=("phase",),
+        buckets=DEFAULT_SECONDS_BUCKETS,
+    )
+    registry.histogram(
+        "repro_runner_session_wall_seconds",
+        "End-to-end wall seconds per executed spec.",
+        buckets=DEFAULT_SECONDS_BUCKETS,
+    )
+
+
+def observe_stats(registry: MetricsRegistry, stats) -> None:
+    """Fold one batch's ``RunnerStats`` scalars into *registry*.
+
+    Call exactly once per finished batch (the runner does); counters
+    accumulate across batches the way ``RunnerStats.absorb`` does.
+    """
+    ensure_runner_metrics(registry)
+    for attr, name, _ in _STATS_COUNTERS:
+        amount = getattr(stats, attr)
+        if amount:
+            registry.counter(name).inc(amount)
+    peak = getattr(stats, "peak_recorder_bytes", 0)
+    if peak:
+        registry.gauge("repro_runner_peak_recorder_bytes").set_max(peak)
+
+
+def observe_batch(registry: MetricsRegistry, stats, report, telemetry: Iterable) -> None:
+    """Fold a whole finished batch into *registry*.
+
+    Combines :func:`observe_stats` with the two event-shaped sources:
+    cache-tier lookups from ``RunnerCacheEvent`` telemetry and spec
+    outcomes from the batch's :class:`RunReport`.
+    """
+    observe_stats(registry, stats)
+    lookups = registry.counter(
+        "repro_runner_cache_lookups_total", labelnames=("tier", "outcome")
+    )
+    for event in telemetry:
+        if getattr(event, "name", "") != "cache":
+            continue
+        tier_outcome = _CACHE_TIERS.get(event.outcome)
+        if tier_outcome is not None:
+            lookups.inc(tier=tier_outcome[0], outcome=tier_outcome[1])
+    outcomes = registry.counter(
+        "repro_runner_spec_outcomes_total", labelnames=("status",)
+    )
+    for outcome in getattr(report, "outcomes", ()):
+        outcomes.inc(status=outcome.status)
+
+
+def observe_execution(registry: MetricsRegistry, execution) -> None:
+    """Fold one completed ``SpecExecution`` into *registry*.
+
+    Feeds the per-phase and per-session wall histograms and the
+    labelled fault-firing counter — the signals that exist per
+    execution rather than per batch.
+    """
+    ensure_runner_metrics(registry)
+    phases = registry.get("repro_runner_phase_seconds")
+    for phase, seconds in sorted(getattr(execution, "phase_seconds", {}).items()):
+        phases.observe(seconds, phase=phase)
+    registry.get("repro_runner_session_wall_seconds").observe(execution.wall_seconds)
+    faults = registry.get("repro_fault_injections_total")
+    for fault, firings in sorted(getattr(execution, "fault_firings", {}).items()):
+        faults.inc(firings, fault=fault)
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count for the stats table (binary units)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{int(size)} B"
+
+
+def stats_rows(stats) -> List[Tuple[str, str]]:
+    """The stable ``--stats`` table rows, read back through a registry.
+
+    Every row is always present — robustness counters render ``0``
+    instead of disappearing on clean runs — and every value is read
+    from a registry fed by :func:`observe_stats`, so the CLI table is
+    definitionally a view of the same numbers the exposition serves.
+    """
+    registry = MetricsRegistry()
+    observe_stats(registry, stats)
+
+    def read(name: str) -> float:
+        return registry.counter(name).value()
+
+    executed = read("repro_runner_sessions_executed_total")
+    ticks = read("repro_runner_ticks_simulated_total")
+    wall = read("repro_runner_wall_seconds_total")
+    rows = [
+        ("sessions executed", str(int(executed))),
+        ("ticks simulated", str(int(ticks))),
+        ("memo hits", str(int(read("repro_runner_memo_hits_total")))),
+        ("disk cache hits", str(int(read("repro_runner_disk_cache_hits_total")))),
+        ("retries", str(int(read("repro_runner_retries_total")))),
+        ("timeouts", str(int(read("repro_runner_timeouts_total")))),
+        ("corrupt cache entries",
+         str(int(read("repro_runner_corrupt_cache_entries_total")))),
+        ("failed specs", str(int(read("repro_runner_failed_specs_total")))),
+        ("wall time (s)", f"{wall:.2f}"),
+        ("ticks/second", f"{ticks / wall:.0f}" if wall > 0 else "0"),
+        ("trace bytes recorded",
+         format_bytes(int(read("repro_runner_trace_bytes_total")))),
+        ("peak recorder memory",
+         format_bytes(int(registry.gauge("repro_runner_peak_recorder_bytes").value()))),
+    ]
+    return rows

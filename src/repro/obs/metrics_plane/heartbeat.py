@@ -1,0 +1,373 @@
+"""The heartbeat/progress protocol: a JSONL status file per batch.
+
+While a batch runs, the driver appends one small JSON object per state
+change to ``<status_dir>/heartbeat.jsonl``:
+
+* ``batch_start`` — batch size, jobs, spec labels;
+* ``spec`` — one spec entering ``queued | running | done | error``
+  (with attempts, result source, wall seconds, and the error text);
+* ``progress`` — done/running/total counts plus an ETA derived from
+  the wall-clock history of completed specs;
+* ``batch_end`` — final ok/retried/degraded/failed counts.
+
+Each record is a single ``write()`` of one newline-terminated line, so
+a reader polling the file (``repro status``, or a gateway serving
+``/jobs/<id>/status``) sees a prefix of whole records plus at most one
+torn tail — :func:`read_heartbeat` tolerates exactly that, which is
+also what makes the file trustworthy after a killed run: everything up
+to the kill is intact.
+
+Timestamps are host wall-clock seconds (``time.time()``); the
+heartbeat observes the runner fleet, not the simulated device, and is
+deliberately outside the determinism guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ...errors import MetricsError
+
+__all__ = [
+    "HEARTBEAT_FILENAME",
+    "METRICS_FILENAME",
+    "HeartbeatWriter",
+    "SpecStatus",
+    "HeartbeatState",
+    "heartbeat_path",
+    "metrics_path",
+    "read_heartbeat",
+    "render_status",
+]
+
+#: The heartbeat file's name inside a runner status directory.
+HEARTBEAT_FILENAME = "heartbeat.jsonl"
+#: The metrics snapshot's name inside a runner status directory.
+METRICS_FILENAME = "metrics.json"
+
+#: The spec statuses the protocol admits, in lifecycle order.
+SPEC_STATUSES = ("queued", "running", "done", "error")
+
+
+def heartbeat_path(status_dir: Union[str, os.PathLike]) -> Path:
+    """Where a runner's heartbeat file lives inside *status_dir*."""
+    return Path(status_dir) / HEARTBEAT_FILENAME
+
+
+def metrics_path(status_dir: Union[str, os.PathLike]) -> Path:
+    """Where a runner's metrics snapshot lives inside *status_dir*."""
+    return Path(status_dir) / METRICS_FILENAME
+
+
+class HeartbeatWriter:
+    """Appends batch lifecycle records to a heartbeat JSONL file.
+
+    Args:
+        path: The heartbeat file; truncated on construction so each
+            batch starts a fresh status stream.
+        total: Specs in the batch.
+        jobs: The runner's worker-process count (ETA divides by it).
+        labels: Per-spec labels, batch order.
+
+    Only the driver process writes (workers ship results back instead),
+    so appends never interleave; each record is flushed immediately so
+    a concurrent ``repro status`` sees progress live.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        total: int,
+        jobs: int = 1,
+        labels: Sequence[str] = (),
+    ) -> None:
+        self.path = Path(path)
+        self.total = int(total)
+        self.jobs = max(1, int(jobs))
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+        except OSError as error:
+            raise MetricsError(
+                f"cannot open heartbeat file {self.path}: {error}"
+            ) from error
+        self._statuses: Dict[int, str] = {}
+        self._wall_history: List[float] = []
+        self._write(
+            {
+                "event": "batch_start",
+                "total": self.total,
+                "jobs": self.jobs,
+                "labels": list(labels),
+            }
+        )
+
+    def _write(self, record: dict) -> None:
+        record["t"] = time.time()
+        try:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError) as error:
+            raise MetricsError(
+                f"cannot append to heartbeat file {self.path}: {error}"
+            ) from error
+
+    def spec(
+        self,
+        index: int,
+        label: str,
+        status: str,
+        attempts: int = 0,
+        source: str = "",
+        wall_seconds: Optional[float] = None,
+        error: str = "",
+    ) -> None:
+        """Record one spec entering *status* (queued/running/done/error)."""
+        if status not in SPEC_STATUSES:
+            raise MetricsError(
+                f"unknown spec status {status!r}; expected one of {SPEC_STATUSES}"
+            )
+        self._statuses[index] = status
+        record = {
+            "event": "spec",
+            "index": index,
+            "label": label,
+            "status": status,
+        }
+        if attempts:
+            record["attempts"] = attempts
+        if source:
+            record["source"] = source
+        if wall_seconds is not None:
+            record["wall_seconds"] = wall_seconds
+            if status == "done":
+                self._wall_history.append(wall_seconds)
+        if error:
+            record["error"] = error
+        self._write(record)
+
+    def eta_seconds(self) -> Optional[float]:
+        """Remaining wall-clock estimate from completed-spec history.
+
+        ``mean(done wall) * remaining / jobs`` — None until at least
+        one executed spec has completed (cache hits carry no wall time
+        and do not feed the estimate).
+        """
+        if not self._wall_history:
+            return None
+        settled = sum(
+            1 for status in self._statuses.values() if status in ("done", "error")
+        )
+        remaining = max(0, self.total - settled)
+        mean_wall = sum(self._wall_history) / len(self._wall_history)
+        return mean_wall * remaining / self.jobs
+
+    def progress(self) -> None:
+        """Record a progress line (done/running/error counts plus ETA)."""
+        counts = {status: 0 for status in SPEC_STATUSES}
+        for status in self._statuses.values():
+            counts[status] += 1
+        record = {
+            "event": "progress",
+            "total": self.total,
+            "done": counts["done"],
+            "running": counts["running"],
+            "errors": counts["error"],
+        }
+        eta = self.eta_seconds()
+        if eta is not None:
+            record["eta_seconds"] = eta
+        self._write(record)
+
+    def finish(self, status_counts: Dict[str, int], wall_seconds: float) -> None:
+        """Record the terminal ``batch_end`` line and close the file."""
+        record = {"event": "batch_end", "wall_seconds": wall_seconds}
+        record.update(status_counts)
+        self._write(record)
+        self._handle.close()
+
+    def close(self) -> None:
+        """Close the underlying handle (idempotent; finish() also closes)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+
+@dataclass
+class SpecStatus:
+    """The latest known state of one spec in a heartbeat stream.
+
+    Attributes:
+        index: The spec's batch position.
+        label: The spec's label.
+        status: ``queued | running | done | error``.
+        attempts: Execution attempts reported so far.
+        source: Where a done spec's summary came from.
+        wall_seconds: Execution wall time, when reported.
+        error: Last error text, for error/retrying specs.
+    """
+
+    index: int
+    label: str
+    status: str = "queued"
+    attempts: int = 0
+    source: str = ""
+    wall_seconds: Optional[float] = None
+    error: str = ""
+
+
+@dataclass
+class HeartbeatState:
+    """Everything a heartbeat file currently says about its batch.
+
+    Attributes:
+        total: Specs in the batch (0 before ``batch_start`` is seen).
+        jobs: The runner's worker count.
+        specs: Latest :class:`SpecStatus` per batch index.
+        eta_seconds: The most recent progress ETA, if any.
+        finished: True once a ``batch_end`` record exists.
+        final_counts: The ``batch_end`` ok/retried/degraded/failed
+            counts (empty until finished).
+        wall_seconds: Total batch wall time (from ``batch_end``).
+    """
+
+    total: int = 0
+    jobs: int = 1
+    specs: Dict[int, SpecStatus] = field(default_factory=dict)
+    eta_seconds: Optional[float] = None
+    finished: bool = False
+    final_counts: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: Optional[float] = None
+
+    def count(self, status: str) -> int:
+        """Specs currently in *status*."""
+        return sum(1 for spec in self.specs.values() if spec.status == status)
+
+    @property
+    def done(self) -> int:
+        """Specs that completed successfully."""
+        return self.count("done")
+
+    @property
+    def running(self) -> int:
+        """Specs currently executing."""
+        return self.count("running")
+
+    @property
+    def errors(self) -> int:
+        """Specs whose latest status is an error."""
+        return self.count("error")
+
+
+def read_heartbeat(path: Union[str, os.PathLike]) -> HeartbeatState:
+    """Fold a heartbeat file into its current :class:`HeartbeatState`.
+
+    Tolerates exactly the damage a live or killed run can produce: a
+    torn final line (partial write at the moment of reading or of the
+    kill) is skipped.  Anything else malformed — an unparseable line
+    *before* the tail, or a missing file — raises
+    :class:`~repro.errors.MetricsError`, because it means the file is
+    not a heartbeat stream at all.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise MetricsError(f"cannot read heartbeat file {path}: {error}") from error
+    state = HeartbeatState()
+    lines = text.split("\n")
+    for position, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            if position >= len(lines) - 2:
+                break  # torn tail from a live writer or a kill: fine
+            raise MetricsError(
+                f"heartbeat file {path} is corrupt at line {position + 1}"
+            ) from None
+        if not isinstance(record, dict):
+            raise MetricsError(
+                f"heartbeat file {path} line {position + 1} is not an object"
+            )
+        event = record.get("event")
+        if event == "batch_start":
+            state.total = int(record.get("total", 0))
+            state.jobs = int(record.get("jobs", 1))
+            for index, label in enumerate(record.get("labels", [])):
+                state.specs[index] = SpecStatus(index=index, label=str(label))
+        elif event == "spec":
+            index = int(record.get("index", -1))
+            spec = state.specs.get(index)
+            if spec is None:
+                spec = state.specs[index] = SpecStatus(
+                    index=index, label=str(record.get("label", f"spec[{index}]"))
+                )
+            spec.status = str(record.get("status", spec.status))
+            spec.attempts = int(record.get("attempts", spec.attempts))
+            spec.source = str(record.get("source", spec.source))
+            if "wall_seconds" in record:
+                spec.wall_seconds = float(record["wall_seconds"])
+            spec.error = str(record.get("error", spec.error))
+        elif event == "progress":
+            if "eta_seconds" in record:
+                state.eta_seconds = float(record["eta_seconds"])
+        elif event == "batch_end":
+            state.finished = True
+            state.wall_seconds = float(record.get("wall_seconds", 0.0))
+            state.final_counts = {
+                key: int(value)
+                for key, value in record.items()
+                if key not in ("event", "t", "wall_seconds")
+            }
+        # Unknown events are skipped: the protocol is forward-extensible.
+    return state
+
+
+_STATUS_GLYPHS = {"queued": ".", "running": ">", "done": "ok", "error": "ERR"}
+
+
+def render_status(state: HeartbeatState) -> str:
+    """The ``top``-style text view of a heartbeat state.
+
+    A one-line summary (progress, running count, ETA) over a per-spec
+    table — what ``repro status`` prints, once or on every refresh.
+    """
+    from ...analysis.report import render_table
+
+    settled = state.done + state.errors
+    header = f"sweep: {settled}/{state.total} settled"
+    if state.running:
+        header += f", {state.running} running"
+    if state.errors:
+        header += f", {state.errors} error"
+    if state.finished:
+        wall = f" in {state.wall_seconds:.1f}s" if state.wall_seconds else ""
+        header += f" — finished{wall}"
+        if state.final_counts:
+            header += " (" + ", ".join(
+                f"{count} {status}" for status, count in sorted(state.final_counts.items())
+            ) + ")"
+    elif state.eta_seconds is not None:
+        header += f" — eta {state.eta_seconds:.0f}s"
+    rows = []
+    for index in sorted(state.specs):
+        spec = state.specs[index]
+        wall = f"{spec.wall_seconds:.2f}" if spec.wall_seconds is not None else "-"
+        note = spec.error or (spec.source if spec.source != "executed" else "")
+        rows.append(
+            (
+                str(index),
+                spec.label,
+                _STATUS_GLYPHS.get(spec.status, spec.status),
+                str(spec.attempts) if spec.attempts else "-",
+                wall,
+                note,
+            )
+        )
+    table = render_table(("#", "spec", "state", "tries", "wall s", "note"), rows)
+    return f"{header}\n\n{table}"

@@ -1,0 +1,496 @@
+"""Label-aware metrics registry with Prometheus and JSON exposition.
+
+A deliberately small re-implementation of the prometheus-client data
+model — counters, gauges, and fixed-bucket cumulative histograms, each
+optionally labelled — kept dependency-free so the runner can always
+carry one.  Three renderings exist and must agree:
+
+* :meth:`MetricsRegistry.to_prometheus_text` — text exposition format
+  0.0.4 (``# HELP`` / ``# TYPE`` / sample lines), valid for a scrape;
+* :meth:`MetricsRegistry.snapshot` — a JSON-ready dict the runner
+  persists as ``metrics.json`` next to the heartbeat file (the form a
+  gateway would serve, and what ``repro metrics`` re-renders);
+* :func:`parse_prometheus_text` — a line-format parser used by tests
+  and CI to validate the exposition instead of eyeballing it.
+
+Values live in plain dicts keyed by label-value tuples; there is no
+locking because the runner mutates metrics only from the driver
+process (workers ship raw numbers back instead of sharing state).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ...errors import MetricsError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "render_prometheus",
+    "parse_prometheus_text",
+    "DEFAULT_SECONDS_BUCKETS",
+]
+
+#: Default histogram bounds for wall-clock phases: 1 ms .. 60 s.
+DEFAULT_SECONDS_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0
+)
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One parsed exposition sample line: name, optional label block, value.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _check_name(name: str) -> str:
+    if not _METRIC_NAME.match(name):
+        raise MetricsError(f"invalid metric name {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_NAME.match(label) or label.startswith("__"):
+            raise MetricsError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise MetricsError(f"duplicate label names in {names!r}")
+    return names
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-flavoured number rendering (ints stay integral)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared family state: identity, labels, per-labelset storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]) -> None:
+        self.name = _check_name(name)
+        self.help = str(help_text)
+        self.labelnames = _check_labelnames(labelnames)
+
+    def _key(self, labels: Mapping[str, str]) -> Tuple[str, ...]:
+        """The storage key for one concrete label assignment."""
+        if set(labels) != set(self.labelnames):
+            raise MetricsError(
+                f"{self.name} takes labels {list(self.labelnames)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _label_dict(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+
+class Counter(_Metric):
+    """A monotonically increasing sum, optionally labelled.
+
+    Counter names follow the Prometheus convention of a ``_total``
+    suffix; the registry does not enforce it, the bridge adheres to it.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def inc(self, amount: Union[int, float] = 1, **labels: str) -> None:
+        """Add *amount* (must be >= 0) to the labelled child."""
+        if amount < 0:
+            raise MetricsError(f"counter {self.name} cannot decrease ({amount})")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled child (0.0 if never touched)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        """JSON-ready per-labelset samples, label-sorted."""
+        return [
+            {"labels": self._label_dict(key), "value": self._values[key]}
+            for key in sorted(self._values)
+        ]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (or track a maximum)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help_text, labelnames)
+        self._values: Dict[Tuple[str, ...], float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def set(self, value: Union[int, float], **labels: str) -> None:
+        """Set the labelled child to *value*."""
+        self._values[self._key(labels)] = float(value)
+
+    def set_max(self, value: Union[int, float], **labels: str) -> None:
+        """Keep the larger of the current and the offered value."""
+        key = self._key(labels)
+        self._values[key] = max(self._values.get(key, float("-inf")), float(value))
+
+    def inc(self, amount: Union[int, float] = 1, **labels: str) -> None:
+        """Add *amount* (may be negative) to the labelled child."""
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of the labelled child (0.0 if never touched)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        """JSON-ready per-labelset samples, label-sorted."""
+        return [
+            {"labels": self._label_dict(key), "value": self._values[key]}
+            for key in sorted(self._values)
+        ]
+
+
+class HistogramMetric(_Metric):
+    """A fixed-bucket cumulative histogram, optionally labelled.
+
+    Buckets are upper bounds; every observation also lands in the
+    implicit ``+Inf`` bucket, so ``_count`` equals the last cumulative
+    bucket — the invariant :func:`parse_prometheus_text` checks.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise MetricsError(
+                f"histogram {name} buckets must be strictly increasing, got {bounds!r}"
+            )
+        if not bounds:
+            raise MetricsError(f"histogram {name} needs at least one bucket")
+        self.buckets = bounds
+        self._counts: Dict[Tuple[str, ...], List[int]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+
+    def observe(self, value: Union[int, float], **labels: str) -> None:
+        """Fold one observation into the labelled child."""
+        key = self._key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0.0
+        index = 0
+        for bound in self.buckets:
+            if value <= bound:
+                break
+            index += 1
+        counts[index] += 1
+        self._sums[key] += value
+
+    def count(self, **labels: str) -> int:
+        """Observations folded into the labelled child."""
+        return sum(self._counts.get(self._key(labels), ()))
+
+    def sum(self, **labels: str) -> float:
+        """Total of all observed values for the labelled child."""
+        return self._sums.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[dict]:
+        """JSON-ready per-labelset samples with cumulative buckets."""
+        out = []
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            cumulative = []
+            running = 0
+            for bound, n in zip(self.buckets, counts):
+                running += n
+                cumulative.append([bound, running])
+            cumulative.append(["+Inf", running + counts[-1]])
+            out.append(
+                {
+                    "labels": self._label_dict(key),
+                    "buckets": cumulative,
+                    "count": running + counts[-1],
+                    "sum": self._sums[key],
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration.
+
+    Like the tracepoint bus, registration is get-or-create: asking for
+    an existing name returns the existing family (the kind and label
+    names must match), so instrumentation sites never need a "was this
+    already declared?" dance.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """The counter called *name*, created on first request."""
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """The gauge called *name*, created on first request."""
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> HistogramMetric:
+        """The histogram called *name*, created on first request."""
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = HistogramMetric(name, help_text, labelnames, buckets)
+            self._metrics[name] = metric
+            return metric
+        self._check_existing(existing, HistogramMetric, name, labelnames)
+        assert isinstance(existing, HistogramMetric)
+        if tuple(float(b) for b in buckets) != existing.buckets:
+            raise MetricsError(
+                f"metric {name} already registered with different buckets"
+            )
+        return existing
+
+    def _register(self, cls, name: str, help_text: str, labelnames) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = cls(name, help_text, labelnames)
+            self._metrics[name] = metric
+            return metric
+        self._check_existing(existing, cls, name, labelnames)
+        return existing
+
+    @staticmethod
+    def _check_existing(existing: _Metric, cls, name: str, labelnames) -> None:
+        if type(existing) is not cls:
+            raise MetricsError(
+                f"metric {name} already registered as {existing.kind}, "
+                f"not {cls.kind}"
+            )
+        if tuple(labelnames) != existing.labelnames:
+            raise MetricsError(
+                f"metric {name} already registered with labels "
+                f"{list(existing.labelnames)}, not {list(labelnames)}"
+            )
+
+    def get(self, name: str) -> _Metric:
+        """The registered metric called *name* (typed error if absent)."""
+        try:
+            return self._metrics[name]
+        except KeyError:
+            raise MetricsError(
+                f"unknown metric {name!r}; registered: {sorted(self._metrics)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered metric names, in registration order."""
+        return list(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- exposition ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, dict]:
+        """The JSON-ready digest of every metric (name-sorted).
+
+        The persisted ``metrics.json`` form: what ``repro metrics``
+        reads back and :func:`render_prometheus` re-renders, so file
+        and live exposition are the same bytes.
+        """
+        doc: Dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            doc[name] = {
+                "type": metric.kind,
+                "help": metric.help,
+                "labelnames": list(metric.labelnames),
+                "samples": metric.samples(),
+            }
+        return doc
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot as a JSON string."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def to_prometheus_text(self) -> str:
+        """Text exposition format 0.0.4 of the whole registry."""
+        return render_prometheus(self.snapshot())
+
+
+def _render_labels(labels: Mapping[str, str], extra: Iterable[Tuple[str, str]] = ()) -> str:
+    pairs = [(k, labels[k]) for k in labels] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: Mapping[str, dict]) -> str:
+    """Prometheus text exposition of a :meth:`MetricsRegistry.snapshot`.
+
+    Operates on the persisted JSON form rather than a live registry, so
+    ``repro metrics`` can serve a snapshot written by another process —
+    the same split a gateway's ``/metrics`` endpoint would use.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        doc = snapshot[name]
+        kind = doc.get("type", "untyped")
+        help_text = doc.get("help", "")
+        if help_text:
+            escaped = help_text.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {name} {escaped}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in doc.get("samples", []):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                for bound, count in sample["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_render_labels(labels, [('le', le)])} {count}"
+                    )
+                lines.append(f"{name}_sum{_render_labels(labels)} "
+                             f"{_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{_render_labels(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _unescape_label_value(value: str) -> str:
+    return value.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+
+
+def parse_prometheus_text(text: str) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse (and thereby validate) Prometheus text exposition.
+
+    Returns ``(name, labels, value)`` triples in file order.  Raises
+    :class:`~repro.errors.MetricsError` on any malformed line, an
+    unknown ``# TYPE``, a sample preceding its family's ``# TYPE``, or
+    a histogram whose cumulative buckets decrease or disagree with
+    ``_count`` — the checks CI runs against ``repro metrics`` output.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    types: Dict[str, str] = {}
+    bucket_state: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise MetricsError(f"line {line_number}: malformed comment {raw!r}")
+            if parts[1] == "TYPE":
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise MetricsError(
+                        f"line {line_number}: unknown metric type {kind!r}"
+                    )
+                types[parts[2]] = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise MetricsError(f"line {line_number}: malformed sample {raw!r}")
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        label_text = match.group("labels")
+        if label_text:
+            consumed = 0
+            for pair in _LABEL_PAIR.finditer(label_text):
+                labels[pair.group(1)] = _unescape_label_value(pair.group(2))
+                consumed += 1
+            if consumed != label_text.count("=") or not consumed:
+                raise MetricsError(
+                    f"line {line_number}: malformed labels {label_text!r}"
+                )
+        value_text = match.group("value")
+        try:
+            value = float(value_text.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise MetricsError(
+                f"line {line_number}: malformed value {value_text!r}"
+            ) from None
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        if base not in types:
+            raise MetricsError(
+                f"line {line_number}: sample {name!r} has no preceding # TYPE"
+            )
+        if types[base] == "histogram" and name.endswith("_bucket"):
+            series = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            previous = bucket_state.get((base, series), 0.0)
+            if value < previous:
+                raise MetricsError(
+                    f"line {line_number}: histogram {base} buckets decrease "
+                    f"({value} after {previous})"
+                )
+            bucket_state[(base, series)] = value
+        if types[base] == "histogram" and name.endswith("_count"):
+            series = tuple(sorted(labels.items()))
+            terminal = bucket_state.get((base, series))
+            if terminal is not None and terminal != value:
+                raise MetricsError(
+                    f"line {line_number}: histogram {base} count {value} "
+                    f"disagrees with +Inf bucket {terminal}"
+                )
+        samples.append((name, labels, value))
+    if not samples:
+        raise MetricsError("exposition contains no samples")
+    return samples

@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .cache import ResultCache
-from .report import RunReport, SpecOutcome
+from .report import STATUS_ORDER, RunReport, SpecOutcome
 from .spec import SessionSpec
 from ..errors import RunnerError
 from ..kernel.engine import Session
@@ -57,6 +57,18 @@ from ..obs.events import (
     RunnerSessionEvent,
     TraceEvent,
 )
+from ..obs.metrics_plane.bridge import (
+    ensure_runner_metrics,
+    observe_batch,
+    observe_execution,
+)
+from ..obs.metrics_plane.heartbeat import (
+    HeartbeatWriter,
+    heartbeat_path,
+    metrics_path,
+)
+from ..obs.metrics_plane.registry import MetricsRegistry
+from ..obs.metrics_plane.spans import SpanProfiler, set_profiler
 from ..soc.platform import Platform
 
 __all__ = [
@@ -91,6 +103,12 @@ class SpecExecution:
         columns: The session's columnar trace as a compressed ``.npz``
             blob, only when the spec set ``keep_columns`` (the runner
             persists it into the version-3 cache entry).
+        phase_seconds: Wall seconds per execution phase (``compile``,
+            ``execute``, ``summarize``…) from the worker's span
+            profiler — the driver folds these into its own profiler and
+            the ``repro_runner_phase_seconds`` metric histogram.
+        fault_firings: Injected fault windows that fired, per fault
+            kind (empty without a fault plan).
     """
 
     summary: SessionSummary
@@ -102,6 +120,8 @@ class SpecExecution:
     trace_bytes: int = 0
     peak_recorder_bytes: int = 0
     columns: Optional[bytes] = None
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    fault_firings: Dict[str, int] = field(default_factory=dict)
 
 
 def execute_spec_full(spec: SessionSpec) -> SpecExecution:
@@ -109,22 +129,39 @@ def execute_spec_full(spec: SessionSpec) -> SpecExecution:
 
     Module-level so a process pool can pickle it; also the single
     in-process execution path, so serial and parallel runs share code.
+
+    Installs a fresh ambient span profiler around the execution, so the
+    phase breakdown (``compile`` / ``execute`` / ``summarize`` /
+    ``cache.serialize``) ships back on the result for the driver to
+    aggregate — a handful of ``perf_counter`` calls per spec, cheap
+    enough to leave always on.
     """
     began = time.perf_counter()
-    bus = spec.trace.build_bus() if spec.trace is not None else None
-    platform_spec = spec.resolve_platform_spec()
-    session = Session(
-        Platform.from_spec(platform_spec),
-        spec.build_workload(),
-        spec.build_policy(),
-        spec.config,
-        pin_uncore_max=spec.pin_uncore_max,
-        trace=bus,
-        faults=spec.faults,
-    )
-    result = session.run()
-    summary = summarize(result)
-    buffer = result.trace.buffer
+    profiler = SpanProfiler(enabled=True)
+    previous = set_profiler(profiler)
+    try:
+        with profiler.span("compile"):
+            bus = spec.trace.build_bus() if spec.trace is not None else None
+            platform_spec = spec.resolve_platform_spec()
+            session = Session(
+                Platform.from_spec(platform_spec),
+                spec.build_workload(),
+                spec.build_policy(),
+                spec.config,
+                pin_uncore_max=spec.pin_uncore_max,
+                trace=bus,
+                faults=spec.faults,
+            )
+        result = session.run()  # records the ambient "execute" span
+        with profiler.span("summarize"):
+            summary = summarize(result)
+        buffer = result.trace.buffer
+        columns = None
+        if spec.keep_columns:
+            with profiler.span("cache.serialize"):
+                columns = buffer.to_npz_bytes()
+    finally:
+        set_profiler(previous)
     return SpecExecution(
         summary=summary,
         events=bus.events if bus is not None else [],
@@ -134,7 +171,9 @@ def execute_spec_full(spec: SessionSpec) -> SpecExecution:
         worker_pid=os.getpid(),
         trace_bytes=buffer.nbytes,
         peak_recorder_bytes=buffer.capacity_bytes,
-        columns=buffer.to_npz_bytes() if spec.keep_columns else None,
+        columns=columns,
+        phase_seconds=profiler.totals(),
+        fault_firings=session.fault_firings,
     )
 
 
@@ -256,6 +295,20 @@ class SessionRunner:
             :class:`RunnerCacheEvent` per batch entry,
             :class:`RunnerRetryEvent` per re-scheduled attempt), stamped
             with wall-clock microseconds since the batch started.
+        metrics: The ops-plane metrics registry this runner feeds
+            (counters, gauges, and histograms per the bridge schema).
+            ``None`` — the default — keeps the pre-ops-plane fast path:
+            no registry work anywhere in the batch.
+        status_dir: Directory for the live heartbeat file and the
+            ``metrics.json`` snapshot (``repro status`` / ``repro
+            metrics`` read them).  Setting it auto-creates a
+            :attr:`metrics` registry when none was passed.  ``None``
+            (the default) disables all status output.
+        span_profiler: The driver-side span aggregate: per-spec phase
+            breakdowns shipped back by workers are merged here (one
+            observation per phase per executed spec), plus the driver's
+            own ``cache.read`` / ``cache.write`` spans.  Always on —
+            its cost is a few ``perf_counter`` calls per spec.
     """
 
     jobs: int = 1
@@ -264,6 +317,8 @@ class SessionRunner:
     retries: int = 0
     retry_backoff_seconds: float = 0.05
     timeout_seconds: Optional[float] = None
+    metrics: Optional[MetricsRegistry] = None
+    status_dir: Optional[Union[str, os.PathLike]] = None
     last_stats: RunnerStats = field(default_factory=RunnerStats)
     total_stats: RunnerStats = field(default_factory=RunnerStats)
     last_report: Optional[RunReport] = None
@@ -292,8 +347,21 @@ class SessionRunner:
             raise RunnerError(
                 f"cache_dir {self.cache_dir!r} exists and is not a directory"
             )
+        if self.status_dir is not None:
+            if os.path.exists(self.status_dir) and not os.path.isdir(self.status_dir):
+                raise RunnerError(
+                    f"status_dir {self.status_dir!r} exists and is not a directory"
+                )
+            os.makedirs(self.status_dir, exist_ok=True)
+            if self.metrics is None:
+                self.metrics = MetricsRegistry()
+        if self.metrics is not None:
+            # Declare the whole schema up front so the exposition always
+            # carries every family, zero-valued ones included.
+            ensure_runner_metrics(self.metrics)
         self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
         self._memo: Dict[str, SessionSummary] = {}
+        self.span_profiler = SpanProfiler(enabled=True)
 
     # -- execution -------------------------------------------------------
 
@@ -350,6 +418,15 @@ class SessionRunner:
             )
             report.summaries.append(None)
 
+        heartbeat: Optional[HeartbeatWriter] = None
+        if self.status_dir is not None:
+            heartbeat = HeartbeatWriter(
+                heartbeat_path(self.status_dir),
+                total=len(specs),
+                jobs=self.jobs,
+                labels=[outcome.label for outcome in report.outcomes],
+            )
+
         pending: List[int] = []
         keys: List[Optional[str]] = [None] * len(specs)
         first_with_key: Dict[str, int] = {}
@@ -386,9 +463,12 @@ class SessionRunner:
                 outcome.source = "memo"
                 stats.memo_hits += 1
                 self._tell(batch_began, RunnerCacheEvent, outcome="memo_hit", key=key, label=spec.label)
+                if heartbeat is not None:
+                    heartbeat.spec(index, outcome.label, "done", source="memo")
                 continue
             if self._cache is not None:
-                lookup = self._cache.lookup(key)
+                with self.span_profiler.span("cache.read"):
+                    lookup = self._cache.lookup(key)
                 if lookup.hit:
                     report.summaries[index] = lookup.summary
                     outcome.source = "cache"
@@ -396,6 +476,8 @@ class SessionRunner:
                         self._memo[key] = lookup.summary
                     stats.cache_hits += 1
                     self._tell(batch_began, RunnerCacheEvent, outcome="cache_hit", key=key, label=spec.label)
+                    if heartbeat is not None:
+                        heartbeat.spec(index, outcome.label, "done", source="cache")
                     continue
                 if lookup.corrupt:
                     # Quarantine-and-recompute: the entry is preserved
@@ -420,6 +502,41 @@ class SessionRunner:
             parallelizable = []
 
         last_error: Dict[int, Exception] = {}
+
+        def wave_started(wave: List[int]) -> None:
+            """Heartbeat: mark a dispatched wave's specs as running."""
+            if heartbeat is None:
+                return
+            for wave_index in wave:
+                outcome = report.outcomes[wave_index]
+                heartbeat.spec(
+                    wave_index, outcome.label, "running",
+                    attempts=outcome.attempts + 1,
+                )
+            heartbeat.progress()
+
+        def wave_finished(results: Dict[int, Union[SpecExecution, Exception]]) -> None:
+            """Heartbeat: mark a finished wave's specs done or error."""
+            if heartbeat is None:
+                return
+            for wave_index in sorted(results):
+                outcome = report.outcomes[wave_index]
+                execution = results[wave_index]
+                if isinstance(execution, SpecExecution):
+                    heartbeat.spec(
+                        wave_index, outcome.label, "done",
+                        attempts=outcome.attempts + 1,
+                        source="executed",
+                        wall_seconds=execution.wall_seconds,
+                    )
+                else:
+                    heartbeat.spec(
+                        wave_index, outcome.label, "error",
+                        attempts=outcome.attempts + 1,
+                        error=str(execution) or type(execution).__name__,
+                    )
+            heartbeat.progress()
+
         remaining_pool = list(parallelizable)
         remaining_inline = list(inline)
         for round_number in range(self.retries + 1):
@@ -432,10 +549,19 @@ class SessionRunner:
             attempt: Dict[int, Union[SpecExecution, Exception]] = {}
             if remaining_pool:
                 attempt.update(
-                    self._attempt_parallel(specs, remaining_pool, self.timeout_seconds)
+                    self._attempt_parallel(
+                        specs,
+                        remaining_pool,
+                        self.timeout_seconds,
+                        on_wave_start=wave_started,
+                        on_wave_end=wave_finished,
+                    )
                 )
             for index in remaining_inline:
-                attempt[index] = self._attempt_inline(specs[index])
+                wave_started([index])
+                result = self._attempt_inline(specs[index])
+                attempt[index] = result
+                wave_finished({index: result})
             pool_set = set(remaining_pool)
             remaining_pool, remaining_inline = [], []
             for index in sorted(attempt):
@@ -469,6 +595,16 @@ class SessionRunner:
                         attempt=report.outcomes[index].attempts,
                         error=report.outcomes[index].error,
                     )
+                    if heartbeat is not None:
+                        # Back in the queue for the next round; the error
+                        # text rides along so the live view shows why.
+                        heartbeat.spec(
+                            index,
+                            report.outcomes[index].label,
+                            "queued",
+                            attempts=report.outcomes[index].attempts,
+                            error=report.outcomes[index].error,
+                        )
 
         for index in remaining_pool + remaining_inline:
             outcome = report.outcomes[index]
@@ -492,6 +628,8 @@ class SessionRunner:
                     key=keys[index],
                     label=specs[index].label,
                 )
+                if heartbeat is not None:
+                    heartbeat.spec(index, outcome.label, "done", source="alias")
             else:
                 # The spec this one aliases never produced a summary.
                 origin = report.outcomes[source_index]
@@ -504,11 +642,24 @@ class SessionRunner:
                     RunnerError(f"aliased spec {origin.label} failed"),
                 )
                 stats.failed_specs += 1
+                if heartbeat is not None:
+                    heartbeat.spec(
+                        index, outcome.label, "error", error=outcome.error
+                    )
 
         stats.wall_seconds = time.perf_counter() - batch_began
         self.last_stats = stats
         self.total_stats.absorb(stats)
         self.last_report = report
+        if heartbeat is not None:
+            heartbeat.finish(
+                {status: len(report.by_status(status)) for status in STATUS_ORDER},
+                stats.wall_seconds,
+            )
+        if self.metrics is not None:
+            observe_batch(self.metrics, stats, report, self.telemetry)
+            if self.status_dir is not None:
+                self._dump_metrics()
         return report
 
     # -- attempt machinery ----------------------------------------------
@@ -530,6 +681,8 @@ class SessionRunner:
         specs: Sequence[SessionSpec],
         indices: List[int],
         timeout: Optional[float],
+        on_wave_start=None,
+        on_wave_end=None,
     ) -> Dict[int, Union[SpecExecution, Exception]]:
         """One pooled execution attempt per index, in waves.
 
@@ -537,6 +690,10 @@ class SessionRunner:
         in a wave starts immediately — which is what makes
         ``timeout_seconds`` a genuine *per-spec* budget (measured from
         its wave's start) instead of a whole-batch one.
+
+        ``on_wave_start(wave)`` / ``on_wave_end(results)`` fire around
+        each wave — the heartbeat hooks that make ``repro status`` live
+        per wave rather than per batch.
         """
         outcomes: Dict[int, Union[SpecExecution, Exception]] = {}
         wave_size = max(1, min(self.jobs, len(indices)))
@@ -544,7 +701,12 @@ class SessionRunner:
         while position < len(indices):
             wave = indices[position : position + wave_size]
             position += len(wave)
-            outcomes.update(self._run_wave(specs, wave, timeout))
+            if on_wave_start is not None:
+                on_wave_start(wave)
+            wave_outcomes = self._run_wave(specs, wave, timeout)
+            if on_wave_end is not None:
+                on_wave_end(wave_outcomes)
+            outcomes.update(wave_outcomes)
         return outcomes
 
     def _run_wave(
@@ -563,6 +725,9 @@ class SessionRunner:
         """
         outcomes: Dict[int, Union[SpecExecution, Exception]] = {}
         pool = ProcessPoolExecutor(max_workers=len(wave))
+        if self.metrics is not None:
+            self.metrics.get("repro_runner_pools_created_total").inc()
+            self.metrics.get("repro_runner_waves_dispatched_total").inc()
         timed_out = False
         try:
             futures = {pool.submit(execute_spec_full, specs[i]): i for i in wave}
@@ -585,7 +750,11 @@ class SessionRunner:
             if timed_out:
                 # Hung workers hold the GIL-free sleep forever; reclaim
                 # them by force, then classify the unfinished specs.
-                self._terminate_workers(pool)
+                terminated = self._terminate_workers(pool)
+                if self.metrics is not None:
+                    self.metrics.get("repro_runner_workers_terminated_total").inc(
+                        terminated
+                    )
                 for future in not_done:
                     index = futures[future]
                     label = report_label(specs[index], index)
@@ -597,11 +766,16 @@ class SessionRunner:
         return outcomes
 
     @staticmethod
-    def _terminate_workers(pool: ProcessPoolExecutor) -> None:
-        """Force-kill a pool's worker processes (hung-worker reclaim)."""
+    def _terminate_workers(pool: ProcessPoolExecutor) -> int:
+        """Force-kill a pool's worker processes (hung-worker reclaim).
+
+        Returns how many workers were terminated, for the
+        ``repro_runner_workers_terminated_total`` counter.
+        """
         processes = getattr(pool, "_processes", None) or {}
         for process in list(processes.values()):
             process.terminate()
+        return len(processes)
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -635,6 +809,9 @@ class SessionRunner:
             ticks=execution.ticks,
             worker_pid=execution.worker_pid,
         )
+        self.span_profiler.merge(execution.phase_seconds)
+        if self.metrics is not None:
+            observe_execution(self.metrics, execution)
         if spec.trace is not None:
             self.last_events[index] = execution.events
             self.last_event_counts[index] = execution.event_counts
@@ -643,12 +820,25 @@ class SessionRunner:
         if self.memoize:
             self._memo[key] = execution.summary
         if self._cache is not None:
-            self._cache.store(
-                key,
-                execution.summary,
-                spec.cache_payload(),
-                columns=execution.columns,
-            )
+            with self.span_profiler.span("cache.write"):
+                self._cache.store(
+                    key,
+                    execution.summary,
+                    spec.cache_payload(),
+                    columns=execution.columns,
+                )
+
+    def _dump_metrics(self) -> None:
+        """Atomically persist the registry snapshot as ``metrics.json``.
+
+        Write-then-rename, so a concurrent ``repro metrics`` never reads
+        a half-written snapshot.
+        """
+        assert self.metrics is not None and self.status_dir is not None
+        target = metrics_path(self.status_dir)
+        scratch = target.with_name(target.name + ".tmp")
+        scratch.write_text(self.metrics.to_json(), encoding="utf-8")
+        os.replace(scratch, target)
 
     def clear_memo(self) -> None:
         """Drop the in-memory memo (the on-disk cache is untouched)."""
@@ -691,6 +881,7 @@ def configure_default_runner(
     cache_dir: Optional[Union[str, os.PathLike]] = None,
     retries: int = 0,
     timeout_seconds: Optional[float] = None,
+    status_dir: Optional[Union[str, os.PathLike]] = None,
 ) -> SessionRunner:
     """Build, install, and return a default runner with these settings."""
     runner = SessionRunner(
@@ -698,6 +889,7 @@ def configure_default_runner(
         cache_dir=cache_dir,
         retries=retries,
         timeout_seconds=timeout_seconds,
+        status_dir=status_dir,
     )
     set_default_runner(runner)
     return runner

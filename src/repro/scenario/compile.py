@@ -20,6 +20,7 @@ from typing import Iterable, List, Optional, Union
 
 from ..errors import ScenarioError
 from ..metrics.summary import SessionSummary
+from ..obs.metrics_plane.spans import span
 from ..runner.runner import SessionRunner, default_runner
 from ..runner.spec import SessionSpec
 from .matrix import ScenarioMatrix
@@ -56,27 +57,30 @@ def compile_scenario(scenario: Scenario) -> SessionSpec:
         raise ScenarioError(
             f"expected a Scenario, got {type(scenario).__name__}"
         )
-    # Resolve the platform through the registry purely for validation —
-    # the spec itself carries the catalog name so cache addresses match
-    # the hand-wired drivers byte for byte.
-    PLATFORM_REGISTRY.get(scenario.platform)
-    entry = POLICY_REGISTRY.get(scenario.policy)
-    policy_params = dict(scenario.policy_params)
-    if entry.pass_platform:
-        # Explicit policy_params win; the scenario's platform fills in.
-        policy_params.setdefault("platform", scenario.platform)
-    policy = entry.ref(**policy_params)
-    workload = workload_ref(scenario.workload, **dict(scenario.workload_params))
-    return SessionSpec(
-        platform=scenario.platform,
-        policy=policy,
-        workload=workload,
-        config=scenario.config,
-        pin_uncore_max=scenario.pin_uncore_max,
-        label=scenario.label or default_label(scenario),
-        trace=scenario.trace,
-        faults=scenario.faults,
-    )
+    # Ambient profiling span: a no-op unless the caller installed a
+    # profiler (runner workers do, so sweep breakdowns show compile cost).
+    with span("compile"):
+        # Resolve the platform through the registry purely for validation —
+        # the spec itself carries the catalog name so cache addresses match
+        # the hand-wired drivers byte for byte.
+        PLATFORM_REGISTRY.get(scenario.platform)
+        entry = POLICY_REGISTRY.get(scenario.policy)
+        policy_params = dict(scenario.policy_params)
+        if entry.pass_platform:
+            # Explicit policy_params win; the scenario's platform fills in.
+            policy_params.setdefault("platform", scenario.platform)
+        policy = entry.ref(**policy_params)
+        workload = workload_ref(scenario.workload, **dict(scenario.workload_params))
+        return SessionSpec(
+            platform=scenario.platform,
+            policy=policy,
+            workload=workload,
+            config=scenario.config,
+            pin_uncore_max=scenario.pin_uncore_max,
+            label=scenario.label or default_label(scenario),
+            trace=scenario.trace,
+            faults=scenario.faults,
+        )
 
 
 def compile_matrix(matrix: ScenarioMatrix) -> List[SessionSpec]:

@@ -1,0 +1,158 @@
+"""Heartbeat protocol: writer/reader round trips, torn tails, kills."""
+
+import json
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import MetricsError
+from repro.obs.metrics_plane import (
+    HeartbeatWriter,
+    heartbeat_path,
+    read_heartbeat,
+    render_status,
+)
+from repro.runner import FactoryRef, SessionRunner, SessionSpec
+
+
+class TestRoundTrip:
+    def test_lifecycle_round_trips(self, tmp_path):
+        path = tmp_path / "heartbeat.jsonl"
+        writer = HeartbeatWriter(path, total=3, jobs=2, labels=["a", "b", "c"])
+        writer.spec(0, "a", "done", source="memo")
+        writer.spec(1, "b", "running", attempts=1)
+        writer.spec(1, "b", "done", source="executed", wall_seconds=0.5)
+        writer.spec(2, "c", "error", attempts=2, error="boom")
+        writer.progress()
+        writer.finish({"ok": 2, "failed": 1}, wall_seconds=1.25)
+
+        state = read_heartbeat(path)
+        assert state.total == 3
+        assert state.jobs == 2
+        assert state.done == 2
+        assert state.errors == 1
+        assert state.running == 0
+        assert state.finished
+        assert state.final_counts == {"ok": 2, "failed": 1}
+        assert state.wall_seconds == 1.25
+        assert state.specs[0].source == "memo"
+        assert state.specs[1].wall_seconds == 0.5
+        assert state.specs[1].attempts == 1
+        assert state.specs[2].error == "boom"
+
+    def test_eta_uses_done_wall_history_and_jobs(self, tmp_path):
+        writer = HeartbeatWriter(
+            tmp_path / "hb.jsonl", total=6, jobs=2, labels=[""] * 6
+        )
+        assert writer.eta_seconds() is None  # no executed spec yet
+        writer.spec(0, "", "done", source="executed", wall_seconds=2.0)
+        writer.spec(1, "", "done", source="executed", wall_seconds=4.0)
+        # mean 3.0 s x 4 remaining / 2 jobs
+        assert writer.eta_seconds() == pytest.approx(6.0)
+        writer.progress()
+        assert read_heartbeat(writer.path).eta_seconds == pytest.approx(6.0)
+        writer.close()
+
+    def test_invalid_status_raises(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.jsonl", total=1)
+        with pytest.raises(MetricsError, match="unknown spec status"):
+            writer.spec(0, "a", "exploded")
+        writer.close()
+
+
+class TestReaderRobustness:
+    def start(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.jsonl", total=2, labels=["a", "b"])
+        writer.spec(0, "a", "done", source="executed", wall_seconds=0.1)
+        writer.close()
+        return writer.path
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        """A reader may catch the writer (or a kill) mid-line."""
+        path = self.start(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "spec", "index": 1, "stat')  # torn write
+        state = read_heartbeat(path)
+        assert state.done == 1
+        assert state.specs[1].status == "queued"
+        assert not state.finished
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        path = self.start(tmp_path)
+        text = path.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        lines[0] = "not json at all"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(MetricsError, match="corrupt at line 1"):
+            read_heartbeat(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(MetricsError, match="cannot read heartbeat"):
+            read_heartbeat(tmp_path / "absent.jsonl")
+
+    def test_unknown_events_are_skipped(self, tmp_path):
+        path = self.start(tmp_path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"event": "from_the_future", "t": 0}) + "\n")
+        assert read_heartbeat(path).done == 1
+
+
+class TestRenderStatus:
+    def test_renders_header_and_per_spec_table(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.jsonl", total=2, labels=["a", "b"])
+        writer.spec(0, "a", "done", source="executed", wall_seconds=0.25)
+        writer.spec(1, "b", "running", attempts=1)
+        writer.close()
+        text = render_status(read_heartbeat(writer.path))
+        assert "sweep: 1/2 settled, 1 running" in text
+        assert "a" in text and "b" in text
+        assert "ok" in text  # done glyph
+        assert ">" in text  # running glyph
+
+    def test_finished_header_carries_final_counts(self, tmp_path):
+        writer = HeartbeatWriter(tmp_path / "hb.jsonl", total=1, labels=["a"])
+        writer.spec(0, "a", "done", source="executed", wall_seconds=0.25)
+        writer.finish({"ok": 1}, wall_seconds=0.3)
+        text = render_status(read_heartbeat(writer.path))
+        assert "finished" in text
+        assert "1 ok" in text
+
+
+class TestKilledWorker:
+    def test_heartbeat_survives_a_terminated_worker(self, tmp_path):
+        """A hung worker is killed by the timeout; the heartbeat still
+        tells the whole story: the hang is an error, the clean spec is
+        done, and the batch_end record landed."""
+        status_dir = tmp_path / "status"
+        hang = SessionSpec(
+            "Nexus 5",
+            FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+            FactoryRef.to("repro.faults.chaos:HangingWorkload", 30.0, 40.0),
+            SimulationConfig(duration_seconds=1.0, seed=0),
+            label="hang",
+        )
+        clean = SessionSpec(
+            "Nexus 5",
+            FactoryRef.to("repro.policies.android_default:AndroidDefaultPolicy"),
+            FactoryRef.to("repro.workloads.busyloop:BusyLoopApp", 50.0),
+            SimulationConfig(duration_seconds=1.0, seed=1),
+            label="clean",
+        )
+        runner = SessionRunner(
+            jobs=2, retries=0, timeout_seconds=1.5, status_dir=status_dir
+        )
+        report = runner.run_report([hang, clean])
+        assert report.outcomes[0].status == "failed"
+
+        state = read_heartbeat(heartbeat_path(status_dir))
+        assert state.finished
+        assert state.specs[0].status == "error"
+        assert "timed out" in state.specs[0].error
+        assert state.specs[1].status == "done"
+        assert state.final_counts.get("failed") == 1
+        text = render_status(state)
+        assert "ERR" in text and "hang" in text
+        assert (
+            runner.metrics.get("repro_runner_workers_terminated_total").value()
+            >= 1
+        )

@@ -1,0 +1,229 @@
+"""MetricsRegistry: data model, exposition rendering, and the parser."""
+
+import json
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.obs.metrics_plane import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_unlabelled_counter_starts_at_zero(self):
+        counter = MetricsRegistry().counter("hits_total", "Hits.")
+        assert counter.value() == 0.0
+        assert counter.samples() == [{"labels": {}, "value": 0.0}]
+
+    def test_inc_accumulates(self):
+        counter = MetricsRegistry().counter("hits_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_labelled_children_are_independent(self):
+        counter = MetricsRegistry().counter(
+            "lookups_total", labelnames=("tier", "outcome")
+        )
+        counter.inc(tier="memo", outcome="hit")
+        counter.inc(3, tier="disk", outcome="miss")
+        assert counter.value(tier="memo", outcome="hit") == 1.0
+        assert counter.value(tier="disk", outcome="miss") == 3.0
+        assert counter.value(tier="disk", outcome="hit") == 0.0
+
+    def test_counters_cannot_decrease(self):
+        counter = MetricsRegistry().counter("hits_total")
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_wrong_labels_raise(self):
+        counter = MetricsRegistry().counter("lookups_total", labelnames=("tier",))
+        with pytest.raises(MetricsError, match="takes labels"):
+            counter.inc(outcome="hit")
+        with pytest.raises(MetricsError, match="takes labels"):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(-4)
+        assert gauge.value() == 6.0
+
+    def test_set_max_keeps_the_peak(self):
+        gauge = MetricsRegistry().gauge("peak_bytes")
+        gauge.set_max(100)
+        gauge.set_max(40)
+        assert gauge.value() == 100.0
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "wall_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        (sample,) = histogram.samples()
+        assert sample["buckets"] == [[0.1, 1], [1.0, 3], [10.0, 4], ["+Inf", 5]]
+        assert sample["count"] == 5
+        assert sample["sum"] == pytest.approx(56.05)
+        assert histogram.count() == 5
+        assert histogram.sum() == pytest.approx(56.05)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1.0" is an upper bound, inclusive
+        (sample,) = histogram.samples()
+        assert sample["buckets"][0] == [1.0, 1]
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(MetricsError, match="strictly increasing"):
+            MetricsRegistry().histogram("h", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(MetricsError, match="strictly increasing"):
+            MetricsRegistry().histogram("h2", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_registration_is_get_or_create(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "Hits.")
+        second = registry.counter("hits_total", "Hits.")
+        assert first is second
+        assert len(registry) == 1
+        assert "hits_total" in registry
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricsError, match="already registered as counter"):
+            registry.gauge("x")
+        with pytest.raises(MetricsError, match="already registered as counter"):
+            registry.histogram("x")
+
+    def test_label_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", labelnames=("tier",))
+        with pytest.raises(MetricsError, match="already registered with labels"):
+            registry.counter("x", labelnames=("outcome",))
+
+    def test_bucket_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(MetricsError, match="different buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError, match="invalid metric name"):
+            registry.counter("bad-name")
+        with pytest.raises(MetricsError, match="invalid label name"):
+            registry.counter("ok", labelnames=("bad-label",))
+        with pytest.raises(MetricsError, match="invalid label name"):
+            registry.counter("ok2", labelnames=("__reserved",))
+
+    def test_get_unknown_metric_raises(self):
+        with pytest.raises(MetricsError, match="unknown metric"):
+            MetricsRegistry().get("absent")
+
+    def test_snapshot_round_trips_through_json(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits.").inc(2)
+        registry.histogram("wall", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert json.loads(registry.to_json()) == snapshot
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["hits_total"]["type"] == "counter"
+        assert snapshot["hits_total"]["help"] == "Hits."
+
+
+class TestExposition:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_hits_total", "Hits by tier.",
+                         labelnames=("tier",)).inc(3, tier="memo")
+        registry.gauge("repro_depth", "Queue depth.").set(7)
+        histogram = registry.histogram(
+            "repro_wall_seconds", "Wall time.", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        return registry
+
+    def test_text_carries_help_type_and_samples(self):
+        text = self.build().to_prometheus_text()
+        assert "# HELP repro_hits_total Hits by tier." in text
+        assert "# TYPE repro_hits_total counter" in text
+        assert 'repro_hits_total{tier="memo"} 3' in text
+        assert "repro_depth 7" in text
+        assert 'repro_wall_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_wall_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_wall_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_parser_accepts_our_own_output(self):
+        registry = self.build()
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        by_name = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value in samples}
+        assert by_name[("repro_hits_total", (("tier", "memo"),))] == 3.0
+        assert by_name[("repro_depth", ())] == 7.0
+        assert by_name[("repro_wall_seconds_count", ())] == 2.0
+
+    def test_render_from_persisted_snapshot_matches_live(self):
+        registry = self.build()
+        snapshot = json.loads(registry.to_json())
+        assert render_prometheus(snapshot) == registry.to_prometheus_text()
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("errs_total", labelnames=("msg",)).inc(
+            msg='bad "quote"\nnewline'
+        )
+        samples = parse_prometheus_text(registry.to_prometheus_text())
+        labelled = [s for s in samples if s[0] == "errs_total" and s[1]]
+        assert labelled[0][1]["msg"] == 'bad "quote"\nnewline'
+
+
+class TestParserRejections:
+    def test_empty_exposition_raises(self):
+        with pytest.raises(MetricsError, match="no samples"):
+            parse_prometheus_text("")
+
+    def test_malformed_sample_raises(self):
+        with pytest.raises(MetricsError, match="malformed"):
+            parse_prometheus_text("# TYPE x counter\nx one_two_three\n")
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(MetricsError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE x rainbow\nx 1\n")
+
+    def test_sample_without_type_raises(self):
+        with pytest.raises(MetricsError, match="no preceding # TYPE"):
+            parse_prometheus_text("x 1\n")
+
+    def test_decreasing_histogram_buckets_raise(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(MetricsError, match="buckets decrease"):
+            parse_prometheus_text(text)
+
+    def test_count_bucket_disagreement_raises(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1\n"
+            "h_count 9\n"
+        )
+        with pytest.raises(MetricsError, match="disagrees"):
+            parse_prometheus_text(text)

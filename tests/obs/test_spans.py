@@ -1,0 +1,157 @@
+"""SpanProfiler: hierarchical paths, percentiles, the ambient install."""
+
+import pytest
+
+from repro.obs.metrics_plane import (
+    SpanProfiler,
+    current_profiler,
+    set_profiler,
+    span,
+)
+from repro.obs.metrics_plane.spans import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def pristine_ambient():
+    """Leave the process-global ambient profiler as we found it."""
+    previous = set_profiler(None)
+    yield
+    set_profiler(previous)
+
+
+class TestSpanRecording:
+    def test_span_records_wall_time_under_its_name(self):
+        profiler = SpanProfiler()
+        with profiler.span("compile"):
+            pass
+        totals = profiler.totals()
+        assert list(totals) == ["compile"]
+        assert totals["compile"] >= 0.0
+
+    def test_nested_spans_record_dotted_paths(self):
+        profiler = SpanProfiler()
+        with profiler.span("execute"):
+            with profiler.span("policy"):
+                pass
+            with profiler.span("workload"):
+                pass
+        assert profiler.paths() == ["execute", "execute.policy", "execute.workload"]
+
+    def test_sibling_spans_share_a_path_and_accumulate(self):
+        profiler = SpanProfiler()
+        for _ in range(3):
+            with profiler.span("cache.read"):
+                pass
+        assert profiler.stats()["cache.read"].count == 3
+
+    def test_raising_span_still_records(self):
+        profiler = SpanProfiler()
+        with pytest.raises(ValueError):
+            with profiler.span("execute"):
+                raise ValueError("boom")
+        assert profiler.paths() == ["execute"]
+        # The stack unwound: a new span is top-level again.
+        with profiler.span("compile"):
+            pass
+        assert "compile" in profiler.paths()
+
+    def test_clear_drops_data_but_keeps_enabled(self):
+        profiler = SpanProfiler()
+        with profiler.span("x"):
+            pass
+        profiler.clear()
+        assert profiler.paths() == []
+        assert profiler.enabled
+
+
+class TestDisabledFastPath:
+    def test_disabled_profiler_hands_out_the_shared_null_span(self):
+        profiler = SpanProfiler(enabled=False)
+        assert profiler.span("anything") is _NULL_SPAN
+        with profiler.span("anything"):
+            pass
+        assert profiler.paths() == []
+
+    def test_disabled_record_and_merge_are_no_ops(self):
+        profiler = SpanProfiler(enabled=False)
+        profiler.record("x", 1.0)
+        profiler.merge({"y": 2.0})
+        assert profiler.totals() == {}
+
+
+class TestAggregation:
+    def test_stats_percentiles_over_known_values(self):
+        profiler = SpanProfiler()
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            profiler.record("phase", value)
+        stats = profiler.stats()["phase"]
+        assert stats.count == 5
+        assert stats.total == pytest.approx(15.0)
+        assert stats.mean == pytest.approx(3.0)
+        assert stats.p50 == pytest.approx(3.0)
+        assert stats.p95 == pytest.approx(4.8)
+        assert stats.p99 == pytest.approx(4.96)
+        assert stats.min == 1.0
+        assert stats.max == 5.0
+
+    def test_single_observation_percentiles_collapse(self):
+        profiler = SpanProfiler()
+        profiler.record("phase", 2.0)
+        stats = profiler.stats()["phase"]
+        assert stats.p50 == stats.p95 == stats.p99 == 2.0
+
+    def test_merge_folds_one_observation_per_phase(self):
+        profiler = SpanProfiler()
+        profiler.merge({"compile": 0.1, "execute": 0.9})
+        profiler.merge({"compile": 0.3, "execute": 0.7})
+        stats = profiler.stats()
+        assert stats["compile"].count == 2
+        assert stats["execute"].total == pytest.approx(1.6)
+
+
+class TestAmbientProfiler:
+    def test_ambient_defaults_to_disabled(self):
+        assert not current_profiler().enabled
+        assert span("anything") is _NULL_SPAN
+
+    def test_set_profiler_installs_and_returns_previous(self):
+        mine = SpanProfiler()
+        previous = set_profiler(mine)
+        try:
+            assert current_profiler() is mine
+            with span("compile"):
+                pass
+            assert mine.paths() == ["compile"]
+        finally:
+            set_profiler(previous)
+        assert current_profiler() is not mine
+
+    def test_set_profiler_none_resets_to_disabled(self):
+        set_profiler(SpanProfiler())
+        set_profiler(None)
+        assert not current_profiler().enabled
+
+    def test_instrumentation_sites_feed_the_ambient_profiler(self):
+        """compile_scenario and Session.run report through span()."""
+        from repro.config import SimulationConfig
+        from repro.kernel.engine import Session
+        from repro.scenario import Scenario, compile_scenario
+        from repro.soc.platform import Platform
+
+        profiler = SpanProfiler()
+        previous = set_profiler(profiler)
+        try:
+            spec = compile_scenario(
+                Scenario(config=SimulationConfig(duration_seconds=1.0, seed=0))
+            )
+            session = Session(
+                Platform.from_spec(spec.resolve_platform_spec()),
+                spec.build_workload(),
+                spec.build_policy(),
+                spec.config,
+            )
+            session.run()
+        finally:
+            set_profiler(previous)
+        assert "compile" in profiler.paths()
+        assert "execute" in profiler.paths()

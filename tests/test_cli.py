@@ -254,3 +254,71 @@ class TestStatsFlag:
         assert "wall time (s)" in out
         assert "trace bytes recorded" in out
         assert "peak recorder memory" in out
+
+    def test_stats_table_always_renders_robustness_rows(self, capsys):
+        """Clean runs still show the failure counters, as zeros."""
+        argv = [
+            "compare", "--workload", "busyloop:30", "--duration", "5",
+            "--warmup", "1", "--stats",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for row in ("disk cache hits", "retries", "timeouts",
+                    "corrupt cache entries", "failed specs"):
+            assert row in out, row
+
+
+class TestStatusAndMetrics:
+    def sweep(self, tmp_path):
+        status_dir = tmp_path / "status"
+        argv = [
+            "compare", "--workload", "busyloop:30", "--duration", "5",
+            "--warmup", "1", "--jobs", "2", "--status-dir", str(status_dir),
+        ]
+        assert main(argv) == 0
+        return status_dir
+
+    def test_sweep_writes_heartbeat_and_metrics_files(self, capsys, tmp_path):
+        status_dir = self.sweep(tmp_path)
+        capsys.readouterr()
+        assert (status_dir / "heartbeat.jsonl").exists()
+        assert (status_dir / "metrics.json").exists()
+
+    def test_status_renders_the_finished_sweep(self, capsys, tmp_path):
+        status_dir = self.sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["status", str(status_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 settled" in out
+        assert "finished" in out
+        assert "2 ok" in out
+
+    def test_metrics_emits_valid_prometheus_text(self, capsys, tmp_path):
+        from repro.obs.metrics_plane import parse_prometheus_text
+
+        status_dir = self.sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(status_dir)]) == 0
+        out = capsys.readouterr().out
+        samples = dict(
+            ((name, tuple(sorted(labels.items()))), value)
+            for name, labels, value in parse_prometheus_text(out)
+        )
+        assert samples[("repro_runner_sessions_executed_total", ())] == 2.0
+
+    def test_metrics_json_format_round_trips(self, capsys, tmp_path):
+        status_dir = self.sweep(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(status_dir), "--format", "json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["repro_runner_sessions_executed_total"]["samples"] == [
+            {"labels": {}, "value": 2.0}
+        ]
+
+    def test_status_without_a_sweep_fails_cleanly(self, capsys, tmp_path):
+        assert main(["status", str(tmp_path)]) == 2
+        assert "heartbeat" in capsys.readouterr().err
+
+    def test_metrics_without_a_sweep_fails_cleanly(self, capsys, tmp_path):
+        assert main(["metrics", str(tmp_path)]) == 2
+        assert "metrics" in capsys.readouterr().err

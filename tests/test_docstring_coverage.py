@@ -40,6 +40,11 @@ class TestGatedPackages:
         assert result.returncode == 0, result.stdout + result.stderr
         assert "(100.0%)" in result.stdout
 
+    def test_metrics_plane_fully_documented(self):
+        result = run_tool("src/repro/obs/metrics_plane")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "(100.0%)" in result.stdout
+
 
 class TestTool:
     def test_undocumented_code_fails_the_gate(self, tmp_path):
