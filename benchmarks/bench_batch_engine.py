@@ -1,0 +1,135 @@
+"""Batched multi-session engine vs N scalar sessions.
+
+Runs the same 256-session same-platform sweep — MobiCore on the Nexus 5
+over a grid of busy-loop intensities and seeds — through both engines:
+one scalar :class:`~repro.kernel.engine.Session` per spec, and a single
+vectorized :class:`~repro.kernel.batch_engine.BatchSession` over all
+of them.  The bench fails unless
+
+* every per-session :class:`~repro.metrics.summary.SessionSummary` is
+  **bit-identical** across the two paths (the same contract the
+  Hypothesis parity test enforces per policy/workload pair, see
+  ``docs/NUMERICS.md``), and
+* the batched path is at least ``BATCH_BENCH_MIN_SPEEDUP`` times
+  faster (default 4.0; CI's smoke job relaxes it to 2.0 for noisy
+  shared runners).
+
+Results land in ``BENCH_batch.json`` (override the location with
+``BATCH_BENCH_OUT``) so CI can archive the measured ratio;
+``docs/BENCHMARKS.md`` indexes the committed artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import repro.scenario.builtins  # noqa: F401  -- populate the registries
+from repro.config import SimulationConfig
+from repro.kernel.batch_engine import BatchSession
+from repro.kernel.engine import Session
+from repro.metrics.summary import summarize
+from repro.runner.spec import SessionSpec
+from repro.scenario.registry import platform_ref, policy_ref, workload_ref
+from repro.soc.platform import Platform
+
+PLATFORM = "Nexus 5"
+SESSIONS = int(os.environ.get("BATCH_BENCH_SESSIONS", "256"))
+#: Batch timed min-of-N; the scalar side is timed once (it dominates the
+#: bench's wall clock a hundredfold, far outside timer-noise territory).
+BATCH_REPEATS = 3
+MIN_SPEEDUP = float(os.environ.get("BATCH_BENCH_MIN_SPEEDUP", "4.0"))
+OUT_PATH = Path(os.environ.get("BATCH_BENCH_OUT", "BENCH_batch.json"))
+
+
+def _sweep_specs(config_seconds=6.0):
+    """The 256-point sweep: busy-loop intensity x seed, one platform."""
+    return [
+        SessionSpec(
+            platform=platform_ref(PLATFORM),
+            policy=policy_ref("mobicore", platform=PLATFORM),
+            workload=workload_ref(
+                "busyloop", target_load_percent=10.0 + (index % 32) * 2.5
+            ),
+            config=SimulationConfig(
+                duration_seconds=config_seconds, seed=index, warmup_seconds=0.4
+            ),
+            label=f"sweep[{index}]",
+        )
+        for index in range(SESSIONS)
+    ]
+
+
+def _scalar_pass(specs):
+    """One scalar Session per spec, timed as a whole."""
+    start = time.perf_counter()
+    summaries = [
+        summarize(
+            Session(
+                Platform.from_spec(spec.resolve_platform_spec()),
+                spec.build_workload(),
+                spec.build_policy(),
+                spec.config,
+                pin_uncore_max=spec.pin_uncore_max,
+            ).run()
+        )
+        for spec in specs
+    ]
+    return time.perf_counter() - start, summaries
+
+
+def _batch_pass(specs):
+    """All specs through one vectorized BatchSession, timed as a whole."""
+    start = time.perf_counter()
+    batch = BatchSession(specs)
+    summaries = batch.run()
+    elapsed = time.perf_counter() - start
+    assert batch.fallback_count == 0, "sweep spec failed to vectorize"
+    return elapsed, summaries
+
+
+def run_batch_benchmark():
+    """Time both engines on the identical sweep; return the report."""
+    specs = _sweep_specs()
+    scalar_s, scalar_summaries = _scalar_pass(specs)
+    batch_s = float("inf")
+    for _ in range(BATCH_REPEATS):
+        elapsed, batch_summaries = _batch_pass(specs)
+        batch_s = min(batch_s, elapsed)
+    return {
+        "platform": PLATFORM,
+        "sessions": SESSIONS,
+        "ticks_per_session": specs[0].config.total_ticks,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s,
+        "min_speedup": MIN_SPEEDUP,
+        "summaries_identical": scalar_summaries == batch_summaries,
+        "mean_power_mw_first": scalar_summaries[0].mean_power_mw,
+    }
+
+
+def _check(report):
+    assert report["summaries_identical"], "per-session summaries diverged"
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"batch speedup x{report['speedup']:.2f} "
+        f"below the x{MIN_SPEEDUP:.1f} floor"
+    )
+
+
+def test_batch_engine(bench_once):
+    report = bench_once(run_batch_benchmark)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\n{report['sessions']} sessions x {report['ticks_per_session']} ticks: "
+        f"scalar {report['scalar_s']:.2f} s, batch {report['batch_s']:.2f} s "
+        f"(speedup x{report['speedup']:.1f}, floor x{MIN_SPEEDUP:.1f})"
+    )
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = run_batch_benchmark()
+    OUT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)

@@ -24,6 +24,7 @@ __all__ = [
     "MeterError",
     "ExperimentError",
     "RunnerError",
+    "BatchError",
     "CacheError",
     "FaultError",
     "ScenarioError",
@@ -90,6 +91,10 @@ class ExperimentError(ReproError):
 
 class RunnerError(ReproError):
     """A batch session run was misconfigured (bad spec, unresolvable factory)."""
+
+
+class BatchError(RunnerError):
+    """A batched (vectorized) session group was misconfigured or incompatible."""
 
 
 class CacheError(RunnerError):

@@ -267,6 +267,15 @@ class SessionRunner:
             driver calls inside one process never re-simulate (the role
             the old hand-rolled ``game_eval._CACHE`` played, now shared
             by every consumer).
+        batch: Route compatible pending specs through the vectorized
+            :class:`~repro.kernel.batch_engine.BatchSession` (same
+            platform and timing, untraced, unfaulted, vectorizable
+            policy/workload shapes) in groups of two or more.  Summaries
+            are bit-identical to scalar execution and still land at
+            their spec's index; everything a batch cannot take — and any
+            batch that errors — transparently falls back to the normal
+            pool/inline path.  Batched specs run in the driver process,
+            so ``timeout_seconds`` is not enforced for them.
         retries: How many times a failed execution attempt (worker
             crash, exception, timeout) is re-scheduled before the spec
             is reported failed.  0 (the default) keeps the historical
@@ -314,6 +323,7 @@ class SessionRunner:
     jobs: int = 1
     cache_dir: Optional[Union[str, os.PathLike]] = None
     memoize: bool = True
+    batch: bool = False
     retries: int = 0
     retry_backoff_seconds: float = 0.05
     timeout_seconds: Optional[float] = None
@@ -491,6 +501,11 @@ class SessionRunner:
                     continue
             pending.append(index)
             self._tell(batch_began, RunnerCacheEvent, outcome="miss", key=key, label=spec.label)
+
+        if self.batch and pending:
+            pending = self._run_batched(
+                specs, pending, keys, report, stats, batch_began, heartbeat
+            )
 
         parallelizable = [i for i in pending if specs[i].is_portable]
         inline = [i for i in pending if not specs[i].is_portable]
@@ -783,6 +798,100 @@ class SessionRunner:
         """Append one runner-telemetry event (wall-clock timestamped)."""
         ts_us = int((time.perf_counter() - batch_began) * 1_000_000)
         self.telemetry.append(event_cls(ts_us=ts_us, **fields))
+
+    def _run_batched(
+        self,
+        specs: Sequence[SessionSpec],
+        pending: List[int],
+        keys: List[Optional[str]],
+        report: RunReport,
+        stats: RunnerStats,
+        batch_began: float,
+        heartbeat,
+    ) -> List[int]:
+        """Drain batchable pending specs through vectorized BatchSessions.
+
+        Pending specs are grouped by
+        :func:`~repro.kernel.batch_engine.batch_compatibility_key`;
+        every group of two or more whose members all vectorize runs as
+        one :class:`~repro.kernel.batch_engine.BatchSession` in the
+        driver process.  Results are written at each spec's own batch
+        index (grouping never reorders the report) and recorded through
+        the same memo/cache/telemetry path as a pool execution.  Specs a
+        batch cannot take — unbatchable shapes, scalar-fallback members,
+        groups that error — are returned still pending, so the normal
+        pool/inline machinery picks them up unchanged.
+        """
+        from ..kernel.batch_engine import BatchSession, batch_compatibility_key
+
+        groups: Dict[tuple, List[int]] = {}
+        for index in pending:
+            group_key = batch_compatibility_key(specs[index])
+            if group_key is not None:
+                groups.setdefault(group_key, []).append(index)
+
+        handled: set = set()
+        for members in groups.values():
+            if len(members) < 2:
+                continue
+            try:
+                batch = BatchSession([specs[i] for i in members])
+                if batch.fallback_count:
+                    # Leave scalar-fallback members to the worker pool,
+                    # which can at least run them in parallel.
+                    dropped = set(batch.fallback_positions)
+                    members = [
+                        index
+                        for position, index in enumerate(members)
+                        if position not in dropped
+                    ]
+                    if len(members) < 2:
+                        continue
+                    batch = BatchSession([specs[i] for i in members])
+                    if batch.fallback_count:
+                        continue
+                if heartbeat is not None:
+                    for index in members:
+                        heartbeat.spec(
+                            index, report.outcomes[index].label, "running", attempts=1
+                        )
+                    heartbeat.progress()
+                started = time.perf_counter()
+                summaries = batch.run()
+            except Exception:
+                # Any batch-path failure is absorbed: the members stay
+                # pending and re-execute through the scalar path.
+                continue
+            share = (time.perf_counter() - started) / len(members)
+            for position, index in enumerate(members):
+                execution = SpecExecution(
+                    summary=summaries[position],
+                    wall_seconds=share,
+                    ticks=specs[index].config.total_ticks,
+                    worker_pid=os.getpid(),
+                )
+                outcome = report.outcomes[index]
+                outcome.attempts += 1
+                outcome.detail = f"batched({len(members)})"
+                report.summaries[index] = execution.summary
+                self._record_executed(
+                    index, specs[index], execution, keys[index], stats, batch_began
+                )
+                if heartbeat is not None:
+                    heartbeat.spec(
+                        index,
+                        outcome.label,
+                        "done",
+                        attempts=1,
+                        source="batch",
+                        wall_seconds=share,
+                    )
+            handled.update(members)
+            if heartbeat is not None:
+                heartbeat.progress()
+        if not handled:
+            return pending
+        return [index for index in pending if index not in handled]
 
     def _record_executed(
         self,

@@ -4,7 +4,8 @@ Random tick streams go through both the frozen pre-refactor
 :class:`~repro.kernel._legacy_tracing.LegacyTraceRecorder` and the
 columnar :class:`~repro.kernel.tracing.TraceRecorder`; every summary
 statistic and the CSV export must match **exactly** (``==`` on floats,
-not approx) — the refactor's core contract.
+not approx) — the refactor's core contract, written down as prose in
+``docs/NUMERICS.md``.
 """
 
 from hypothesis import given, settings

@@ -1,10 +1,12 @@
 """The documentation gates CI enforces, runnable locally.
 
 The infrastructure packages (`repro.faults`, `repro.runner`,
-`repro.scenario`) and the columnar trace spine
-(`repro.kernel.trace_buffer`, `repro.obs.columnar`) promise complete
-docstrings — docs/API.md points readers at `help()` — so the gate is
-100%, checked by `tools/docstring_coverage.py` in CI and here.
+`repro.scenario`), the columnar trace spine
+(`repro.kernel.trace_buffer`, `repro.obs.columnar`), the ops plane
+(`repro.obs.metrics_plane`), and the batch engine
+(`repro.kernel.batch_engine`) promise complete docstrings —
+docs/API.md points readers at `help()` — so the gate is 100%, checked
+by `tools/docstring_coverage.py` in CI and here.
 """
 
 import pathlib
@@ -42,6 +44,11 @@ class TestGatedPackages:
 
     def test_metrics_plane_fully_documented(self):
         result = run_tool("src/repro/obs/metrics_plane")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "(100.0%)" in result.stdout
+
+    def test_batch_engine_fully_documented(self):
+        result = run_tool("src/repro/kernel/batch_engine.py")
         assert result.returncode == 0, result.stdout + result.stderr
         assert "(100.0%)" in result.stdout
 

@@ -14,8 +14,9 @@ Usage::
 
 Exits non-zero when coverage over all named paths is below ``--min``
 (default 100), listing every undocumented definition so the failure is
-actionable. CI runs this over ``repro/faults``, ``repro/runner``, and
-``repro/scenario``.
+actionable. CI runs this over ``repro/faults``, ``repro/runner``,
+``repro/scenario``, the trace spine, the ops plane, and the batch
+engine (``repro/kernel/batch_engine.py``).
 """
 
 from __future__ import annotations
