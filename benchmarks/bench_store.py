@@ -1,0 +1,171 @@
+"""Experiment store: sqlite index reads vs full blob scans.
+
+Fabricates a ``STORE_BENCH_RUNS``-entry store (default 1024) of genuine
+cache entries — real :class:`~repro.runner.spec.SessionSpec` documents
+with their real ``cache_key()`` and deterministic synthesized summaries,
+written through :meth:`~repro.runner.cache.ResultCache.store` — then
+opens it as an :class:`~repro.store.ExperimentStore` (lazy backfill
+indexes every blob on open, zero recomputes) and times the same
+selective read both ways:
+
+* :meth:`~repro.store.ExperimentStore.query` — one indexed sqlite
+  SELECT, and
+* :meth:`~repro.store.ExperimentStore.scan` — the blob-only reference
+  implementation (full directory walk, one JSON parse per entry).
+
+The bench fails unless every representative query returns **identical
+rows** through both paths (parity is asserted before any timing), and
+the indexed path is at least ``STORE_BENCH_MIN_SPEEDUP`` times faster
+(default 10.0; CI's smoke job relaxes it for noisy shared runners).
+
+Results land in ``BENCH_store.json`` (override the location with
+``STORE_BENCH_OUT``) so CI can archive the measured ratio.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.config import SimulationConfig
+from repro.metrics.summary import SessionSummary
+from repro.runner.cache import ResultCache
+from repro.runner.spec import SessionSpec
+from repro.scenario import policy_ref, workload_ref
+from repro.store import ExperimentStore, StoreQuery
+
+RUNS = int(os.environ.get("STORE_BENCH_RUNS", "1024"))
+REPEATS = 5
+MIN_SPEEDUP = float(os.environ.get("STORE_BENCH_MIN_SPEEDUP", "10.0"))
+OUT_PATH = Path(os.environ.get("STORE_BENCH_OUT", "BENCH_store.json"))
+
+_POLICIES = ("android-default", "mobicore")
+_LOAD_LEVELS = (20.0, 40.0, 60.0, 80.0)
+
+
+def _spec(index):
+    """Grid point *index* as a real, cache-keyed session spec."""
+    policy = _POLICIES[index % len(_POLICIES)]
+    level = _LOAD_LEVELS[(index // len(_POLICIES)) % len(_LOAD_LEVELS)]
+    seed = index // (len(_POLICIES) * len(_LOAD_LEVELS))
+    return SessionSpec(
+        platform="Nexus 5",
+        policy=policy_ref(policy, platform="Nexus 5")
+        if policy == "mobicore"
+        else policy_ref(policy),
+        workload=workload_ref("busyloop", target_load_percent=level),
+        config=SimulationConfig(duration_seconds=30.0, seed=seed),
+    )
+
+
+def _summary(spec, index):
+    """A deterministic synthetic summary for *spec* (no simulation).
+
+    Values are derived from the grid index so every entry is distinct
+    and reproducible; the store only ever round-trips them, so genuine
+    simulation output is not needed to measure read paths.
+    """
+    return SessionSummary(
+        platform="Nexus 5",
+        policy=spec.policy.target.rsplit(".", 1)[-1],
+        workload="BusyLoopApp",
+        seed=spec.config.seed,
+        duration_seconds=30.0,
+        mean_power_mw=1500.0 + index * 0.25,
+        mean_cpu_power_mw=900.0 + index * 0.125,
+        energy_mj=45000.0 + index * 7.5,
+        mean_frequency_khz=1_500_000.0 + index * 100.0,
+        mean_online_cores=2.0 + (index % 3),
+        mean_load_percent=30.0 + (index % 50),
+        mean_scaled_load_percent=25.0 + (index % 50),
+        load_std_percent=4.0 + (index % 7) * 0.5,
+        mean_quota=1.5 + (index % 5) * 0.25,
+        mean_fps=None if index % 2 else 55.0 + (index % 10) * 0.5,
+        dvfs_transitions=100 + index,
+        hotplug_transitions=10 + index % 20,
+        workload_metrics={"bench_index": float(index)},
+    )
+
+
+def _populate(root, runs):
+    """Write *runs* genuine v3 cache entries under *root*."""
+    cache = ResultCache(root)
+    for index in range(runs):
+        spec = _spec(index)
+        cache.store(spec.cache_key(), _summary(spec, index), spec.cache_payload())
+    return cache
+
+
+#: The reads timed and parity-checked: a selective axis probe (what the
+#: index is for), a policy slice, and the unfiltered overview.
+_QUERIES = (
+    ("point", StoreQuery(policy="mobicore", seed=7)),
+    ("policy-slice", StoreQuery(policy="android-default")),
+    ("full", StoreQuery()),
+)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def run_store_benchmark(runs=RUNS):
+    """Build the store, assert query/scan parity, time both; report."""
+    with tempfile.TemporaryDirectory(prefix="bench-store-") as root:
+        _populate(root, runs)
+        with ExperimentStore(root) as store:
+            assert store.counters.backfilled == runs, "backfill missed entries"
+
+            parity = True
+            for _, query in _QUERIES:
+                if store.query(query) != store.scan(query):
+                    parity = False
+            assert parity, "indexed query diverged from the blob scan"
+
+            probe = _QUERIES[0][1]
+            matched = len(store.query(probe))
+            query_s = scan_s = float("inf")
+            for _ in range(REPEATS):
+                elapsed, _rows = _timed(store.query, probe)
+                query_s = min(query_s, elapsed)
+                elapsed, _rows = _timed(store.scan, probe)
+                scan_s = min(scan_s, elapsed)
+
+    return {
+        "runs": runs,
+        "probe_matched": matched,
+        "query_s": query_s,
+        "scan_s": scan_s,
+        "speedup": scan_s / query_s,
+        "min_speedup": MIN_SPEEDUP,
+        "parity": parity,
+    }
+
+
+def _check(report):
+    assert report["parity"], "indexed query diverged from the blob scan"
+    assert report["speedup"] >= MIN_SPEEDUP, (
+        f"index speedup x{report['speedup']:.2f} "
+        f"below the x{MIN_SPEEDUP:.1f} floor"
+    )
+
+
+def test_store_index(bench_once):
+    report = bench_once(run_store_benchmark)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(
+        f"\n{report['runs']} runs: scan {report['scan_s'] * 1e3:.1f} ms, "
+        f"indexed query {report['query_s'] * 1e3:.2f} ms "
+        f"(speedup x{report['speedup']:.1f}, floor x{MIN_SPEEDUP:.1f})"
+    )
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = run_store_benchmark()
+    OUT_PATH.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)

@@ -9,12 +9,18 @@ series the way the paper's figures tabulate them.
 from .sweep import (
     run_session,
     summary_columns,
+    summary_columns_from_store,
     utilization_sweep,
     frequency_sweep,
     core_count_sweep,
 )
 from .ratio import performance_power_ratio, RatioPoint
-from .comparison import PolicyComparison, ComparisonRow, comparison_rows
+from .comparison import (
+    PolicyComparison,
+    ComparisonRow,
+    comparison_rows,
+    comparison_rows_from_store,
+)
 from .report import render_table, render_series, format_mw, format_mhz
 from .battery import BatterySpec, NEXUS5_BATTERY, battery_life_hours, extra_minutes
 from .fitting import PowerSample, FitResult, fit_power_params, collect_samples
@@ -43,6 +49,7 @@ __all__ = [
     "extra_minutes",
     "run_session",
     "summary_columns",
+    "summary_columns_from_store",
     "utilization_sweep",
     "frequency_sweep",
     "core_count_sweep",
@@ -51,6 +58,7 @@ __all__ = [
     "PolicyComparison",
     "ComparisonRow",
     "comparison_rows",
+    "comparison_rows_from_store",
     "render_table",
     "render_series",
     "format_mw",

@@ -13,12 +13,19 @@ portable pieces (a catalog platform name plus
 :class:`~repro.runner.spec.FactoryRef` factories) parallelises over the
 runner's worker pool and hits its on-disk cache; plain callables still
 work and simply run serially in-process.
+
+Comparisons can also be rebuilt *without* running anything:
+:func:`comparison_rows_from_store` reads both policies' summaries back
+out of a :class:`~repro.store.ExperimentStore` index and pairs them by
+(platform, workload, seed) — the figure-regeneration path over an
+already-populated store.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,7 +39,12 @@ from ..runner.spec import FactoryLike, FactoryRef, PlatformLike, SessionSpec
 from ..soc.catalog import get_phone_spec
 from ..soc.platform import PlatformSpec
 
-__all__ = ["ComparisonRow", "PolicyComparison", "comparison_rows"]
+__all__ = [
+    "ComparisonRow",
+    "PolicyComparison",
+    "comparison_rows",
+    "comparison_rows_from_store",
+]
 
 
 def comparison_rows(summaries: Sequence[SessionSummary]) -> List["ComparisonRow"]:
@@ -55,6 +67,66 @@ def comparison_rows(summaries: Sequence[SessionSummary]) -> List["ComparisonRow"
             candidate=summaries[i + 1],
         )
         for i in range(0, len(summaries), 2)
+    ]
+
+
+def comparison_rows_from_store(
+    store: Union["object", str, Path],
+    baseline: str,
+    candidate: str,
+    workload: Optional[str] = None,
+    platform: Optional[str] = None,
+    label: Optional[str] = None,
+) -> List["ComparisonRow"]:
+    """Rebuild A/B rows from an experiment store, running nothing.
+
+    Reads both policies' summaries out of the store index (registry
+    policy names, e.g. ``"android-default"`` vs ``"mobicore"``) and
+    pairs them by (platform, workload, seed), so a figure can be
+    regenerated from any store populated earlier — including one merged
+    from sharded sweeps.  Only complete pairs make rows; a seed that
+    ran under one policy but not the other is skipped.  Summaries come
+    back bit-identical to the cached blobs, so the derived deltas equal
+    a fresh :class:`PolicyComparison` run on a warm cache.
+
+    Args:
+        store: An open :class:`~repro.store.ExperimentStore` or the
+            path of a store/cache directory to open.
+        baseline / candidate: Registry policy names for the two sides.
+        workload / platform / label: Optional axis filters narrowing
+            the grid (any combination).
+
+    Raises:
+        ExperimentError: When no complete baseline/candidate pair
+            exists under the given filters.
+    """
+    from ..store import ExperimentStore, StoreQuery
+
+    opened = store if isinstance(store, ExperimentStore) else ExperimentStore(store)
+
+    def side(policy: str) -> Dict[tuple, SessionSummary]:
+        query = StoreQuery(
+            policy=policy, workload=workload, platform=platform, label=label
+        )
+        by_point: Dict[tuple, SessionSummary] = {}
+        for summary in opened.summaries(query):
+            by_point[(summary.platform, summary.workload, summary.seed)] = summary
+        return by_point
+
+    baselines, candidates = side(baseline), side(candidate)
+    points = sorted(set(baselines) & set(candidates))
+    if not points:
+        raise ExperimentError(
+            f"store holds no complete ({baseline!r}, {candidate!r}) pair "
+            f"under the given filters"
+        )
+    return [
+        ComparisonRow(
+            workload=baselines[point].workload,
+            baseline=baselines[point],
+            candidate=candidates[point],
+        )
+        for point in points
     ]
 
 

@@ -33,6 +33,7 @@ from ..workloads.base import Workload
 __all__ = [
     "run_session",
     "summary_columns",
+    "summary_columns_from_store",
     "utilization_sweep",
     "frequency_sweep",
     "core_count_sweep",
@@ -73,6 +74,36 @@ def summary_columns(
             [np.nan if v is None else float(v) for v in values], dtype=np.float64
         )
     return columns
+
+
+def summary_columns_from_store(
+    store,
+    query=None,
+    fields: Sequence[str] = _DEFAULT_SUMMARY_FIELDS,
+) -> Dict[str, np.ndarray]:
+    """Per-field numpy columns straight from an experiment store.
+
+    The store-reading twin of :func:`summary_columns`: summaries are
+    read back from the sqlite index (bit-identical to the cached
+    blobs, ordered by cache key) and columnised without running a
+    single session — how characterisation figures rebuild from a store
+    populated by earlier sweeps.
+
+    Args:
+        store: An open :class:`~repro.store.ExperimentStore` or the
+            path of a store/cache directory to open.
+        query: Optional :class:`~repro.store.StoreQuery` narrowing the
+            axes (its projection is ignored; full summaries are read).
+        fields: Summary attributes to extract, as in
+            :func:`summary_columns`.
+
+    Raises:
+        ExperimentError: When the query matches no runs.
+    """
+    from ..store import ExperimentStore
+
+    opened = store if isinstance(store, ExperimentStore) else ExperimentStore(store)
+    return summary_columns(opened.summaries(query), fields)
 
 
 def run_session(

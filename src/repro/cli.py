@@ -24,6 +24,11 @@ Usage::
     python -m repro status .status --follow
     python -m repro metrics .status
     python -m repro metrics .status --format json
+    python -m repro scenarios run matrix.json --store-dir .store --shard 0/2
+    python -m repro store query .store --policy mobicore --format csv
+    python -m repro store ls .store
+    python -m repro store merge .store .store-shard0 .store-shard1
+    python -m repro store gc .store
 
 ``compare`` runs the Android default and MobiCore on the same demand
 (same seed) and prints the paper-style deltas.  ``--jobs N`` fans the
@@ -57,11 +62,22 @@ workload, and platform key; ``validate`` / ``expand`` check and print a
 scenario or matrix file; ``run`` compiles and executes one.  ``compare``
 and ``run`` also accept ``--scenario file.json`` to take their session
 description from a document instead of flags.
+
+``--store-dir DIR`` (instead of ``--cache-dir``) caches into a
+queryable :class:`~repro.store.ExperimentStore`: the same blobs, plus
+a sqlite index of every run's axes and summary columns.  ``repro store
+query DIR`` filters and projects it (``--format table|csv|json``),
+``store ls`` summarises it, ``store merge`` unions sharded stores
+(checksum conflicts are errors), and ``store gc`` sweeps dangling
+column blobs / quarantined corpses / dead index rows.  ``scenarios run
+--shard i/n`` runs a deterministic round-robin slice of a matrix, so
+shards on different machines merge back into one store.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 import time
@@ -106,9 +122,12 @@ from .scenario import (
     Scenario,
     compile_scenario,
     load_scenarios,
+    parse_shard,
     policy_ref,
+    shard_scenarios,
     workload_ref,
 )
+from .store import AXIS_COLUMNS, ExperimentStore, StoreQuery
 from .soc.catalog import PHONE_CATALOG, get_phone_spec
 from .workloads.games import game_workload
 
@@ -151,6 +170,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     runner = configure_default_runner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        store_dir=args.store_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
         status_dir=args.status_dir,
@@ -237,9 +257,18 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
                 f"--only index out of range; {args.file} expands to "
                 f"{len(scenarios)} scenarios"
             ) from None
+    if args.shard:
+        index, count = parse_shard(args.shard)
+        scenarios = shard_scenarios(scenarios, index, count)
+        if not scenarios:
+            raise ReproError(
+                f"shard {args.shard} selects no scenarios "
+                f"(the file expands to fewer than {count})"
+            )
     runner = SessionRunner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        store_dir=args.store_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
         status_dir=args.status_dir,
@@ -324,6 +353,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     runner = SessionRunner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        store_dir=args.store_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
         status_dir=args.status_dir,
@@ -422,6 +452,7 @@ def _cmd_trace_run(args: argparse.Namespace) -> int:
     runner = SessionRunner(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        store_dir=args.store_dir,
         retries=args.retries,
         timeout_seconds=args.timeout,
         status_dir=args.status_dir,
@@ -591,6 +622,119 @@ def _cmd_faults_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_cell(value: object) -> str:
+    """One query value rendered for the table/csv formats."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    return str(value)
+
+
+def _store_query_from_args(args: argparse.Namespace) -> StoreQuery:
+    """Fold the ``store query`` axis/projection flags into a StoreQuery."""
+    columns = (
+        tuple(part.strip() for part in args.columns.split(",") if part.strip())
+        if args.columns
+        else ()
+    )
+    return StoreQuery(
+        platform=args.platform,
+        policy=args.policy,
+        workload=args.workload,
+        seed=args.seed,
+        fault_plan=args.fault_plan,
+        label=args.label,
+        columns=columns,
+        since_schema_version=args.since_schema,
+    )
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    """Filter + project the store index; table, csv, or json output."""
+    query = _store_query_from_args(args)
+    with ExperimentStore(args.dir) as store:
+        rows = store.query(query)
+    projection = list(query.projection)
+    if args.format == "json":
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    if args.format == "csv":
+        writer = csv.writer(sys.stdout)
+        writer.writerow(projection)
+        for row in rows:
+            writer.writerow([_store_cell(row[column]) for column in projection])
+        return 0
+    table_rows = []
+    for row in rows:
+        cells = []
+        for column in projection:
+            value = row[column]
+            # Full 64-hex keys would drown the table; csv/json keep them.
+            if column == "key" and isinstance(value, str):
+                value = value[:12]
+            cells.append(_store_cell(value))
+        table_rows.append(tuple(cells))
+    print(render_table(tuple(projection), table_rows))
+    noun = "run" if len(rows) == 1 else "runs"
+    print(f"\n{len(rows)} {noun}")
+    return 0
+
+
+def _cmd_store_ls(args: argparse.Namespace) -> int:
+    """Summarise a store: row counts and the distinct values per axis."""
+    with ExperimentStore(args.dir) as store:
+        rows = store.query(StoreQuery(columns=("has_columns",) + AXIS_COLUMNS))
+        backfilled = store.counters.backfilled
+        index_path = store.index_path
+    distinct = {
+        axis: sorted({str(row[axis]) for row in rows if row[axis] not in (None, "")})
+        for axis in AXIS_COLUMNS
+    }
+    table = [
+        ("indexed runs", str(len(rows))),
+        ("with trace columns", str(sum(1 for row in rows if row["has_columns"]))),
+        ("backfilled on open", str(backfilled)),
+    ]
+    for axis in AXIS_COLUMNS:
+        values = distinct[axis]
+        preview = ", ".join(values[:6]) + (", ..." if len(values) > 6 else "")
+        table.append((f"{axis} ({len(values)})", preview or "-"))
+    print(render_table(("store", str(index_path)), table))
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    """Sweep dangling blobs, quarantined corpses, temp files, dead rows."""
+    with ExperimentStore(args.dir) as store:
+        report = store.gc()
+    rows = [
+        ("dangling column blobs", str(len(report.dangling_blobs))),
+        ("quarantined corpses", str(len(report.quarantined))),
+        ("stale temp files", str(len(report.stale_temp))),
+        ("pruned index rows", str(report.pruned_rows)),
+    ]
+    print(render_table(("gc", "removed"), rows))
+    return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    """Union shard stores into a destination store, checksum-checked."""
+    with ExperimentStore(args.dest) as store:
+        for source in args.sources:
+            adopted = store.merge(source)
+            noun = "run" if adopted == 1 else "runs"
+            print(f"{source}: adopted {adopted} {noun}")
+        total = len(store)
+    noun = "run" if total == 1 else "runs"
+    print(f"{args.dest}: {total} {noun} total")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -611,6 +755,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="DIR",
             help="content-addressed result cache; warm re-runs simulate nothing",
+        )
+        command.add_argument(
+            "--store-dir",
+            default=None,
+            metavar="DIR",
+            help="cache into a queryable experiment store (blobs + sqlite "
+            "index; read back with: repro store query DIR)",
         )
         command.add_argument(
             "--stats",
@@ -691,6 +842,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the summaries as a JSON list",
     )
+    scenarios_run.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help="run round-robin shard i of n of the expansion (e.g. 0/2); "
+        "per-shard --store-dir stores merge with: repro store merge",
+    )
     add_runner_options(scenarios_run)
     scenarios_run.set_defaults(func=_cmd_scenarios_run)
 
@@ -723,6 +881,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="text exposition format 0.0.4 (default) or the JSON snapshot",
     )
     metrics.set_defaults(func=_cmd_metrics)
+
+    store = sub.add_parser(
+        "store", help="query and maintain experiment stores (--store-dir)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_query = store_sub.add_parser(
+        "query", help="filter + project the store's run index"
+    )
+    store_query.add_argument("dir", help="store directory (the --store-dir)")
+    store_query.add_argument("--platform", default=None, help="axis filter")
+    store_query.add_argument("--policy", default=None, help="axis filter")
+    store_query.add_argument("--workload", default=None, help="axis filter")
+    store_query.add_argument("--seed", type=int, default=None, help="axis filter")
+    store_query.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="KINDS",
+        help="axis filter: comma-joined fault kinds, or '' for clean runs",
+    )
+    store_query.add_argument("--label", default=None, help="axis filter")
+    store_query.add_argument(
+        "--columns",
+        default=None,
+        metavar="COLS",
+        help="comma list of columns to project (default: the overview set)",
+    )
+    store_query.add_argument(
+        "--since-schema",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only rows whose cache key schema version is >= N",
+    )
+    store_query.add_argument(
+        "--format",
+        choices=("table", "csv", "json"),
+        default="table",
+        help="output format (default: table; keys shown truncated)",
+    )
+    store_query.set_defaults(func=_cmd_store_query)
+
+    store_ls = store_sub.add_parser(
+        "ls", help="summarise a store: run count and per-axis values"
+    )
+    store_ls.add_argument("dir", help="store directory (the --store-dir)")
+    store_ls.set_defaults(func=_cmd_store_ls)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="sweep dangling blobs, quarantined corpses, dead rows"
+    )
+    store_gc.add_argument("dir", help="store directory (the --store-dir)")
+    store_gc.set_defaults(func=_cmd_store_gc)
+
+    store_merge = store_sub.add_parser(
+        "merge", help="union shard stores into one (checksum-conflict safe)"
+    )
+    store_merge.add_argument("dest", help="destination store directory")
+    store_merge.add_argument(
+        "sources", nargs="+", metavar="SOURCE", help="shard store directories"
+    )
+    store_merge.set_defaults(func=_cmd_store_merge)
 
     specs = sub.add_parser("specs", help="show device spec sheets")
     specs.add_argument("phone", nargs="?", help="catalog phone name")

@@ -26,6 +26,7 @@ __all__ = [
     "RunnerError",
     "BatchError",
     "CacheError",
+    "StoreError",
     "FaultError",
     "ScenarioError",
     "RegistryError",
@@ -99,6 +100,11 @@ class BatchError(RunnerError):
 
 class CacheError(RunnerError):
     """The on-disk result cache hit an I/O failure it could not treat as a miss."""
+
+
+class StoreError(CacheError):
+    """The experiment store's sqlite index failed, or a merge found two
+    entries claiming the same cache key with different summary checksums."""
 
 
 class FaultError(ReproError):

@@ -30,9 +30,11 @@ from .registry import DEFAULT_SECONDS_BUCKETS, MetricsRegistry
 
 __all__ = [
     "ensure_runner_metrics",
+    "ensure_store_metrics",
     "observe_stats",
     "observe_batch",
     "observe_execution",
+    "observe_store",
     "stats_rows",
     "format_bytes",
 ]
@@ -48,10 +50,14 @@ _STATS_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
      "Batch entries served from the in-memory memo."),
     ("cache_hits", "repro_runner_disk_cache_hits_total",
      "Batch entries served from the on-disk cache."),
+    ("store_hits", "repro_runner_store_hits_total",
+     "Batch entries served from a store-backed cache (store_dir)."),
     ("retries", "repro_runner_retries_total",
      "Execution attempts re-scheduled after a failure."),
     ("timeouts", "repro_runner_timeouts_total",
      "Execution attempts terminated for exceeding the wall budget."),
+    ("unenforced_timeouts", "repro_runner_unenforced_timeouts_total",
+     "Batched specs whose wall budget the vectorized path cannot enforce."),
     ("corrupt_cache_entries", "repro_runner_corrupt_cache_entries_total",
      "On-disk entries that failed checksum or parsing and were quarantined."),
     ("failed_specs", "repro_runner_failed_specs_total",
@@ -60,6 +66,21 @@ _STATS_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
      "Wall-clock seconds spent inside runner batches."),
     ("trace_bytes", "repro_runner_trace_bytes_total",
      "Columnar trace bytes recorded by executed sessions."),
+)
+
+#: Experiment-store counter fields (``StoreCounters`` attributes) and
+#: the metric families they feed.
+_STORE_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
+    ("ingests", "repro_store_ingests_total",
+     "Cache writes indexed live through the store's on_store hook."),
+    ("backfilled", "repro_store_backfilled_total",
+     "Pre-existing blob entries indexed by lazy backfill (zero recomputes)."),
+    ("queries", "repro_store_queries_total",
+     "Index reads served (query/summaries)."),
+    ("merged_rows", "repro_store_merged_rows_total",
+     "Rows adopted from other stores by merge()."),
+    ("gc_removed", "repro_store_gc_removed_total",
+     "Files removed by store gc sweeps."),
 )
 
 #: How a ``RunnerCacheEvent.outcome`` maps onto the cache-lookup
@@ -127,6 +148,36 @@ def ensure_runner_metrics(registry: MetricsRegistry) -> None:
     )
 
 
+def ensure_store_metrics(registry: MetricsRegistry) -> None:
+    """Declare the experiment-store metric families (idempotent).
+
+    Separate from :func:`ensure_runner_metrics` so a runner without a
+    store keeps its exposition unchanged; a store-backed runner calls
+    both, and the store families appear zero-valued until something
+    happens.
+    """
+    for _, name, help_text in _STORE_COUNTERS:
+        registry.counter(name, help_text)
+
+
+def observe_store(registry: MetricsRegistry, counters, seen: Dict[str, int]) -> None:
+    """Fold an experiment store's cumulative counters into *registry*.
+
+    Store counters (duck-typed on ``StoreCounters`` attribute names)
+    are monotonic over the store object's lifetime, while registry
+    counters accumulate by increments — so *seen* carries the
+    last-observed values between calls and only the delta is added.
+    Call after each batch (the runner does); safe to call repeatedly.
+    """
+    ensure_store_metrics(registry)
+    for attr, name, _ in _STORE_COUNTERS:
+        now = int(getattr(counters, attr, 0))
+        delta = now - seen.get(attr, 0)
+        if delta > 0:
+            registry.counter(name).inc(delta)
+        seen[attr] = now
+
+
 def observe_stats(registry: MetricsRegistry, stats) -> None:
     """Fold one batch's ``RunnerStats`` scalars into *registry*.
 
@@ -135,7 +186,7 @@ def observe_stats(registry: MetricsRegistry, stats) -> None:
     """
     ensure_runner_metrics(registry)
     for attr, name, _ in _STATS_COUNTERS:
-        amount = getattr(stats, attr)
+        amount = getattr(stats, attr, 0)
         if amount:
             registry.counter(name).inc(amount)
     peak = getattr(stats, "peak_recorder_bytes", 0)
@@ -216,8 +267,11 @@ def stats_rows(stats) -> List[Tuple[str, str]]:
         ("ticks simulated", str(int(ticks))),
         ("memo hits", str(int(read("repro_runner_memo_hits_total")))),
         ("disk cache hits", str(int(read("repro_runner_disk_cache_hits_total")))),
+        ("store hits", str(int(read("repro_runner_store_hits_total")))),
         ("retries", str(int(read("repro_runner_retries_total")))),
         ("timeouts", str(int(read("repro_runner_timeouts_total")))),
+        ("unenforced timeouts",
+         str(int(read("repro_runner_unenforced_timeouts_total")))),
         ("corrupt cache entries",
          str(int(read("repro_runner_corrupt_cache_entries_total")))),
         ("failed specs", str(int(read("repro_runner_failed_specs_total")))),

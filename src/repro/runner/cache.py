@@ -38,7 +38,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Iterator, Optional, Union
 
 from .spec import CACHE_FORMAT_VERSION
 from ..errors import CacheError
@@ -135,13 +135,24 @@ class ResultCache:
 
     Args:
         root: Directory holding the entries; created on first use.
+        on_store: Optional callback invoked as ``on_store(key, document)``
+            after each successful :meth:`store` write, with the exact
+            entry document that landed on disk.  The experiment store
+            (:class:`~repro.store.ExperimentStore`) hooks this to ingest
+            writes into its sqlite index as they happen; the cache itself
+            never depends on the callback.
     """
 
     #: Subdirectory (under ``root``) where corrupt entries are moved.
     QUARANTINE_DIR = "quarantine"
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        on_store: Optional[Callable[[str, dict], None]] = None,
+    ) -> None:
         self.root = Path(root)
+        self.on_store = on_store
 
     def path(self, key: str) -> Path:
         """Where *key*'s entry lives."""
@@ -289,6 +300,39 @@ class ResultCache:
             }
         text = json.dumps(document, sort_keys=True)
         self._write_atomic(self.path(key), text.encode("utf-8"), key)
+        if self.on_store is not None:
+            self.on_store(key, document)
+
+    def read_document(self, key: str) -> Optional[dict]:
+        """The raw entry document for *key*, or ``None`` when unreadable.
+
+        Returns the parsed JSON object exactly as :meth:`store` wrote it
+        (version, key, spec, summary, checksum, optional columns) without
+        checksum verification — callers that need a trusted summary use
+        :meth:`lookup`.  Used by the experiment store so live ingest and
+        lazy backfill index the same document shape.
+        """
+        try:
+            with open(self.path(key), "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (FileNotFoundError, ValueError):
+            return None
+        except OSError as error:
+            raise CacheError(f"cannot read cache entry {key}: {error}") from error
+        if not isinstance(document, dict):
+            return None
+        return document
+
+    def keys(self) -> Iterator[str]:
+        """Keys of every entry file in the cache root, sorted.
+
+        Quarantined entries live in a subdirectory and are excluded; the
+        iteration is a directory scan, so entries written after the call
+        starts may or may not appear.
+        """
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(path.stem for path in self.root.glob("*.json")))
 
     def _write_atomic(self, target: Path, data: bytes, key: str) -> None:
         """Write *data* to *target* via temp-file + rename (crash-safe)."""

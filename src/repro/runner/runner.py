@@ -59,8 +59,10 @@ from ..obs.events import (
 )
 from ..obs.metrics_plane.bridge import (
     ensure_runner_metrics,
+    ensure_store_metrics,
     observe_batch,
     observe_execution,
+    observe_store,
 )
 from ..obs.metrics_plane.heartbeat import (
     HeartbeatWriter,
@@ -195,6 +197,15 @@ class RunnerStats:
         retries: Execution attempts re-scheduled after a failure.
         timeouts: Execution attempts terminated for exceeding
             ``timeout_seconds``.
+        store_hits: Batch entries served from a store-backed cache
+            (``store_dir``); counted alongside ``cache_hits``, so the
+            ``--stats`` table shows how much of a batch the experiment
+            store answered without simulating.
+        unenforced_timeouts: Batched specs that carried a
+            ``timeout_seconds`` budget the vectorized path cannot
+            enforce (batched groups run in the driver process).  Each
+            such spec also gets a per-spec ``detail`` note — the
+            documented gap, now surfaced instead of silent.
         corrupt_cache_entries: On-disk entries that failed checksum or
             parsing and were quarantined.
         failed_specs: Specs that never produced a summary.
@@ -213,6 +224,8 @@ class RunnerStats:
     ticks_simulated: int = 0
     memo_hits: int = 0
     cache_hits: int = 0
+    store_hits: int = 0
+    unenforced_timeouts: int = 0
     retries: int = 0
     timeouts: int = 0
     corrupt_cache_entries: int = 0
@@ -240,6 +253,8 @@ class RunnerStats:
         self.ticks_simulated += other.ticks_simulated
         self.memo_hits += other.memo_hits
         self.cache_hits += other.cache_hits
+        self.store_hits += other.store_hits
+        self.unenforced_timeouts += other.unenforced_timeouts
         self.retries += other.retries
         self.timeouts += other.timeouts
         self.corrupt_cache_entries += other.corrupt_cache_entries
@@ -263,6 +278,14 @@ class SessionRunner:
     Attributes:
         jobs: Worker processes; 1 means in-process serial execution.
         cache_dir: Root of the on-disk result cache; None disables it.
+        store_dir: Root of a store-backed cache: the same blob cache,
+            wrapped in a queryable
+            :class:`~repro.store.ExperimentStore` whose sqlite index
+            ingests every write and serves ``repro store query`` /
+            the analysis constructors afterwards.  Mutually exclusive
+            with ``cache_dir`` (the store *is* the cache).  Hits served
+            from a store-backed cache are additionally counted as
+            ``store_hits`` in the stats.
         memoize: Keep an in-memory memo of portable results, so repeated
             driver calls inside one process never re-simulate (the role
             the old hand-rolled ``game_eval._CACHE`` played, now shared
@@ -275,7 +298,10 @@ class SessionRunner:
             their spec's index; everything a batch cannot take — and any
             batch that errors — transparently falls back to the normal
             pool/inline path.  Batched specs run in the driver process,
-            so ``timeout_seconds`` is not enforced for them.
+            so ``timeout_seconds`` is not enforced for them — each such
+            spec is flagged with a ``detail`` note and counted in
+            ``RunnerStats.unenforced_timeouts`` rather than silently
+            losing its budget.
         retries: How many times a failed execution attempt (worker
             crash, exception, timeout) is re-scheduled before the spec
             is reported failed.  0 (the default) keeps the historical
@@ -322,6 +348,7 @@ class SessionRunner:
 
     jobs: int = 1
     cache_dir: Optional[Union[str, os.PathLike]] = None
+    store_dir: Optional[Union[str, os.PathLike]] = None
     memoize: bool = True
     batch: bool = False
     retries: int = 0
@@ -369,8 +396,25 @@ class SessionRunner:
             # Declare the whole schema up front so the exposition always
             # carries every family, zero-valued ones included.
             ensure_runner_metrics(self.metrics)
-        self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
+        self.store = None
+        if self.store_dir is not None:
+            if self.cache_dir:
+                raise RunnerError(
+                    "store_dir and cache_dir are mutually exclusive "
+                    "(the store wraps the cache; pass one root)"
+                )
+            # Imported lazily: the store sits above the runner package,
+            # so a top-level import would be a cycle.
+            from ..store import ExperimentStore
+
+            self.store = ExperimentStore(self.store_dir)
+            self._cache = self.store.cache
+            if self.metrics is not None:
+                ensure_store_metrics(self.metrics)
+        else:
+            self._cache = ResultCache(self.cache_dir) if self.cache_dir else None
         self._memo: Dict[str, SessionSummary] = {}
+        self._store_seen: Dict[str, int] = {}
         self.span_profiler = SpanProfiler(enabled=True)
 
     # -- execution -------------------------------------------------------
@@ -485,6 +529,8 @@ class SessionRunner:
                     if self.memoize:
                         self._memo[key] = lookup.summary
                     stats.cache_hits += 1
+                    if self.store is not None:
+                        stats.store_hits += 1
                     self._tell(batch_began, RunnerCacheEvent, outcome="cache_hit", key=key, label=spec.label)
                     if heartbeat is not None:
                         heartbeat.spec(index, outcome.label, "done", source="cache")
@@ -673,6 +719,8 @@ class SessionRunner:
             )
         if self.metrics is not None:
             observe_batch(self.metrics, stats, report, self.telemetry)
+            if self.store is not None:
+                observe_store(self.metrics, self.store.counters, self._store_seen)
             if self.status_dir is not None:
                 self._dump_metrics()
         return report
@@ -873,6 +921,12 @@ class SessionRunner:
                 outcome = report.outcomes[index]
                 outcome.attempts += 1
                 outcome.detail = f"batched({len(members)})"
+                if self.timeout_seconds is not None:
+                    # The documented gap, surfaced: vectorized groups run
+                    # in the driver process, where a wall budget cannot
+                    # preempt anything.
+                    outcome.detail += "; timeout not enforced"
+                    stats.unenforced_timeouts += 1
                 report.summaries[index] = execution.summary
                 self._record_executed(
                     index, specs[index], execution, keys[index], stats, batch_began
@@ -991,11 +1045,13 @@ def configure_default_runner(
     retries: int = 0,
     timeout_seconds: Optional[float] = None,
     status_dir: Optional[Union[str, os.PathLike]] = None,
+    store_dir: Optional[Union[str, os.PathLike]] = None,
 ) -> SessionRunner:
     """Build, install, and return a default runner with these settings."""
     runner = SessionRunner(
         jobs=jobs,
         cache_dir=cache_dir,
+        store_dir=store_dir,
         retries=retries,
         timeout_seconds=timeout_seconds,
         status_dir=status_dir,

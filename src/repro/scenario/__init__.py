@@ -33,7 +33,7 @@ from .registry import (
 )
 from . import builtins as _builtins  # populate the registries on import
 from .scenario import Scenario
-from .matrix import AXIS_FIELDS, ScenarioMatrix
+from .matrix import AXIS_FIELDS, ScenarioMatrix, parse_shard, shard_scenarios
 from .compile import (
     compile_matrix,
     compile_scenario,
@@ -59,6 +59,8 @@ __all__ = [
     "Scenario",
     "ScenarioMatrix",
     "AXIS_FIELDS",
+    "parse_shard",
+    "shard_scenarios",
     "compile_scenario",
     "compile_matrix",
     "run_scenarios",

@@ -22,6 +22,16 @@ Axis vocabulary:
   factory parameter, merged over the base scenario's params.
 
 Anything else raises :class:`~repro.errors.ScenarioError`.
+
+For sharded sweeps (several machines or CI jobs splitting one grid),
+:func:`shard_scenarios` deterministically partitions an expanded list
+round-robin — shard *i* of *n* takes positions ``i, i+n, i+2n, ...`` of
+the last-axis-fastest expansion, an interleaved slice rather than a
+contiguous block (so shards mix the fast axis whenever *n* doesn't
+divide its length).
+``repro scenarios run --shard i/n`` wires it to the CLI, and the
+resulting per-shard stores merge back with
+:meth:`repro.store.ExperimentStore.merge`.
 """
 
 from __future__ import annotations
@@ -36,7 +46,7 @@ from ..config import SimulationConfig
 from ..errors import ScenarioError
 from .scenario import Scenario, params_tuple
 
-__all__ = ["ScenarioMatrix", "AXIS_FIELDS"]
+__all__ = ["ScenarioMatrix", "AXIS_FIELDS", "parse_shard", "shard_scenarios"]
 
 #: Axis names that replace a scenario field directly.
 AXIS_FIELDS = ("platform", "policy", "workload", "label", "pin_uncore_max")
@@ -107,6 +117,54 @@ def _apply(scenario: Scenario, axis: str, value: Any) -> Scenario:
     merged = dict(getattr(scenario, head))
     merged[tail] = value
     return replace(scenario, **{head: params_tuple(merged, f"axis {axis!r}")})
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``"i/n"`` shard designator into ``(index, count)``.
+
+    The CLI spelling of :func:`shard_scenarios`: zero-based index,
+    total count, e.g. ``"0/2"`` and ``"1/2"`` split a grid in half.
+
+    Raises:
+        ScenarioError: On anything but ``i/n`` with ``0 <= i < n``.
+    """
+    head, sep, tail = str(text).partition("/")
+    try:
+        if not sep:
+            raise ValueError("missing '/'")
+        index, count = int(head), int(tail)
+    except ValueError:
+        raise ScenarioError(
+            f"shard must look like 'i/n' (e.g. '0/2'), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ScenarioError(
+            f"shard index must satisfy 0 <= i < n, got {index}/{count}"
+        )
+    return index, count
+
+
+def shard_scenarios(
+    scenarios: List[Scenario], index: int, count: int
+) -> List[Scenario]:
+    """Shard *i* of *n* of an expanded scenario list, deterministically.
+
+    Round-robin over the expansion order: shard *i* takes positions
+    ``i, i+n, i+2n, ...`` — an interleaved slice, not a contiguous
+    block, so shards mix :meth:`ScenarioMatrix.expand`'s fast-varying
+    last axis whenever *n* doesn't divide its length.  The shards
+    partition the list exactly: every
+    scenario lands in one and only one shard, so running all *n* shards
+    and merging their stores reproduces the unsharded grid.
+
+    Raises:
+        ScenarioError: When ``(index, count)`` is out of range.
+    """
+    if count < 1 or not 0 <= index < count:
+        raise ScenarioError(
+            f"shard index must satisfy 0 <= i < n, got {index}/{count}"
+        )
+    return list(scenarios[index::count])
 
 
 @dataclass(frozen=True)

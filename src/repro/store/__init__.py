@@ -1,0 +1,54 @@
+"""Queryable experiment store over the content-addressed result cache.
+
+The runner's blob cache answers one question: "have I run this exact
+spec?".  This package layers the question the paper's evaluation grid
+actually asks — *"give me mean_power_mw for every mobicore run on
+Nexus 5 since the schema change"* — on top of those same blobs:
+
+* :class:`~repro.store.store.ExperimentStore` — a sqlite index
+  (``index.sqlite`` in the cache root) keyed by the existing sha256
+  cache keys.  Live cache writes are ingested as they happen; opening
+  a warm pre-store cache lazily backfills every entry from its blob
+  with zero recomputes.  ``merge`` unions sharded-sweep stores with
+  checksum conflict detection; ``gc`` sweeps dangling column blobs,
+  quarantined corpses, and dead index rows.
+* :class:`~repro.store.query.StoreQuery` — the one typed description
+  of a read (axis filters, column projection, key-schema-version
+  floor) shared by the CLI, the analysis constructors, and the
+  benchmark.
+
+See TUTORIAL §15 ("Querying past runs") for the workflow and
+``docs/API.md`` for the reference.
+"""
+
+from __future__ import annotations
+
+from .query import (
+    AXIS_COLUMNS,
+    DEFAULT_PROJECTION,
+    META_COLUMNS,
+    QUERYABLE_COLUMNS,
+    SUMMARY_COLUMNS,
+    StoreQuery,
+)
+from .store import (
+    ExperimentStore,
+    GcReport,
+    StoreCounters,
+    index_row_from_document,
+)
+from ..errors import StoreError
+
+__all__ = [
+    "ExperimentStore",
+    "StoreQuery",
+    "StoreCounters",
+    "GcReport",
+    "StoreError",
+    "index_row_from_document",
+    "AXIS_COLUMNS",
+    "META_COLUMNS",
+    "SUMMARY_COLUMNS",
+    "QUERYABLE_COLUMNS",
+    "DEFAULT_PROJECTION",
+]

@@ -1,0 +1,186 @@
+"""The typed query surface of the experiment store.
+
+A :class:`StoreQuery` names what a caller wants out of the index —
+axis filters (platform / policy / workload / seed / fault plan /
+label), a column projection, and an optional key-schema-version
+predicate — as one frozen value.  The CLI (``repro store query``), the
+analysis constructors, and ``benchmarks/bench_store.py`` all build the
+same dataclass, so "what is queryable" is defined exactly once, here,
+and validated before any SQL is assembled.
+
+Column names are a closed vocabulary (:data:`QUERYABLE_COLUMNS`):
+the index row's identity/meta columns, the six experiment axes, and
+every scalar field of
+:class:`~repro.metrics.summary.SessionSummary`.  Unknown names raise
+:class:`~repro.errors.StoreError` at construction, so a typo fails
+loudly in the dataclass, never as a malformed SQL string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import StoreError
+
+__all__ = [
+    "AXIS_COLUMNS",
+    "META_COLUMNS",
+    "SUMMARY_COLUMNS",
+    "QUERYABLE_COLUMNS",
+    "DEFAULT_PROJECTION",
+    "StoreQuery",
+]
+
+#: Identity and provenance columns of one index row.
+META_COLUMNS: Tuple[str, ...] = (
+    "key",
+    "key_schema_version",
+    "entry_version",
+    "checksum",
+    "has_columns",
+)
+
+#: The experiment axes every row is indexed by — the (platform, policy,
+#: workload, seed) grid of the paper plus the fault plan and the
+#: free-form config label.
+AXIS_COLUMNS: Tuple[str, ...] = (
+    "platform",
+    "policy",
+    "workload",
+    "seed",
+    "fault_plan",
+    "label",
+)
+
+#: Summary fields promoted into real columns (scalars queryable and
+#: projectable directly; ``workload_metrics`` rides along as JSON).
+SUMMARY_COLUMNS: Tuple[str, ...] = (
+    "duration_seconds",
+    "mean_power_mw",
+    "mean_cpu_power_mw",
+    "energy_mj",
+    "mean_frequency_khz",
+    "mean_online_cores",
+    "mean_load_percent",
+    "mean_scaled_load_percent",
+    "load_std_percent",
+    "mean_quota",
+    "mean_fps",
+    "dvfs_transitions",
+    "hotplug_transitions",
+    "workload_metrics",
+)
+
+#: Every name a :class:`StoreQuery` projection may use.
+QUERYABLE_COLUMNS: Tuple[str, ...] = META_COLUMNS + AXIS_COLUMNS + SUMMARY_COLUMNS
+
+#: What ``store query`` shows when no projection is asked for: the run's
+#: identity, its grid coordinates, and the headline power/fps numbers.
+DEFAULT_PROJECTION: Tuple[str, ...] = (
+    "key",
+    "platform",
+    "policy",
+    "workload",
+    "seed",
+    "mean_power_mw",
+    "energy_mj",
+    "mean_fps",
+)
+
+
+@dataclass(frozen=True)
+class StoreQuery:
+    """One declarative read of the experiment index.
+
+    Attributes:
+        platform: Exact-match filter on the platform axis (catalog
+            name, e.g. ``"Nexus 5"``); ``None`` matches everything.
+        policy: Exact-match filter on the registry policy name
+            (``"mobicore"``, ``"android-default"``, ...).
+        workload: Exact-match filter on the registry workload name
+            (``"busyloop"``, ``"game:asphalt8"``, ...).
+        seed: Exact-match filter on the config seed.
+        fault_plan: Exact-match filter on the fault-plan axis — the
+            comma-joined fault kinds of the spec's plan, ``""`` for
+            clean runs (so ``fault_plan=""`` selects exactly the
+            fault-free grid).
+        label: Exact-match filter on the config label.
+        columns: Projection — which columns the result rows carry, in
+            order.  Empty means :data:`DEFAULT_PROJECTION`.  Names
+            outside :data:`QUERYABLE_COLUMNS` raise
+            :class:`~repro.errors.StoreError` immediately.
+        since_schema_version: Keep only rows whose spec was addressed
+            at ``key_schema_version >=`` this value — "everything since
+            the schema change" without naming keys.
+    """
+
+    platform: Optional[str] = None
+    policy: Optional[str] = None
+    workload: Optional[str] = None
+    seed: Optional[int] = None
+    fault_plan: Optional[str] = None
+    label: Optional[str] = None
+    columns: Tuple[str, ...] = field(default=())
+    since_schema_version: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(self.columns))
+        unknown = [name for name in self.columns if name not in QUERYABLE_COLUMNS]
+        if unknown:
+            raise StoreError(
+                f"unknown store column(s) {unknown}; "
+                f"available: {', '.join(QUERYABLE_COLUMNS)}"
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise StoreError(f"seed filter must be an int, got {self.seed!r}")
+        if self.since_schema_version is not None and not isinstance(
+            self.since_schema_version, int
+        ):
+            raise StoreError(
+                "since_schema_version must be an int, "
+                f"got {self.since_schema_version!r}"
+            )
+
+    @property
+    def projection(self) -> Tuple[str, ...]:
+        """The effective column projection (default when none named)."""
+        return self.columns or DEFAULT_PROJECTION
+
+    def filters(self) -> Tuple[str, Tuple[object, ...]]:
+        """The WHERE clause and parameter tuple this query compiles to.
+
+        Every fragment is built from the fixed column vocabulary with
+        ``?`` placeholders — values never reach the SQL string — and an
+        unfiltered query compiles to the always-true clause.
+        """
+        clauses: List[str] = []
+        params: List[object] = []
+        for axis in AXIS_COLUMNS:
+            value = getattr(self, axis)
+            if value is not None:
+                clauses.append(f"{axis} = ?")
+                params.append(value)
+        if self.since_schema_version is not None:
+            clauses.append("key_schema_version >= ?")
+            params.append(self.since_schema_version)
+        return (" AND ".join(clauses) or "1=1", tuple(params))
+
+    def matches(self, row: dict) -> bool:
+        """Whether a fully-materialised index row satisfies the filters.
+
+        The pure-Python twin of :meth:`filters`, used by the blob-scan
+        reference path (:meth:`ExperimentStore.scan
+        <repro.store.store.ExperimentStore.scan>`) so index-backed and
+        scan-backed reads answer from one predicate definition.
+        """
+        for axis in AXIS_COLUMNS:
+            value = getattr(self, axis)
+            if value is not None and row.get(axis) != value:
+                return False
+        if (
+            self.since_schema_version is not None
+            and row.get("key_schema_version", 0) < self.since_schema_version
+        ):
+            return False
+        return True

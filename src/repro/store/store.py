@@ -1,0 +1,648 @@
+"""The queryable experiment store layered over the content-addressed cache.
+
+:class:`ExperimentStore` promotes the runner's on-disk result cache
+(:class:`~repro.runner.cache.ResultCache`) from "have I run this exact
+spec?" into a cross-run analysis substrate: every cached summary is
+indexed into a sqlite table (``index.sqlite`` in the cache root) keyed
+by the **same** sha256 cache key the blobs use, with the experiment
+axes — platform, policy, workload, seed, fault plan, label — extracted
+from the stored spec payload and the scenario registries, and every
+summary scalar promoted to a real column.
+
+The blobs stay canonical.  The index holds the summary's canonical
+JSON alongside the derived columns, so reads round-trip bit-identically
+(:meth:`ExperimentStore.summaries` rebuilds the exact
+:class:`~repro.metrics.summary.SessionSummary` the cache entry holds),
+and losing the index loses nothing: opening a store lazily backfills
+any unindexed entry from its blob — which is also how a warm pre-store
+v3 cache migrates in place with **zero recomputes**.  Live writes are
+ingested as they happen via the cache's ``on_store`` hook, through the
+same document-shaped code path as backfill, so the two can never drift.
+
+Sharded sweeps (``repro scenarios run --shard i/n``) land in separate
+store directories; :meth:`ExperimentStore.merge` unions them by key,
+detecting conflicts via the entries' existing sha256 summary checksums
+(two stores claiming one key with different checksums is corruption or
+a non-deterministic run, and raises :class:`~repro.errors.StoreError`
+rather than silently picking a side).  :meth:`ExperimentStore.gc`
+sweeps the blob tier's garbage: dangling/orphaned ``.npz`` column
+blobs, quarantined corpses, stale temp files, and index rows whose
+entry vanished.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from .query import (
+    AXIS_COLUMNS,
+    META_COLUMNS,
+    QUERYABLE_COLUMNS,
+    SUMMARY_COLUMNS,
+    StoreQuery,
+)
+from ..errors import StoreError
+from ..metrics.summary import SessionSummary
+from ..runner.cache import ResultCache, summary_from_dict
+
+__all__ = [
+    "ExperimentStore",
+    "StoreCounters",
+    "GcReport",
+    "index_row_from_document",
+]
+
+#: Version of the sqlite index schema (not of the blob entries — those
+#: keep their own :data:`~repro.runner.spec.CACHE_FORMAT_VERSION`).
+INDEX_SCHEMA_VERSION = 1
+
+#: Index filename inside the cache root.  Deliberately not ``*.json``,
+#: so the blob tier's entry scan never sees it.
+INDEX_FILENAME = "index.sqlite"
+
+_CREATE_RUNS = """
+CREATE TABLE IF NOT EXISTS runs (
+    key TEXT PRIMARY KEY,
+    key_schema_version INTEGER NOT NULL,
+    entry_version INTEGER NOT NULL,
+    checksum TEXT NOT NULL,
+    has_columns INTEGER NOT NULL,
+    platform TEXT NOT NULL,
+    policy TEXT NOT NULL,
+    workload TEXT NOT NULL,
+    seed INTEGER NOT NULL,
+    fault_plan TEXT NOT NULL,
+    label TEXT NOT NULL,
+    duration_seconds REAL,
+    mean_power_mw REAL,
+    mean_cpu_power_mw REAL,
+    energy_mj REAL,
+    mean_frequency_khz REAL,
+    mean_online_cores REAL,
+    mean_load_percent REAL,
+    mean_scaled_load_percent REAL,
+    load_std_percent REAL,
+    mean_quota REAL,
+    mean_fps REAL,
+    dvfs_transitions INTEGER,
+    hotplug_transitions INTEGER,
+    workload_metrics TEXT NOT NULL,
+    summary_json TEXT NOT NULL
+)
+"""
+
+_CREATE_AXIS_INDEX = (
+    "CREATE INDEX IF NOT EXISTS runs_axes "
+    "ON runs (policy, workload, platform, seed)"
+)
+
+
+def _registry_name(registry, payload: dict) -> Optional[str]:
+    """The registered name a factory-ref payload compiles from, if any.
+
+    Matches entries by dotted target, then requires every entry default
+    to appear verbatim in the payload's kwargs; among survivors the most
+    specific entry (most defaults) wins — which is what separates a
+    ``game:asphalt8`` alias (defaults pin the title) from the generic
+    ``game`` entry sharing the same factory.  ``None`` when nothing
+    registered produces this payload (hand-wired refs outside the
+    scenario layer).
+    """
+    target = payload.get("target")
+    kwargs = {name: value for name, value in payload.get("kwargs", ())}
+    best: Optional[str] = None
+    best_score = -1
+    for entry in registry.entries():
+        if entry.target != target:
+            continue
+        defaults = dict(entry.defaults)
+        if any(kwargs.get(name) != value for name, value in defaults.items()):
+            continue
+        if len(defaults) > best_score:
+            best, best_score = entry.name, len(defaults)
+    return best
+
+
+def _fault_plan_axis(spec_payload: dict) -> str:
+    """The fault-plan axis value: comma-joined kinds, ``""`` when clean."""
+    plan = spec_payload.get("faults")
+    if not isinstance(plan, dict):
+        return ""
+    kinds = [
+        str(fault.get("kind", "?"))
+        for fault in plan.get("faults", ())
+        if isinstance(fault, dict)
+    ]
+    return ",".join(kinds)
+
+
+def index_row_from_document(key: str, document: dict) -> Dict[str, object]:
+    """Derive one index row from a cache entry document.
+
+    The single axis-extraction path: live ingest (the ``on_store``
+    hook), lazy backfill, and the blob-scan reference reader all call
+    this, so an index row can never disagree with what a fresh read of
+    the blob would derive.  Policy and workload axes are resolved back
+    to scenario registry names (``"mobicore"``, ``"game:asphalt8"``)
+    when the stored factory ref matches a registration, falling back to
+    the raw dotted target for hand-wired specs.  The summary rides
+    along twice: scalar fields as real columns, and the whole payload
+    as canonical JSON (``summary_json``) so reads round-trip
+    bit-identically.
+
+    Raises:
+        StoreError: When the document lacks the summary/spec structure
+            a readable cache entry always has.
+    """
+    # Imported here (not at module top) so building a store never drags
+    # the scenario built-ins in before the caller's own registrations.
+    from ..scenario.registry import POLICY_REGISTRY, WORKLOAD_REGISTRY
+    from ..scenario import builtins as _builtins  # noqa: F401  (registers names)
+
+    summary = document.get("summary")
+    spec = document.get("spec")
+    if not isinstance(summary, dict) or not isinstance(spec, dict):
+        raise StoreError(f"cache entry {key} has no summary/spec payload to index")
+
+    platform_payload = spec.get("platform")
+    if isinstance(platform_payload, str):
+        platform = platform_payload
+    else:
+        platform = str(summary.get("platform", ""))
+
+    policy_payload = spec.get("policy") or {}
+    workload_payload = spec.get("workload") or {}
+    policy = _registry_name(POLICY_REGISTRY, policy_payload) or str(
+        policy_payload.get("target", summary.get("policy", ""))
+    )
+    workload = _registry_name(WORKLOAD_REGISTRY, workload_payload) or str(
+        workload_payload.get("target", summary.get("workload", ""))
+    )
+
+    config = spec.get("config") or {}
+    row: Dict[str, object] = {
+        "key": key,
+        "key_schema_version": int(spec.get("version", 0)),
+        "entry_version": int(document.get("version", 0)),
+        "checksum": str(document.get("checksum", "")),
+        "has_columns": 1 if isinstance(document.get("columns"), dict) else 0,
+        "platform": platform,
+        "policy": policy,
+        "workload": workload,
+        "seed": int(config.get("seed", summary.get("seed", 0))),
+        "fault_plan": _fault_plan_axis(spec),
+        "label": str(config.get("label", "")),
+        "workload_metrics": json.dumps(
+            summary.get("workload_metrics", {}), sort_keys=True, separators=(",", ":")
+        ),
+        "summary_json": json.dumps(summary, sort_keys=True, separators=(",", ":")),
+    }
+    for name in SUMMARY_COLUMNS:
+        if name == "workload_metrics":
+            continue
+        row[name] = summary.get(name)
+    return row
+
+
+@dataclass
+class StoreCounters:
+    """Monotonic self-accounting of one :class:`ExperimentStore`.
+
+    The metrics-plane bridge reads these (``repro_store_*`` families),
+    and ``store ls`` prints them; they only ever increase over the
+    store object's lifetime.
+
+    Attributes:
+        ingests: Live writes indexed through the cache's ``on_store``
+            hook.
+        backfilled: Pre-existing blob entries indexed by lazy backfill
+            (a warm v3 cache migrating in place counts everything
+            here, nothing under recomputation).
+        queries: Index reads served (:meth:`ExperimentStore.query` /
+            :meth:`ExperimentStore.summaries`).
+        merged_rows: Rows adopted from other stores by
+            :meth:`ExperimentStore.merge`.
+        gc_removed: Files removed by :meth:`ExperimentStore.gc`
+            (dangling blobs + quarantined corpses + stale temp files).
+    """
+
+    ingests: int = 0
+    backfilled: int = 0
+    queries: int = 0
+    merged_rows: int = 0
+    gc_removed: int = 0
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`ExperimentStore.gc` sweep actually removed.
+
+    Attributes:
+        dangling_blobs: ``.npz`` files whose entry vanished or no
+            longer references them (orphaned column blobs).
+        quarantined: Files swept out of the quarantine directory.
+        stale_temp: Leftover atomic-write staging files (``.*.tmp``)
+            from interrupted writers.
+        pruned_rows: Index rows deleted because their entry file is
+            gone.
+    """
+
+    dangling_blobs: Tuple[str, ...] = ()
+    quarantined: Tuple[str, ...] = ()
+    stale_temp: Tuple[str, ...] = ()
+    pruned_rows: int = 0
+
+    @property
+    def removed_files(self) -> int:
+        """Total files the sweep deleted."""
+        return len(self.dangling_blobs) + len(self.quarantined) + len(self.stale_temp)
+
+
+class ExperimentStore:
+    """A sqlite-indexed view over a :class:`ResultCache` directory.
+
+    Args:
+        root: The cache/store directory.  Created if missing; an
+            existing v3 cache opens in place — every already-cached
+            entry is lazily backfilled into the index on open, reading
+            blobs only (zero recomputes).
+        cache: An existing :class:`ResultCache` to adopt instead of
+            constructing one over *root*.  Its ``on_store`` hook is
+            taken over by the store so live writes are ingested.
+
+    Attributes:
+        cache: The blob tier.  The runner executes and caches through
+            it unchanged; the store only observes its writes.
+        counters: Monotonic :class:`StoreCounters` for the metrics
+            bridge and ``store ls``.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store root {str(self.root)!r} is not a directory")
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise StoreError(f"cannot create store root {self.root}: {error}") from error
+        self.cache = cache if cache is not None else ResultCache(self.root)
+        self.cache.on_store = self._ingest_write
+        self.counters = StoreCounters()
+        try:
+            self._connection = sqlite3.connect(str(self.index_path))
+            # Index rows are always rebuildable from the blobs (backfill),
+            # so trading a little durability for write speed is safe.
+            self._connection.execute("PRAGMA synchronous = NORMAL")
+            self._connection.execute(_CREATE_RUNS)
+            self._connection.execute(_CREATE_AXIS_INDEX)
+            self._connection.execute(
+                "CREATE TABLE IF NOT EXISTS meta (name TEXT PRIMARY KEY, value TEXT)"
+            )
+            self._connection.execute(
+                "INSERT OR IGNORE INTO meta (name, value) VALUES (?, ?)",
+                ("schema_version", str(INDEX_SCHEMA_VERSION)),
+            )
+            self._connection.commit()
+        except sqlite3.Error as error:
+            raise StoreError(
+                f"cannot open store index {self.index_path}: {error}"
+            ) from error
+        self.backfill()
+
+    @property
+    def index_path(self) -> Path:
+        """Where the sqlite index lives (inside the cache root)."""
+        return self.root / INDEX_FILENAME
+
+    # -- ingestion -------------------------------------------------------
+
+    def _ingest_write(self, key: str, document: dict) -> None:
+        """The cache's ``on_store`` hook: index a write as it lands."""
+        self.ingest(key, document)
+        self.counters.ingests += 1
+
+    def _upsert(self, key: str, document: dict) -> None:
+        """Write one derived index row (no commit — callers batch)."""
+        row = index_row_from_document(key, document)
+        names = ", ".join(row)
+        marks = ", ".join("?" for _ in row)
+        try:
+            self._connection.execute(
+                f"INSERT OR REPLACE INTO runs ({names}) VALUES ({marks})",
+                tuple(row.values()),
+            )
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot index cache entry {key}: {error}") from error
+
+    def ingest(self, key: str, document: dict) -> None:
+        """Index (or re-index) one cache entry document under *key*."""
+        self._upsert(key, document)
+        try:
+            self._connection.commit()
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot index cache entry {key}: {error}") from error
+
+    def backfill(self) -> int:
+        """Index every blob entry the index does not know yet.
+
+        The in-place migration path for warm pre-store caches: reads
+        blobs only, never executes anything, and skips entries already
+        indexed — so re-opening a store is O(entries) stat+select, not
+        O(entries) JSON parses.  Unreadable blobs are left to the
+        runner's corrupt-entry machinery (they are not index material).
+
+        Returns:
+            How many entries were newly indexed.
+        """
+        try:
+            known = {
+                row[0]
+                for row in self._connection.execute("SELECT key FROM runs").fetchall()
+            }
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot enumerate store index: {error}") from error
+        added = 0
+        for key in self.cache.keys():
+            if key in known:
+                continue
+            document = self.cache.read_document(key)
+            if document is None:
+                continue
+            try:
+                self._upsert(key, document)
+            except StoreError:
+                # A blob without the expected structure is corrupt-entry
+                # territory, not index territory: leave it to lookup().
+                continue
+            added += 1
+        if added:
+            try:
+                self._connection.commit()
+            except sqlite3.Error as error:
+                raise StoreError(f"cannot commit store backfill: {error}") from error
+        self.counters.backfilled += added
+        return added
+
+    # -- reads -----------------------------------------------------------
+
+    def query(self, query: Optional[StoreQuery] = None) -> List[Dict[str, object]]:
+        """Projected index rows matching *query*, ordered by key.
+
+        Each row is a plain dict of the query's projection columns.
+        ``has_columns`` reads back as a bool and ``workload_metrics``
+        as a dict; everything else is the scalar the summary holds.
+        """
+        query = query or StoreQuery()
+        projection = query.projection
+        where, params = query.filters()
+        sql = (
+            f"SELECT {', '.join(projection)} FROM runs "
+            f"WHERE {where} ORDER BY key"
+        )
+        try:
+            fetched = self._connection.execute(sql, params).fetchall()
+        except sqlite3.Error as error:
+            raise StoreError(f"store query failed: {error}") from error
+        self.counters.queries += 1
+        rows = [dict(zip(projection, values)) for values in fetched]
+        for row in rows:
+            if "has_columns" in row:
+                row["has_columns"] = bool(row["has_columns"])
+            if "workload_metrics" in row:
+                row["workload_metrics"] = json.loads(row["workload_metrics"])
+        return rows
+
+    def scan(self, query: Optional[StoreQuery] = None) -> List[Dict[str, object]]:
+        """The same read answered from the blobs alone (no index).
+
+        The reference implementation :meth:`query` must agree with —
+        ``benchmarks/bench_store.py`` asserts equality before timing
+        the two, and the CI smoke job replays that check.  Cost is a
+        full directory scan with one JSON parse per entry, which is
+        exactly the O(n) the index exists to avoid.
+        """
+        query = query or StoreQuery()
+        projection = query.projection
+        rows: List[Dict[str, object]] = []
+        for key in self.cache.keys():
+            document = self.cache.read_document(key)
+            if document is None:
+                continue
+            try:
+                full = index_row_from_document(key, document)
+            except StoreError:
+                continue
+            if not query.matches(full):
+                continue
+            row = {name: full.get(name) for name in projection}
+            if "has_columns" in row:
+                row["has_columns"] = bool(row["has_columns"])
+            if "workload_metrics" in row:
+                row["workload_metrics"] = json.loads(full["workload_metrics"])
+            rows.append(row)
+        rows.sort(key=lambda row: str(row.get("key", "")))
+        return rows
+
+    def summaries(self, query: Optional[StoreQuery] = None) -> List[SessionSummary]:
+        """Full :class:`SessionSummary` rows matching *query*, by key order.
+
+        Rebuilt from the canonical ``summary_json`` the index carries,
+        so every float is bit-identical to what
+        :meth:`~repro.runner.cache.ResultCache.lookup` would return for
+        the same entry.
+        """
+        query = query or StoreQuery()
+        where, params = query.filters()
+        try:
+            fetched = self._connection.execute(
+                f"SELECT summary_json FROM runs WHERE {where} ORDER BY key", params
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise StoreError(f"store query failed: {error}") from error
+        self.counters.queries += 1
+        return [summary_from_dict(json.loads(text)) for (text,) in fetched]
+
+    def index_row(self, key: str) -> Optional[Dict[str, object]]:
+        """The complete index row for *key*, or ``None`` when unindexed."""
+        try:
+            fetched = self._connection.execute(
+                f"SELECT {', '.join(QUERYABLE_COLUMNS)}, summary_json "
+                "FROM runs WHERE key = ?",
+                (key,),
+            ).fetchone()
+        except sqlite3.Error as error:
+            raise StoreError(f"store query failed: {error}") from error
+        if fetched is None:
+            return None
+        return dict(zip(QUERYABLE_COLUMNS + ("summary_json",), fetched))
+
+    def keys(self) -> List[str]:
+        """Every indexed cache key, sorted."""
+        try:
+            fetched = self._connection.execute(
+                "SELECT key FROM runs ORDER BY key"
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot enumerate store index: {error}") from error
+        return [key for (key,) in fetched]
+
+    def __len__(self) -> int:
+        """Number of indexed runs."""
+        try:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM runs"
+            ).fetchone()
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot count store index: {error}") from error
+        return int(count)
+
+    def __contains__(self, key: object) -> bool:
+        """``key in store`` — membership in the index."""
+        try:
+            return (
+                self._connection.execute(
+                    "SELECT 1 FROM runs WHERE key = ?", (key,)
+                ).fetchone()
+                is not None
+            )
+        except sqlite3.Error as error:
+            raise StoreError(f"store query failed: {error}") from error
+
+    # -- merge -----------------------------------------------------------
+
+    def merge(self, other: Union["ExperimentStore", str, os.PathLike]) -> int:
+        """Union *other*'s runs into this store, key by key.
+
+        The sharded-sweep join: each ``--shard i/n`` half runs into its
+        own store directory, then one ``merge`` per shard folds them
+        into the canonical store.  For every key the other store holds:
+
+        * unknown here — the entry blob (and its ``.npz`` column blob,
+          when present) is copied in atomically and indexed;
+        * already here with the **same** summary checksum — skipped
+          (idempotent re-merge);
+        * already here with a **different** checksum — the runs
+          disagree about one content address, which determinism says
+          cannot happen; raises :class:`~repro.errors.StoreError`
+          before anything is overwritten.
+
+        Returns:
+            How many runs were newly adopted.
+        """
+        source = (
+            other
+            if isinstance(other, ExperimentStore)
+            else ExperimentStore(other)
+        )
+        try:
+            fetched = source._connection.execute(
+                "SELECT key, checksum FROM runs ORDER BY key"
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise StoreError(f"cannot enumerate merge source: {error}") from error
+        adopted = 0
+        for key, checksum in fetched:
+            mine = self._connection.execute(
+                "SELECT checksum FROM runs WHERE key = ?", (key,)
+            ).fetchone()
+            if mine is not None:
+                if mine[0] != checksum:
+                    raise StoreError(
+                        f"merge conflict on key {key}: summary checksums differ "
+                        f"(ours {mine[0][:12]}..., theirs {str(checksum)[:12]}...)"
+                    )
+                continue
+            document = source.cache.read_document(key)
+            if document is None:
+                continue
+            entry_bytes = source.cache.path(key).read_bytes()
+            self.cache._write_atomic(self.cache.path(key), entry_bytes, key)
+            source_blob = source.cache.columns_path(key)
+            if isinstance(document.get("columns"), dict) and source_blob.is_file():
+                self.cache._write_atomic(
+                    self.cache.columns_path(key), source_blob.read_bytes(), key
+                )
+            self._upsert(key, document)
+            adopted += 1
+        if adopted:
+            try:
+                self._connection.commit()
+            except sqlite3.Error as error:
+                raise StoreError(f"cannot commit store merge: {error}") from error
+        self.counters.merged_rows += adopted
+        return adopted
+
+    # -- garbage collection ----------------------------------------------
+
+    def gc(self) -> GcReport:
+        """Sweep the blob tier's garbage and prune dead index rows.
+
+        Removes ``.npz`` column blobs whose entry vanished or no longer
+        references a blob (orphans from crashes between the blob and
+        entry writes, or from quarantined entries), everything in the
+        quarantine directory (corrupt corpses kept only for post-mortem
+        inspection), and stale atomic-write staging files.  Index rows
+        whose entry file is gone are deleted — the index never claims a
+        run the blobs cannot back.
+        """
+        dangling: List[str] = []
+        for blob in sorted(self.root.glob("*.npz")):
+            key = blob.stem
+            document = self.cache.read_document(key)
+            if document is None or not isinstance(document.get("columns"), dict):
+                blob.unlink()
+                dangling.append(blob.name)
+        quarantined: List[str] = []
+        quarantine = self.cache.quarantine_root
+        if quarantine.is_dir():
+            for corpse in sorted(quarantine.iterdir()):
+                if corpse.is_file():
+                    corpse.unlink()
+                    quarantined.append(corpse.name)
+        stale: List[str] = []
+        for temp in sorted(self.root.glob(".*.tmp")):
+            temp.unlink()
+            stale.append(temp.name)
+        live = set(self.cache.keys())
+        pruned = 0
+        for key in self.keys():
+            if key not in live:
+                self._connection.execute("DELETE FROM runs WHERE key = ?", (key,))
+                pruned += 1
+        self._connection.commit()
+        report = GcReport(
+            dangling_blobs=tuple(dangling),
+            quarantined=tuple(quarantined),
+            stale_temp=tuple(stale),
+            pruned_rows=pruned,
+        )
+        self.counters.gc_removed += report.removed_files
+        return report
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Commit and close the index connection (idempotent)."""
+        if getattr(self, "_connection", None) is not None:
+            self._connection.commit()
+            self._connection.close()
+            self._connection = None
+        if self.cache.on_store == self._ingest_write:
+            self.cache.on_store = None
+
+    def __enter__(self) -> "ExperimentStore":
+        """Context-manager entry: the store itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: close the index connection."""
+        self.close()

@@ -1,0 +1,1 @@
+"""Experiment store tests: index, backfill, merge, shard, gc."""

@@ -1,0 +1,199 @@
+"""The ``repro store`` command group and the sharded-run CLI flags.
+
+Exercises the full operator loop end to end through ``main()``: run a
+matrix sharded into two stores, merge, then query / ls / gc the result
+— asserting the merged store answers queries identically to an
+unsharded run of the same matrix.
+"""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+MATRIX = {
+    "base": {
+        "platform": "Nexus 5",
+        "workload": "busyloop",
+        "workload_params": {"target_load_percent": 40.0},
+        "config": {"duration_seconds": 2.0, "warmup_seconds": 0.5},
+    },
+    "axes": {
+        "seed": [0, 1],
+        "policy": ["android-default", "mobicore"],
+    },
+}
+
+
+@pytest.fixture
+def matrix_file(tmp_path):
+    path = tmp_path / "matrix.json"
+    path.write_text(json.dumps(MATRIX))
+    return str(path)
+
+
+def run_matrix(matrix_file, store_dir, shard=None):
+    argv = ["scenarios", "run", matrix_file, "--store-dir", str(store_dir)]
+    if shard:
+        argv += ["--shard", shard]
+    assert main(argv) == 0
+
+
+def query_json(capsys, store_dir, *flags):
+    capsys.readouterr()  # drain whatever the commands before printed
+    assert main(["store", "query", str(store_dir), "--format", "json", *flags]) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestStoreCommands:
+    def test_sharded_runs_merge_to_the_unsharded_answer(
+        self, tmp_path, matrix_file, capsys
+    ):
+        run_matrix(matrix_file, tmp_path / "unsharded")
+        run_matrix(matrix_file, tmp_path / "shard0", shard="0/2")
+        run_matrix(matrix_file, tmp_path / "shard1", shard="1/2")
+        assert (
+            main(
+                [
+                    "store",
+                    "merge",
+                    str(tmp_path / "merged"),
+                    str(tmp_path / "shard0"),
+                    str(tmp_path / "shard1"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "adopted 2 runs" in out
+        assert "4 runs total" in out
+        merged = query_json(capsys, tmp_path / "merged")
+        unsharded = query_json(capsys, tmp_path / "unsharded")
+        assert merged == unsharded
+        assert len(merged) == 4
+
+    def test_query_filters_and_projects(self, tmp_path, matrix_file, capsys):
+        run_matrix(matrix_file, tmp_path / "store")
+        rows = query_json(
+            capsys,
+            tmp_path / "store",
+            "--policy",
+            "mobicore",
+            "--seed",
+            "1",
+            "--columns",
+            "key,policy,seed,mean_power_mw",
+        )
+        assert len(rows) == 1
+        assert set(rows[0]) == {"key", "policy", "seed", "mean_power_mw"}
+        assert rows[0]["policy"] == "mobicore"
+        assert rows[0]["seed"] == 1
+
+    def test_query_csv_round_trips(self, tmp_path, matrix_file, capsys):
+        run_matrix(matrix_file, tmp_path / "store")
+        capsys.readouterr()
+        assert (
+            main(["store", "query", str(tmp_path / "store"), "--format", "csv"]) == 0
+        )
+        reader = csv.DictReader(io.StringIO(capsys.readouterr().out))
+        rows = list(reader)
+        assert len(rows) == 4
+        assert {row["policy"] for row in rows} == {"android-default", "mobicore"}
+
+    def test_query_table_truncates_keys(self, tmp_path, matrix_file, capsys):
+        run_matrix(matrix_file, tmp_path / "store")
+        capsys.readouterr()
+        assert main(["store", "query", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "4 runs" in out
+        # Full 64-hex keys stay out of the table format.
+        assert not any(len(word) == 64 for word in out.split())
+
+    def test_unknown_column_fails_cleanly(self, tmp_path, matrix_file, capsys):
+        run_matrix(matrix_file, tmp_path / "store")
+        assert (
+            main(
+                [
+                    "store",
+                    "query",
+                    str(tmp_path / "store"),
+                    "--columns",
+                    "no_such_column",
+                ]
+            )
+            == 2
+        )
+        assert "no_such_column" in capsys.readouterr().err
+
+    def test_ls_summarises_axes(self, tmp_path, matrix_file, capsys):
+        run_matrix(matrix_file, tmp_path / "store")
+        capsys.readouterr()
+        assert main(["store", "ls", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "indexed runs" in out and "4" in out
+        assert "android-default, mobicore" in out
+
+    def test_gc_round_trip(self, tmp_path, matrix_file, capsys):
+        run_matrix(matrix_file, tmp_path / "store")
+        (tmp_path / "store" / ("ff" * 32 + ".npz")).write_bytes(b"orphan")
+        assert main(["store", "gc", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "dangling column blobs" in out
+        # The sweep is effective and queries still answer afterwards.
+        assert not list((tmp_path / "store").glob("*.npz"))
+        assert len(query_json(capsys, tmp_path / "store")) == 4
+
+    def test_merge_conflict_fails_cleanly(self, tmp_path, matrix_file, capsys):
+        from repro.runner.cache import summary_checksum
+
+        run_matrix(matrix_file, tmp_path / "store")
+        evil = tmp_path / "evil"
+        evil.mkdir()
+        entry = next((tmp_path / "store").glob("*.json"))
+        document = json.loads(entry.read_text())
+        document["summary"]["mean_power_mw"] += 1.0
+        document["checksum"] = summary_checksum(document["summary"])
+        (evil / entry.name).write_text(json.dumps(document, sort_keys=True))
+        assert (
+            main(
+                [
+                    "store",
+                    "merge",
+                    str(tmp_path / "merged"),
+                    str(tmp_path / "store"),
+                    str(evil),
+                ]
+            )
+            == 2
+        )
+        assert "checksum" in capsys.readouterr().err.lower()
+
+
+class TestShardFlag:
+    def test_bad_shard_fails_cleanly(self, tmp_path, matrix_file, capsys):
+        assert (
+            main(["scenarios", "run", matrix_file, "--shard", "2/2"]) == 2
+        )
+        assert "shard" in capsys.readouterr().err
+
+    def test_store_and_cache_dir_conflict_fails_cleanly(
+        self, tmp_path, matrix_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "scenarios",
+                    "run",
+                    matrix_file,
+                    "--store-dir",
+                    str(tmp_path / "a"),
+                    "--cache-dir",
+                    str(tmp_path / "b"),
+                ]
+            )
+            == 2
+        )
+        assert "mutually exclusive" in capsys.readouterr().err

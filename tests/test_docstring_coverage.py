@@ -1,7 +1,7 @@
 """The documentation gates CI enforces, runnable locally.
 
 The infrastructure packages (`repro.faults`, `repro.runner`,
-`repro.scenario`), the columnar trace spine
+`repro.scenario`, `repro.store`), the columnar trace spine
 (`repro.kernel.trace_buffer`, `repro.obs.columnar`), the ops plane
 (`repro.obs.metrics_plane`), and the batch engine
 (`repro.kernel.batch_engine`) promise complete docstrings —
@@ -49,6 +49,11 @@ class TestGatedPackages:
 
     def test_batch_engine_fully_documented(self):
         result = run_tool("src/repro/kernel/batch_engine.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "(100.0%)" in result.stdout
+
+    def test_store_package_fully_documented(self):
+        result = run_tool("src/repro/store")
         assert result.returncode == 0, result.stdout + result.stderr
         assert "(100.0%)" in result.stdout
 
