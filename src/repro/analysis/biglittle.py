@@ -61,6 +61,26 @@ class ClusterModel:
         if self.num_cores < 1:
             raise ExperimentError(f"{self.name}: num_cores must be >= 1")
 
+    @classmethod
+    def from_spec(cls, spec, name: str = "") -> "ClusterModel":
+        """The analytical model of one catalog frequency domain.
+
+        Args:
+            spec: A :class:`~repro.soc.topology.ClusterSpec` — the same
+                object the simulator builds its
+                :class:`~repro.soc.topology.CpuTopology` from, so the
+                analytical sweep and a simulated run of the same board
+                share one calibration by construction.
+            name: Display name; defaults to the spec's cluster name.
+        """
+        return cls(
+            name=name or spec.name,
+            opp_table=spec.opp_table,
+            params=spec.power_params,
+            ipc_scale=spec.ipc_scale,
+            num_cores=spec.num_cores,
+        )
+
     def max_throughput_ips(self) -> float:
         """Reference instructions/second with every core at fmax."""
         return (
@@ -181,29 +201,35 @@ def render_comparison(points: Sequence[ComparisonPoint]) -> str:
 
 def default_little_cluster() -> ClusterModel:
     """A Cortex-A7-class quad: low ceilings, very low power, IPC ~0.6."""
+    from ..soc.topology import ClusterSpec
+
     table = OppTable.linear(
         [300_000, 400_000, 600_000, 800_000, 1_000_000, 1_200_000],
         min_voltage=0.85,
         max_voltage=1.05,
     )
-    return ClusterModel(
-        name="little",
-        opp_table=table,
-        params=PowerParams.from_static_anchors(
-            ceff_mw_per_ghz_v2=45.0,
-            static_at_vmin_mw=12.0,
-            static_at_vmax_mw=28.0,
-            vmin=0.85,
-            vmax=1.05,
-        ),
-        ipc_scale=0.6,
-        num_cores=4,
+    return ClusterModel.from_spec(
+        ClusterSpec(
+            name="little",
+            core_type="Cortex-A7",
+            num_cores=4,
+            opp_table=table,
+            power_params=PowerParams.from_static_anchors(
+                ceff_mw_per_ghz_v2=45.0,
+                static_at_vmin_mw=12.0,
+                static_at_vmax_mw=28.0,
+                vmin=0.85,
+                vmax=1.05,
+            ),
+            ipc_scale=0.6,
+        )
     )
 
 
 def default_big_cluster() -> ClusterModel:
     """A Krait/A15-class quad: the calibrated Nexus 5 core, IPC 1.0."""
     from ..soc.calibration import nexus5_opp_table, nexus5_power_params
+    from ..soc.topology import ClusterSpec
 
     import dataclasses
 
@@ -215,10 +241,13 @@ def default_big_cluster() -> ClusterModel:
         cache_span_mw=0.0,
         platform_base_mw=0.0,
     )
-    return ClusterModel(
-        name="big",
-        opp_table=nexus5_opp_table(),
-        params=params,
-        ipc_scale=1.0,
-        num_cores=4,
+    return ClusterModel.from_spec(
+        ClusterSpec(
+            name="big",
+            core_type="Krait 400",
+            num_cores=4,
+            opp_table=nexus5_opp_table(),
+            power_params=params,
+            ipc_scale=1.0,
+        )
     )

@@ -104,7 +104,7 @@ class MobiCorePolicy(CpuPolicy):
         return cls(
             power_params=platform.spec.power_params,
             opp_table=platform.opp_table,
-            num_cores=len(platform.cluster),
+            num_cores=len(platform.topology),
             **kwargs,
         )
 
@@ -131,7 +131,7 @@ class MobiCorePolicy(CpuPolicy):
                     GovernorInput(
                         load_percent=observation.per_core_load_percent[core_id],
                         current_khz=observation.frequencies_khz[core_id],
-                        opp_table=observation.opp_table,
+                        opp_table=observation.opp_table_of(core_id),
                         dt_seconds=observation.dt_seconds,
                     )
                 )
@@ -242,7 +242,7 @@ class MobiCorePolicy(CpuPolicy):
                         phone_utilization_percent=scaled_k,
                         active_cores=active_cores,
                         max_cores=observation.num_cores,
-                        opp_table=observation.opp_table,
+                        opp_table=observation.opp_table_of(core_id),
                     )
                 )
             )

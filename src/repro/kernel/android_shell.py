@@ -55,7 +55,7 @@ def build_sysfs(simulator: Simulator) -> SysfsTree:
     """Register the Android knob tree against *simulator*'s kernel objects."""
     tree = SysfsTree()
     platform = simulator.platform
-    cluster = platform.cluster
+    cluster = platform.topology
 
     def online_writer(core_id: int):
         def write(value: str) -> None:

@@ -87,6 +87,10 @@ def batch_compatibility_key(spec: Any) -> Optional[tuple]:
         platform_spec = spec.resolve_platform_spec()
     except Exception:
         return None
+    if len(platform_spec.cluster_specs()) > 1:
+        # Heterogeneous platforms run per-frequency-domain kernels the
+        # single-table vector program cannot express; scalar fallback.
+        return None
     table = platform_spec.opp_table
     opps = tuple(
         (table.by_index(i).frequency_khz, table.by_index(i).voltage)

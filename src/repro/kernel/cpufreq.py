@@ -6,10 +6,11 @@ the mechanism that applies them, enforcing (in order):
 1. user-imposed per-policy limits (``scaling_min_freq`` /
    ``scaling_max_freq`` in sysfs terms);
 2. the thermal cap, when the platform's thermal governor is active;
-3. quantisation onto the OPP table;
-4. the rail topology -- on a shared-rail platform all online cores are
-   forced to the highest requested OPP (no per-core DVFS,
-   section 4.1.2).
+3. quantisation onto the core's own frequency domain's OPP table;
+4. the rail topology -- within a shared-rail frequency domain all online
+   cores are forced to the highest requested OPP (no per-core DVFS,
+   section 4.1.2).  Domains are independent: a big.LITTLE device runs
+   each cluster at its own frequency.
 """
 
 from __future__ import annotations
@@ -46,10 +47,13 @@ class CpufreqSubsystem:
 
     def __init__(self, platform: Platform) -> None:
         self.platform = platform
-        table = platform.opp_table
+        # Each core's user window spans its own domain's ladder — on a
+        # homogeneous platform that is the one global table.
         self._limits: List[FrequencyLimits] = [
-            FrequencyLimits(table.min_frequency_khz, table.max_frequency_khz)
-            for _ in platform.cluster.cores
+            FrequencyLimits(
+                core.opp_table.min_frequency_khz, core.opp_table.max_frequency_khz
+            )
+            for core in platform.topology.cores
         ]
         self._transition_count = 0
         self._tp_transition = NULL_TRACEPOINT
@@ -82,8 +86,8 @@ class CpufreqSubsystem:
             raise GovernorError(f"no core {core_id}") from None
 
     def set_limits(self, core_id: int, min_khz: int, max_khz: int) -> None:
-        """Install a user frequency window (both must be OPP frequencies)."""
-        table = self.platform.opp_table
+        """Install a user frequency window (both must be OPPs of the core's domain)."""
+        table = self.platform.topology.core(core_id).opp_table
         if min_khz not in table or max_khz not in table:
             raise GovernorError(
                 f"limits ({min_khz}, {max_khz}) must both be OPP frequencies"
@@ -95,26 +99,29 @@ class CpufreqSubsystem:
 
         ``None`` entries leave that core's frequency unchanged.  Offline
         cores accept a setting (it takes effect when they come back) just
-        like real cpufreq.  Returns the resulting per-core frequencies.
+        like real cpufreq.  Each target is quantised onto the core's own
+        domain's OPP table.  Returns the resulting per-core frequencies.
         """
-        cluster = self.platform.cluster
-        if len(targets_khz) != len(cluster):
+        topology = self.platform.topology
+        if len(targets_khz) != len(topology):
             raise GovernorError(
-                f"{len(targets_khz)} targets for {len(cluster)} cores"
+                f"{len(targets_khz)} targets for {len(topology)} cores"
             )
-        table = self.platform.opp_table
         thermal_cap = self.platform.thermal.max_allowed_frequency_khz
-        resolved: List[int] = []
-        for core, target in zip(cluster.cores, targets_khz):
+        for core, target in zip(topology.cores, targets_khz):
             if target is None:
-                resolved.append(core.frequency_khz)
                 continue
+            table = core.opp_table
             clamped = self._limits[core.core_id].clamp(target)
             clamped = min(clamped, thermal_cap)
+            # The thermal cap may sit below a domain's entire ladder
+            # (e.g. a throttled big cluster); floor() would reject such a
+            # target, so clamp into the ladder before quantising.
+            clamped = max(clamped, table.min_frequency_khz)
             opp = table.ceil(clamped) if round_up else table.floor(clamped)
             frequency = min(opp.frequency_khz, thermal_cap)
             if frequency not in table:
-                frequency = table.floor(frequency).frequency_khz
+                frequency = table.floor(max(frequency, table.min_frequency_khz)).frequency_khz
             if frequency != core.frequency_khz:
                 self._transition_count += 1
                 tp = self._tp_transition
@@ -125,16 +132,16 @@ class CpufreqSubsystem:
                         new_khz=frequency,
                         governor=tp.bus.ctx_governor,
                         reason=tp.bus.ctx_reason,
+                        cluster=topology.cluster_id_of(core.core_id),
                     )
             core.set_frequency(frequency)
-            resolved.append(frequency)
-        if not self.platform.allows_per_core_dvfs:
-            self._unify_shared_rail(resolved)
-        return [core.frequency_khz for core in cluster.cores]
+        for cluster in topology.clusters:
+            if not self.platform.domain_allows_per_core_dvfs(cluster.cluster_id):
+                self._unify_shared_rail(cluster)
+        return [core.frequency_khz for core in topology.cores]
 
-    def _unify_shared_rail(self, resolved: Sequence[int]) -> None:
-        """Force all online cores to the fastest requested OPP (shared rail)."""
-        cluster = self.platform.cluster
+    def _unify_shared_rail(self, cluster) -> None:
+        """Force a domain's online cores to its fastest requested OPP (shared rail)."""
         online = cluster.online_cores
         if not online:
             return
@@ -150,5 +157,6 @@ class CpufreqSubsystem:
                         new_khz=fastest,
                         governor=tp.bus.ctx_governor,
                         reason="shared_rail_unify",
+                        cluster=cluster.cluster_id,
                     )
                 core.set_frequency(fastest)

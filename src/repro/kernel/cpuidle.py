@@ -15,7 +15,10 @@ from ..obs.bus import NULL_TRACEPOINT, TracepointBus
 from ..obs.events import CpuidleEvent
 from ..soc.core_state import CoreState
 from ..soc.cpu_cluster import CpuCluster
+from ..soc.topology import CpuTopology
 from ..units import require_positive
+
+from typing import Union
 
 __all__ = ["CpuidleStats"]
 
@@ -38,8 +41,8 @@ class CpuidleStats:
         """Register this subsystem's tracepoints on *bus*."""
         self._tp_entry = bus.tracepoint("cpuidle", "state_entry", CpuidleEvent)
 
-    def record(self, cluster: CpuCluster, dt_seconds: float) -> None:
-        """Accumulate *dt_seconds* of residency from the cluster's current states.
+    def record(self, cluster: Union[CpuCluster, CpuTopology], dt_seconds: float) -> None:
+        """Accumulate *dt_seconds* of residency from the core set's current states.
 
         A tick where a core was partially busy splits between ACTIVE and
         IDLE by its busy fraction, matching how cpuidle residency

@@ -137,11 +137,11 @@ class KernelStack:
         self.platform = platform
         self.cpufreq = CpufreqSubsystem(platform)
         self.hotplug = HotplugSubsystem(
-            platform.cluster, mpdecision_enabled=mpdecision_enabled
+            platform.topology, mpdecision_enabled=mpdecision_enabled
         )
         self.bandwidth = CpuBandwidthController()
         self.procstat = ProcStat()
-        self.cpuidle = CpuidleStats(len(platform.cluster))
+        self.cpuidle = CpuidleStats(len(platform.topology))
         self._trace: Optional[TracepointBus] = None
 
     def attach_trace(self, bus: TracepointBus) -> None:
@@ -320,7 +320,7 @@ class Session:
         """Reset everything and arm the session at tick zero."""
         # A fresh residency ledger per session: results returned by earlier
         # runs keep their cpuidle statistics instead of aliasing this run's.
-        self.stack.cpuidle = CpuidleStats(len(self.platform.cluster))
+        self.stack.cpuidle = CpuidleStats(len(self.platform.topology))
         if self.trace_bus is not None:
             self.trace_bus.clear()
             self.stack.attach_trace(self.trace_bus)
@@ -338,7 +338,7 @@ class Session:
         self.scheduler.reset()
         self.policy.reset()
         context = WorkloadContext(
-            num_cores=len(self.platform.cluster),
+            num_cores=len(self.platform.topology),
             opp_table=self.platform.opp_table,
             dt_seconds=self.config.tick_seconds,
             seed=self.config.seed,
@@ -348,7 +348,7 @@ class Session:
         # Columnar recorder sized to the session: one allocation, no growth.
         self._trace = TraceRecorder(
             warmup_ticks=self.config.warmup_ticks,
-            num_cores=len(self.platform.cluster),
+            num_cores=len(self.platform.topology),
             expected_ticks=self.config.total_ticks,
         )
         self._tick = 0
@@ -376,7 +376,7 @@ class Session:
             )
         stack = self.stack
         platform = self.platform
-        cluster = platform.cluster
+        cluster = platform.topology
         dt = self.config.tick_seconds
         tick = self._tick
 
@@ -407,11 +407,12 @@ class Session:
 
         breakdown = platform.power_breakdown()
         temperature = platform.thermal.step(breakdown.cpu_mw, dt)
-        fmax = platform.opp_table.max_frequency_khz
+        # Each core normalises against its own domain's fmax — on a
+        # homogeneous platform that is the one global fmax, same number.
         scaled_load = (
             100.0
             * sum(
-                c.busy_fraction * c.frequency_khz / fmax
+                c.busy_fraction * c.frequency_khz / c.max_frequency_khz
                 for c in cluster.online_cores
             )
             / len(cluster)
@@ -461,6 +462,8 @@ class Session:
             opp_table=platform.opp_table,
             backlog_cycles=dispatch.total_backlog,
             allows_per_core_dvfs=platform.allows_per_core_dvfs,
+            cluster_ids=cluster.cluster_ids,
+            cluster_opp_tables=tuple(c.opp_table for c in cluster.clusters),
         )
         if self._injector is not None:
             # Sensor dropout blinds only the policy: accounting above has

@@ -13,20 +13,31 @@ latency and churn.  Hotplug *drivers* (the decision logic) live in
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Union
 
 from ..errors import HotplugError
 from ..obs.bus import NULL_TRACEPOINT, TracepointBus
-from ..obs.events import HotplugEvent, HotplugFailureEvent, MpdecisionVetoEvent
 from ..soc.cpu_cluster import CpuCluster
+from ..soc.topology import CpuTopology
+from ..obs.events import HotplugEvent, HotplugFailureEvent, MpdecisionVetoEvent
 
 __all__ = ["HotplugSubsystem"]
 
 
 class HotplugSubsystem:
-    """Applies online-mask requests to a cluster, honouring mpdecision."""
+    """Applies online-mask requests to a core set, honouring mpdecision.
 
-    def __init__(self, cluster: CpuCluster, mpdecision_enabled: bool = True) -> None:
+    Operates on either a standalone :class:`CpuCluster` or a whole
+    :class:`CpuTopology` — both expose the same mask interface over
+    global core ids, so heterogeneous devices hotplug through the exact
+    code path homogeneous ones do.
+    """
+
+    def __init__(
+        self,
+        cluster: Union[CpuCluster, CpuTopology],
+        mpdecision_enabled: bool = True,
+    ) -> None:
         self.cluster = cluster
         self._mpdecision_enabled = mpdecision_enabled
         self._failing_requests = False
@@ -127,6 +138,7 @@ class HotplugSubsystem:
                         core=core_id,
                         online=now,
                         util_percent=tp.bus.ctx_util_percent,
+                        cluster=self.cluster.cluster_id_of(core_id),
                     )
         return after
 

@@ -27,7 +27,10 @@ from ..errors import SchedulerError
 from ..obs.bus import NULL_TRACEPOINT, TracepointBus
 from ..obs.events import SchedMigrationEvent
 from ..soc.cpu_cluster import CpuCluster
+from ..soc.topology import CpuTopology
 from ..units import require_fraction, require_positive
+
+from typing import Union
 
 __all__ = ["DispatchResult", "LoadBalancingScheduler"]
 
@@ -107,11 +110,19 @@ class LoadBalancingScheduler:
     def dispatch(
         self,
         demands: Sequence[TaskDemand],
-        cluster: CpuCluster,
+        cluster: Union[CpuCluster, CpuTopology],
         dt_seconds: float,
         quota: float = 1.0,
     ) -> DispatchResult:
-        """Distribute this tick's demand (plus backlog) and execute it."""
+        """Distribute this tick's demand (plus backlog) and execute it.
+
+        Accepts a standalone cluster or a whole topology: placement runs
+        over global core ids and capacities.  On a heterogeneous
+        topology a big core advertises more remaining (IPC-scaled)
+        capacity than a little core at the same frequency, so the
+        greedy balancer naturally prefers big cores for heavy serial
+        tasks and migrates tasks across clusters as capacities shift.
+        """
         require_positive(dt_seconds, "dt_seconds")
         require_fraction(quota, "quota")
         online = cluster.online_cores
@@ -215,12 +226,16 @@ class LoadBalancingScheduler:
         self,
         leftover_by_task: Dict[int, float],
         task_index: Dict[int, Task],
-        cluster: CpuCluster,
+        cluster: Union[CpuCluster, CpuTopology],
         dt_seconds: float,
     ) -> float:
-        """Persist leftovers as next-tick backlog, applying the cap."""
+        """Persist leftovers as next-tick backlog, applying the cap.
+
+        The cap is sized against the fastest domain's fmax — one "tick
+        of a core" means the strongest core available.
+        """
         cap = (
-            cluster.opp_table.max_frequency_khz * 1000.0 * dt_seconds * self.backlog_cap_ticks
+            cluster.max_frequency_khz * 1000.0 * dt_seconds * self.backlog_cap_ticks
         )
         dropped = 0.0
         for task_id, cycles in leftover_by_task.items():

@@ -72,6 +72,8 @@ class FreqTransitionEvent(TraceEvent):
     core: int = 0
     old_khz: int = 0
     new_khz: int = 0
+    #: Frequency domain the core belongs to (0 on homogeneous platforms).
+    cluster: int = 0
     #: The deciding entity (policy/governor name) from the bus context.
     governor: Optional[str] = None
     #: Free-form cause from the policy decision, e.g. ``"ondemand:jump_to_max"``.
@@ -89,6 +91,8 @@ class HotplugEvent(TraceEvent):
     online: bool = False
     #: Global utilization that triggered the decision (bus context).
     util_percent: Optional[float] = None
+    #: Frequency domain the core belongs to (0 on homogeneous platforms).
+    cluster: int = 0
 
 
 @dataclass(frozen=True)

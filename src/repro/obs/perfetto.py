@@ -130,9 +130,15 @@ def session_chrome_events(
         ts = event.ts_us
         if isinstance(event, FreqTransitionEvent):
             ensure_core_thread(event.core)
-            out.append(
-                counter(f"cpu{event.core} freq_khz", ts, event.new_khz, "cpufreq")
+            # Cluster 0 keeps the historical track name so homogeneous
+            # traces (and their goldens) are byte-for-byte unchanged;
+            # other frequency domains get their own labelled tracks.
+            track = (
+                f"cpu{event.core} freq_khz"
+                if event.cluster == 0
+                else f"cluster{event.cluster} cpu{event.core} freq_khz"
             )
+            out.append(counter(track, ts, event.new_khz, "cpufreq"))
         elif isinstance(event, HotplugEvent):
             ensure_core_thread(event.core)
             state = "online" if event.online else "offline"
@@ -142,7 +148,11 @@ def session_chrome_events(
                     ts,
                     _core_tid(event.core),
                     "hotplug",
-                    {"util_percent": event.util_percent, "online": event.online},
+                    {
+                        "util_percent": event.util_percent,
+                        "online": event.online,
+                        "cluster": event.cluster,
+                    },
                 )
             )
         elif isinstance(event, MpdecisionVetoEvent):

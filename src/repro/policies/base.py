@@ -36,9 +36,14 @@ class SystemObservation:
         frequencies_khz: Current per-core frequencies.
         online_mask: Which cores are online.
         quota: Bandwidth quota currently in effect.
-        opp_table: The platform's DVFS table.
+        opp_table: The primary frequency domain's DVFS table (the only
+            domain on homogeneous platforms).
         backlog_cycles: Unfinished work carried into the next tick.
         allows_per_core_dvfs: Whether per-core frequencies are legal.
+        cluster_ids: Frequency-domain index per core; empty means one
+            homogeneous domain (every core in cluster 0).
+        cluster_opp_tables: DVFS table per frequency domain, indexed by
+            cluster id; empty means every core shares ``opp_table``.
     """
 
     tick: int
@@ -52,6 +57,8 @@ class SystemObservation:
     opp_table: OppTable
     backlog_cycles: float = 0.0
     allows_per_core_dvfs: bool = True
+    cluster_ids: Sequence[int] = ()
+    cluster_opp_tables: Sequence[OppTable] = ()
 
     @property
     def num_cores(self) -> int:
@@ -63,14 +70,33 @@ class SystemObservation:
         """Cores currently online."""
         return sum(1 for on in self.online_mask if on)
 
+    def cluster_of(self, core_id: int) -> int:
+        """The frequency-domain index of one core (0 when homogeneous)."""
+        if not self.cluster_ids:
+            return 0
+        return self.cluster_ids[core_id]
+
+    def opp_table_of(self, core_id: int) -> OppTable:
+        """The DVFS table governing one core.
+
+        Per-core governors must quantise against this table — on a
+        big.LITTLE device a little core's frequencies are not entries of
+        the big (primary) table.
+        """
+        if not self.cluster_opp_tables:
+            return self.opp_table
+        return self.cluster_opp_tables[self.cluster_of(core_id)]
+
     def scaled_load_percent(self, core_id: int) -> float:
-        """One core's load normalised to fmax capacity.
+        """One core's load normalised to its own fmax capacity.
 
         ``load * f_current / f_max``: the frequency-invariant demand
         measure hotplug drivers threshold against (a core 80% busy at
-        fmin is nearly idle in fmax terms).
+        fmin is nearly idle in fmax terms).  fmax is the core's own
+        domain's ceiling, which on homogeneous platforms is the one
+        global table's.
         """
-        fmax = self.opp_table.max_frequency_khz
+        fmax = self.opp_table_of(core_id).max_frequency_khz
         return (
             self.per_core_load_percent[core_id]
             * self.frequencies_khz[core_id]

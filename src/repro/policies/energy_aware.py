@@ -1,0 +1,279 @@
+"""An EAS-style energy-aware placement policy for big.LITTLE platforms.
+
+Linux's Energy Aware Scheduler picks task placements by consulting an
+energy model of the CPU topology instead of raw capacity alone.  This
+policy reproduces that decision shape at the tick granularity of our
+simulator: each tick it
+
+1. measures the platform's demand in **IPC-scaled work** (instructions
+   per second), so a cycle on a little core and a cycle on a big core
+   are weighed by what they actually retire;
+2. enumerates candidate placements -- how many cores of each frequency
+   domain to keep online -- and, per placement, the cross product of
+   per-domain operating points;
+3. costs every feasible candidate with the section-4.1 power model
+   (:meth:`~repro.soc.power_model.CpuPowerModel.predict_cpu_mw`, one
+   evaluation per domain) and picks the cheapest;
+4. applies hysteresis before changing the online mask, so the placement
+   does not thrash between adjacent operating points.
+
+On a homogeneous platform the policy degenerates to a model-driven
+(n, f) optimiser over the single domain -- it runs anywhere, but its
+reason to exist is the heterogeneous case: under a sustained spinning
+load it discovers that four little cores at a mid OPP beat "everything
+online at fmax" (the race-to-idle placement) by a wide margin, which is
+exactly the comparison the big.LITTLE end-to-end test pins down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import CpuPolicy, PolicyDecision, SystemObservation
+from ..errors import ConfigError
+from ..soc.power_model import CpuPowerModel
+from ..soc.topology import ClusterSpec
+from ..units import clamp, require_fraction, require_positive
+
+__all__ = ["EnergyAwarePolicy"]
+
+
+class EnergyAwarePolicy(CpuPolicy):
+    """Model-driven placement over frequency domains (EAS at tick scale).
+
+    Args:
+        cluster_specs: The platform's frequency domains, in global
+            core-id order (the first spec owns core 0, the boot core).
+        target_utilization: Headroom factor: the chosen placement must
+            carry the measured demand at or below this busy fraction,
+            so transient growth does not immediately saturate.
+        switch_margin_percent: A placement with a different online mask
+            is only adopted when it predicts at least this much cheaper
+            CPU power than staying put (hysteresis against thrash).
+        min_residency_ticks: Minimum ticks between online-mask changes;
+            frequency moves within a placement are never held back.
+        burst_threshold_percent: A core busier than this is considered
+            saturated -- measured load then under-reports true demand.
+        burst_boost: Demand multiplier applied while saturated, so the
+            placement search can climb out of a too-small configuration.
+    """
+
+    def __init__(
+        self,
+        cluster_specs: Sequence[ClusterSpec],
+        target_utilization: float = 0.8,
+        switch_margin_percent: float = 5.0,
+        min_residency_ticks: int = 3,
+        burst_threshold_percent: float = 95.0,
+        burst_boost: float = 1.5,
+    ) -> None:
+        if not cluster_specs:
+            raise ConfigError("EnergyAwarePolicy needs at least one cluster spec")
+        require_fraction(target_utilization, "target_utilization")
+        if target_utilization <= 0.0:
+            raise ConfigError("target_utilization must be positive")
+        if switch_margin_percent < 0.0:
+            raise ConfigError(
+                f"switch_margin_percent must be >= 0, got {switch_margin_percent}"
+            )
+        if min_residency_ticks < 0:
+            raise ConfigError(
+                f"min_residency_ticks must be >= 0, got {min_residency_ticks}"
+            )
+        require_positive(burst_boost, "burst_boost")
+        self.name = "energy-aware"
+        self.cluster_specs = tuple(cluster_specs)
+        self.target_utilization = target_utilization
+        self.switch_margin_percent = switch_margin_percent
+        self.min_residency_ticks = min_residency_ticks
+        self.burst_threshold_percent = burst_threshold_percent
+        self.burst_boost = burst_boost
+        self._models = tuple(
+            CpuPowerModel(spec.power_params, spec.opp_table)
+            for spec in self.cluster_specs
+        )
+        # Per-domain OPP option tables, precomputed so the placement
+        # search costs arithmetic only: (capacity_ips, frequency_khz,
+        # dynamic_mw, static_mw, span_fraction) per operating point.
+        # The model terms come from the domain's own CpuPowerModel, so a
+        # candidate's cost is exactly predict_cpu_mw evaluated inline.
+        self._opp_options: Tuple[Tuple[Tuple[float, int, float, float, float], ...], ...]
+        self._opp_options = tuple(
+            tuple(
+                (
+                    spec.ipc_scale * 1000.0 * opp.frequency_khz,
+                    opp.frequency_khz,
+                    model.dynamic_power_mw(opp),
+                    model.static_power_mw(opp),
+                    spec.opp_table.span_fraction(opp.frequency_khz),
+                )
+                for opp in (
+                    spec.opp_table.by_index(i) for i in range(len(spec.opp_table))
+                )
+            )
+            for spec, model in zip(self.cluster_specs, self._models)
+        )
+        self._num_cores = sum(spec.num_cores for spec in self.cluster_specs)
+        self._counts: Optional[Tuple[int, ...]] = None
+        self._ticks_since_switch = 0
+
+    @classmethod
+    def for_platform_spec(cls, platform_spec, **kwargs) -> "EnergyAwarePolicy":
+        """Build the policy from a :class:`~repro.soc.platform.PlatformSpec`."""
+        return cls(platform_spec.cluster_specs(), **kwargs)
+
+    def reset(self) -> None:
+        """Forget the held placement (fresh session, fresh hysteresis)."""
+        self._counts = None
+        self._ticks_since_switch = 0
+
+    # -- demand measurement ----------------------------------------------
+
+    def _members(self, observation: SystemObservation) -> List[List[int]]:
+        """Global core ids per frequency domain, in id order."""
+        members: List[List[int]] = [[] for _ in self.cluster_specs]
+        for core_id in range(observation.num_cores):
+            members[observation.cluster_of(core_id)].append(core_id)
+        return members
+
+    def _demand_ips(self, observation: SystemObservation) -> float:
+        """Measured work in IPC-scaled instructions per second.
+
+        Each online core contributes ``load * f * ipc_scale``; a core
+        pegged at (nearly) full busy under-reports, so the total is
+        boosted while any core is saturated.
+        """
+        work = 0.0
+        saturated = False
+        for core_id in range(observation.num_cores):
+            if not observation.online_mask[core_id]:
+                continue
+            load = observation.per_core_load_percent[core_id]
+            ipc = self.cluster_specs[observation.cluster_of(core_id)].ipc_scale
+            work += (load / 100.0) * observation.frequencies_khz[core_id] * 1000.0 * ipc
+            if load >= self.burst_threshold_percent:
+                saturated = True
+        if saturated:
+            work *= self.burst_boost
+        return work
+
+    # -- placement search --------------------------------------------------
+
+    def _candidate_counts(self) -> List[Tuple[int, ...]]:
+        """Every per-domain online-count vector the topology allows.
+
+        The first domain owns the boot core, so its count never drops to
+        zero; any other domain may power down entirely.
+        """
+        ranges = []
+        for index, spec in enumerate(self.cluster_specs):
+            low = 1 if index == 0 else 0
+            ranges.append(range(low, spec.num_cores + 1))
+        return [counts for counts in itertools.product(*ranges)]
+
+    def _best_point_for_counts(
+        self, counts: Tuple[int, ...], demand_ips: float
+    ) -> Optional[Tuple[float, Tuple[int, ...]]]:
+        """Cheapest feasible per-domain OPP vector for one placement.
+
+        Returns ``(predicted_cpu_mw, frequencies)`` or ``None`` when no
+        OPP combination carries the demand within the headroom target.
+        Demand is assumed to water-fill proportionally to capacity (the
+        scheduler's behaviour), so every online core runs at the same
+        busy fraction.
+        """
+        required = demand_ips / self.target_utilization
+        active = [i for i, count in enumerate(counts) if count > 0]
+        option_lists = [self._opp_options[i] for i in active]
+        best: Optional[Tuple[float, Tuple[int, ...]]] = None
+        for combo in itertools.product(*option_lists):
+            capacity = sum(
+                counts[domain] * option[0] for domain, option in zip(active, combo)
+            )
+            if capacity <= 0.0 or capacity < required:
+                continue
+            busy = clamp(demand_ips / capacity, 0.0, 1.0)
+            cost = 0.0
+            for domain, (_, _, dynamic, static, span) in zip(active, combo):
+                count = counts[domain]
+                params = self.cluster_specs[domain].power_params
+                cost += count * (busy * dynamic + static)
+                if count >= 2:
+                    cost += (
+                        params.cluster_overhead_base_mw
+                        + params.cluster_overhead_span_mw * span
+                    )
+                cost += busy * (params.cache_base_mw + params.cache_span_mw * span)
+            if best is None or cost < best[0]:
+                by_domain = dict(zip(active, combo))
+                frequencies = tuple(
+                    by_domain[i][1] if i in by_domain else 0
+                    for i in range(len(counts))
+                )
+                best = (cost, frequencies)
+        return best
+
+    # -- the policy interface ----------------------------------------------
+
+    def decide(self, observation: SystemObservation) -> PolicyDecision:
+        """Pick the cheapest feasible placement for this tick's demand.
+
+        Enumerates per-domain core counts and operating points, prices
+        each candidate with the Eq. (1)/(2) model, and keeps the held
+        placement unless a rival undercuts it by the switch margin
+        after the residency window (infeasibility switches immediately).
+        """
+        if observation.num_cores != self._num_cores:
+            raise ConfigError(
+                f"energy-aware policy built for {self._num_cores} cores, "
+                f"observed {observation.num_cores}"
+            )
+        members = self._members(observation)
+        demand = self._demand_ips(observation)
+
+        candidates: Dict[Tuple[int, ...], Tuple[float, Tuple[int, ...]]] = {}
+        for counts in self._candidate_counts():
+            point = self._best_point_for_counts(counts, demand)
+            if point is not None:
+                candidates[counts] = point
+        if not candidates:
+            # Demand exceeds even everything-at-fmax: saturate the platform.
+            counts = tuple(spec.num_cores for spec in self.cluster_specs)
+            frequencies = tuple(
+                spec.opp_table.max_frequency_khz for spec in self.cluster_specs
+            )
+            candidates[counts] = (float("inf"), frequencies)
+
+        best_counts = min(
+            candidates,
+            key=lambda c: (candidates[c][0], sum(c), candidates[c][1]),
+        )
+        chosen = best_counts
+        self._ticks_since_switch += 1
+        if self._counts is not None and self._counts != best_counts:
+            stay = candidates.get(self._counts)
+            margin = 1.0 - self.switch_margin_percent / 100.0
+            if stay is not None and (
+                self._ticks_since_switch < self.min_residency_ticks
+                or candidates[best_counts][0] >= stay[0] * margin
+            ):
+                chosen = self._counts
+        if chosen != self._counts:
+            self._ticks_since_switch = 0
+            self._counts = chosen
+
+        cost, frequencies = candidates[chosen]
+        mask = [False] * observation.num_cores
+        targets: List[Optional[float]] = [None] * observation.num_cores
+        for domain, count in enumerate(chosen):
+            for core_id in members[domain][:count]:
+                mask[core_id] = True
+                targets[core_id] = float(frequencies[domain])
+        layout = "+".join(str(count) for count in chosen)
+        return PolicyDecision(
+            target_frequencies_khz=targets,
+            online_mask=mask,
+            quota=1.0,
+            reason=f"eas:{layout}",
+        )

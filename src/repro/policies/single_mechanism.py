@@ -52,7 +52,7 @@ class DvfsOnlyPolicy(CpuPolicy):
                         GovernorInput(
                             load_percent=observation.per_core_load_percent[core_id],
                             current_khz=observation.frequencies_khz[core_id],
-                            opp_table=observation.opp_table,
+                            opp_table=observation.opp_table_of(core_id),
                             dt_seconds=observation.dt_seconds,
                         )
                     )

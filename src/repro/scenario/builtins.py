@@ -18,13 +18,14 @@ from __future__ import annotations
 
 from ..core.mobicore import MobiCorePolicy
 from ..policies.android_default import AndroidDefaultPolicy
+from ..policies.energy_aware import EnergyAwarePolicy
 from ..policies.single_mechanism import (
     DcsOnlyPolicy,
     DvfsOnlyPolicy,
     RaceToIdlePolicy,
 )
 from ..policies.static import StaticPolicy
-from ..soc.catalog import PHONE_CATALOG, get_phone_spec
+from ..soc.catalog import HETERO_CATALOG, PHONE_CATALOG, get_phone_spec
 from ..workloads.busyloop import BusyLoopApp
 from ..workloads.games import GAME_PROFILES, GameWorkload, game_workload
 from ..workloads.geekbench import GeekbenchWorkload
@@ -42,6 +43,7 @@ __all__ = [
     "dvfs_only_policy",
     "dcs_only_policy",
     "race_to_idle_policy",
+    "energy_aware_policy",
     "busyloop_app",
     "geekbench_app",
     "game_session",
@@ -103,6 +105,22 @@ def race_to_idle_policy() -> RaceToIdlePolicy:
     return RaceToIdlePolicy()
 
 
+@register_policy("energy-aware", pass_platform=True)
+def energy_aware_policy(
+    platform: str = "Odroid-XU3",
+    target_utilization: float = 0.8,
+    switch_margin_percent: float = 5.0,
+    min_residency_ticks: int = 3,
+) -> EnergyAwarePolicy:
+    """EAS-style model-driven placement over the platform's frequency domains."""
+    return EnergyAwarePolicy.for_platform_spec(
+        get_phone_spec(platform),
+        target_utilization=target_utilization,
+        switch_margin_percent=switch_margin_percent,
+        min_residency_ticks=min_residency_ticks,
+    )
+
+
 # -- workloads -----------------------------------------------------------
 
 
@@ -158,6 +176,16 @@ for _title in GAME_PROFILES:
 # scenario's platform string doubles as the SessionSpec platform name
 # (which keeps compiled cache addresses stable).
 for _name, _factory in PHONE_CATALOG.items():
+    PLATFORM_REGISTRY.add(
+        _name,
+        f"{_factory.__module__}:{_factory.__qualname__}",
+        summary=(_factory.__doc__ or "").strip().splitlines()[0],
+    )
+
+# The heterogeneous (big.LITTLE) boards live in their own catalog so the
+# Figure 1 fleet sweeps stay exactly the six phones the paper measured;
+# scenarios name them the same way ("Odroid-XU3", "Galaxy S6").
+for _name, _factory in HETERO_CATALOG.items():
     PLATFORM_REGISTRY.add(
         _name,
         f"{_factory.__module__}:{_factory.__qualname__}",

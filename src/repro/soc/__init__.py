@@ -11,6 +11,7 @@ from .core_state import CoreState, TRANSITION_LATENCY_SECONDS, can_transition
 from .opp import Opp, OppTable
 from .cpu_core import CpuCore
 from .cpu_cluster import CpuCluster
+from .topology import ClusterSpec, CpuTopology
 from .power_model import PowerParams, CpuPowerModel, PowerBreakdown
 from .platform import PlatformSpec, Platform
 from .catalog import (
@@ -20,7 +21,10 @@ from .catalog import (
     galaxy_s2_spec,
     nexus4_spec,
     lg_g3_spec,
+    odroid_xu3_spec,
+    galaxy_s6_spec,
     PHONE_CATALOG,
+    HETERO_CATALOG,
     get_phone_spec,
     fleet_specs,
 )
@@ -38,6 +42,8 @@ __all__ = [
     "OppTable",
     "CpuCore",
     "CpuCluster",
+    "ClusterSpec",
+    "CpuTopology",
     "PowerParams",
     "CpuPowerModel",
     "PowerBreakdown",
@@ -49,7 +55,10 @@ __all__ = [
     "galaxy_s2_spec",
     "nexus4_spec",
     "lg_g3_spec",
+    "odroid_xu3_spec",
+    "galaxy_s6_spec",
     "PHONE_CATALOG",
+    "HETERO_CATALOG",
     "get_phone_spec",
     "GpuModel",
     "GpuSpec",

@@ -30,6 +30,7 @@ from .opp import OppTable
 from .platform import PlatformSpec
 from .power_model import PowerParams
 from .thermal import ThermalParams
+from .topology import ClusterSpec
 from ..errors import PlatformError
 from ..units import mhz
 
@@ -40,7 +41,12 @@ __all__ = [
     "galaxy_s2_spec",
     "nexus4_spec",
     "lg_g3_spec",
+    "odroid_xu3_spec",
+    "galaxy_s6_spec",
+    "little_a7_cluster",
+    "big_a15_cluster",
     "PHONE_CATALOG",
+    "HETERO_CATALOG",
     "get_phone_spec",
 ]
 
@@ -271,6 +277,168 @@ def lg_g3_spec() -> PlatformSpec:
     )
 
 
+def little_a7_cluster() -> ClusterSpec:
+    """The 4× Cortex-A7 LITTLE cluster of the Exynos 5422 (Odroid-XU3).
+
+    An in-order core: low voltages, a short OPP ladder, and an IPC around
+    0.6 of the out-of-order A15 — the "little cores could improve the
+    energy efficiency" half of the paper's section 3.4 remark.
+    """
+    table = OppTable.linear(
+        [mhz(f) for f in (300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200)],
+        min_voltage=0.85,
+        max_voltage=1.05,
+    )
+    return ClusterSpec(
+        name="little",
+        core_type="Cortex-A7",
+        num_cores=4,
+        opp_table=table,
+        power_params=PowerParams.from_static_anchors(
+            ceff_mw_per_ghz_v2=45.0,
+            static_at_vmin_mw=12.0,
+            static_at_vmax_mw=28.0,
+            vmin=0.85,
+            vmax=1.05,
+            cluster_overhead_base_mw=15.0,
+            cluster_overhead_span_mw=15.0,
+            cache_base_mw=10.0,
+            cache_span_mw=20.0,
+        ),
+        ipc_scale=0.6,
+        rail_topology=RailTopology.SHARED,
+    )
+
+
+def big_a15_cluster() -> ClusterSpec:
+    """The 4× Cortex-A15 big cluster of the Exynos 5422 (Odroid-XU3).
+
+    As the primary (fastest) cluster it also carries the whole device's
+    ``platform_base_mw`` floor; the cluster runs one shared frequency
+    domain, as real big.LITTLE silicon does.
+    """
+    table = OppTable.linear(
+        [mhz(f) for f in (800, 1000, 1200, 1400, 1600, 1800, 1900, 2000)],
+        min_voltage=0.9,
+        max_voltage=1.2625,
+    )
+    return ClusterSpec(
+        name="big",
+        core_type="Cortex-A15",
+        num_cores=4,
+        opp_table=table,
+        power_params=PowerParams.from_static_anchors(
+            ceff_mw_per_ghz_v2=250.0,
+            static_at_vmin_mw=45.0,
+            static_at_vmax_mw=130.0,
+            vmin=0.9,
+            vmax=1.2625,
+            cluster_overhead_base_mw=40.0,
+            cluster_overhead_span_mw=60.0,
+            cache_base_mw=20.0,
+            cache_span_mw=50.0,
+            platform_base_mw=260.0,
+        ),
+        ipc_scale=1.0,
+        rail_topology=RailTopology.SHARED,
+    )
+
+
+def odroid_xu3_spec() -> PlatformSpec:
+    """Odroid-XU3 (Exynos 5422, 2014): the reference big.LITTLE board.
+
+    4× Cortex-A7 LITTLE (the boot cluster, cores 0-3) + 4× Cortex-A15
+    big (cores 4-7), each a shared-rail frequency domain — the standard
+    platform of the big.LITTLE scheduling literature and the first
+    heterogeneous device in the catalog.
+    """
+    return PlatformSpec.from_clusters(
+        name="Odroid-XU3",
+        soc="Exynos 5422",
+        release_year=2014,
+        clusters=(little_a7_cluster(), big_a15_cluster()),
+        gpu=GpuSpec("Mali-T628 MP6", mhz(600), 50.0, 1800.0),
+        memory=MemorySpec(mhz(206), mhz(933), 35.0, 260.0, 6.0e9),
+        thermal=ThermalParams(
+            ambient_c=24.0, resistance_c_per_w=6.5, time_constant_s=10.0
+        ),
+        os_name="Android 6.0 (Marshmallow)",
+        l2_cache_kb=2048,
+    )
+
+
+def galaxy_s6_spec() -> PlatformSpec:
+    """Samsung Galaxy S6 (Exynos 7420, 2015): a 4+4 A57/A53 phone.
+
+    The second heterogeneous entry: higher clocks than the XU3 on both
+    clusters and a stronger little core (the A53 is roughly 0.7 of an
+    A57 per cycle), so energy-aware placement faces a different
+    crossover point.
+    """
+    little_table = OppTable.linear(
+        [mhz(f) for f in (400, 600, 800, 1000, 1104, 1296, 1400, 1500)],
+        min_voltage=0.8,
+        max_voltage=1.05,
+    )
+    little = ClusterSpec(
+        name="little",
+        core_type="Cortex-A53",
+        num_cores=4,
+        opp_table=little_table,
+        power_params=PowerParams.from_static_anchors(
+            ceff_mw_per_ghz_v2=55.0,
+            static_at_vmin_mw=10.0,
+            static_at_vmax_mw=26.0,
+            vmin=0.8,
+            vmax=1.05,
+            cluster_overhead_base_mw=15.0,
+            cluster_overhead_span_mw=20.0,
+            cache_base_mw=10.0,
+            cache_span_mw=25.0,
+        ),
+        ipc_scale=0.7,
+        rail_topology=RailTopology.SHARED,
+    )
+    big_table = OppTable.linear(
+        [mhz(f) for f in (800, 1000, 1200, 1400, 1600, 1800, 2000, 2100)],
+        min_voltage=0.9,
+        max_voltage=1.2,
+    )
+    big = ClusterSpec(
+        name="big",
+        core_type="Cortex-A57",
+        num_cores=4,
+        opp_table=big_table,
+        power_params=PowerParams.from_static_anchors(
+            ceff_mw_per_ghz_v2=230.0,
+            static_at_vmin_mw=40.0,
+            static_at_vmax_mw=115.0,
+            vmin=0.9,
+            vmax=1.2,
+            cluster_overhead_base_mw=35.0,
+            cluster_overhead_span_mw=55.0,
+            cache_base_mw=20.0,
+            cache_span_mw=45.0,
+            platform_base_mw=300.0,
+        ),
+        ipc_scale=1.0,
+        rail_topology=RailTopology.SHARED,
+    )
+    return PlatformSpec.from_clusters(
+        name="Galaxy S6",
+        soc="Exynos 7420",
+        release_year=2015,
+        clusters=(little, big),
+        gpu=GpuSpec("Mali-T760 MP8", mhz(772), 55.0, 2000.0),
+        memory=MemorySpec(mhz(416), mhz(1552), 40.0, 320.0, 24.0e9),
+        thermal=ThermalParams(
+            ambient_c=24.0, resistance_c_per_w=7.5, time_constant_s=11.0
+        ),
+        os_name="Android 7.0 (Nougat)",
+        l2_cache_kb=2048,
+    )
+
+
 #: The Figure 1 fleet in release order; factory per phone so specs stay immutable.
 PHONE_CATALOG: Dict[str, Callable[[], PlatformSpec]] = {
     "Nexus S": nexus_s_spec,
@@ -281,13 +449,19 @@ PHONE_CATALOG: Dict[str, Callable[[], PlatformSpec]] = {
     "LG G3": lg_g3_spec,
 }
 
+#: Heterogeneous (big.LITTLE) devices; kept out of PHONE_CATALOG so the
+#: Figure 1 fleet and its calibration-dependent tests stay untouched.
+HETERO_CATALOG: Dict[str, Callable[[], PlatformSpec]] = {
+    "Odroid-XU3": odroid_xu3_spec,
+    "Galaxy S6": galaxy_s6_spec,
+}
+
 
 def get_phone_spec(name: str) -> PlatformSpec:
     """Look up a catalog phone by name; raise :class:`PlatformError` if unknown."""
-    try:
-        factory = PHONE_CATALOG[name]
-    except KeyError:
-        known = ", ".join(sorted(PHONE_CATALOG))
+    factory = PHONE_CATALOG.get(name) or HETERO_CATALOG.get(name)
+    if factory is None:
+        known = ", ".join(sorted(PHONE_CATALOG) + sorted(HETERO_CATALOG))
         raise PlatformError(f"unknown phone {name!r}; catalog has: {known}") from None
     return factory()
 

@@ -27,13 +27,37 @@ class CpuCluster:
     Per-core DVFS is allowed (each core has an independent rail on the
     Nexus 5); global DVFS is available through :meth:`set_all_frequencies`
     for platforms with a shared rail.
+
+    A cluster may be one frequency domain of a larger
+    :class:`~repro.soc.topology.CpuTopology`: its cores then carry
+    *global* ids starting at ``first_core_id``, and ``cluster_id`` /
+    ``name`` identify the domain in trace events and policy views.  The
+    defaults reproduce the original standalone single-cluster behaviour
+    exactly.
     """
 
-    def __init__(self, num_cores: int, opp_table: OppTable) -> None:
+    def __init__(
+        self,
+        num_cores: int,
+        opp_table: OppTable,
+        first_core_id: int = 0,
+        cluster_id: int = 0,
+        name: str = "cpu",
+        ipc_scale: float = 1.0,
+    ) -> None:
         if num_cores < 1:
             raise HotplugError(f"a cluster needs at least one core, got {num_cores}")
+        if first_core_id < 0:
+            raise HotplugError(f"first_core_id must be non-negative, got {first_core_id}")
         self.opp_table = opp_table
-        self._cores: List[CpuCore] = [CpuCore(i, opp_table) for i in range(num_cores)]
+        self.first_core_id = first_core_id
+        self.cluster_id = cluster_id
+        self.name = name
+        self.ipc_scale = ipc_scale
+        self._cores: List[CpuCore] = [
+            CpuCore(first_core_id + i, opp_table, ipc_scale=ipc_scale)
+            for i in range(num_cores)
+        ]
 
     def __len__(self) -> int:
         return len(self._cores)
@@ -46,15 +70,39 @@ class CpuCluster:
 
     @property
     def cores(self) -> Sequence[CpuCore]:
-        """All cores, indexed by core id."""
+        """All cores, ordered by (global) core id."""
         return tuple(self._cores)
 
+    @property
+    def max_frequency_khz(self) -> int:
+        """This domain's fmax (top of its OPP ladder)."""
+        return self.opp_table.max_frequency_khz
+
+    @property
+    def contains_boot_core(self) -> bool:
+        """True when global core 0 — the unpluggable boot core — lives here."""
+        return self.first_core_id == 0
+
+    def cluster_id_of(self, core_id: int) -> int:
+        """The frequency-domain index of *core_id* (this cluster's own id).
+
+        Mirrors :meth:`~repro.soc.topology.CpuTopology.cluster_id_of` so
+        kernel subsystems can address a standalone cluster and a full
+        topology uniformly.
+        """
+        self.core(core_id)
+        return self.cluster_id
+
     def core(self, core_id: int) -> CpuCore:
-        """Return the core with id *core_id*."""
-        try:
-            return self._cores[core_id]
-        except IndexError:
-            raise HotplugError(f"no core {core_id} in a {len(self._cores)}-core cluster") from None
+        """Return the core with *global* id *core_id*."""
+        index = core_id - self.first_core_id
+        if not 0 <= index < len(self._cores):
+            raise HotplugError(
+                f"no core {core_id} in cluster {self.name!r} "
+                f"(cores {self.first_core_id}.."
+                f"{self.first_core_id + len(self._cores) - 1})"
+            )
+        return self._cores[index]
 
     # -- online mask -----------------------------------------------------
 
@@ -84,10 +132,11 @@ class CpuCluster:
             raise HotplugError(
                 f"mask has {len(mask)} entries for a {len(self._cores)}-core cluster"
             )
-        if not mask[0]:
-            raise HotplugError("core 0 is the boot core and cannot be offlined")
-        if not any(mask):
-            raise HotplugError("at least one core must stay online")
+        if self.contains_boot_core:
+            if not mask[0]:
+                raise HotplugError("core 0 is the boot core and cannot be offlined")
+            if not any(mask):
+                raise HotplugError("at least one core must stay online")
         latency = 0.0
         for core, online in zip(self._cores, mask):
             if online and not core.is_online:
@@ -102,9 +151,10 @@ class CpuCluster:
         Matches the default hotplug driver's behaviour of plugging cores
         in id order.  Returns total transition latency.
         """
-        if not 1 <= count <= len(self._cores):
+        floor = 1 if self.contains_boot_core else 0
+        if not floor <= count <= len(self._cores):
             raise HotplugError(
-                f"online count must be in 1..{len(self._cores)}, got {count}"
+                f"online count must be in {floor}..{len(self._cores)}, got {count}"
             )
         mask = [i < count for i in range(len(self._cores))]
         return self.set_online_mask(mask)
@@ -136,14 +186,16 @@ class CpuCluster:
         return sum(c.capacity_cycles(dt_seconds, quota) for c in self._cores)
 
     def max_capacity_cycles(self, dt_seconds: float) -> float:
-        """Cycles the cluster could execute with all cores online at fmax.
+        """Reference cycles with all cores online at fmax (IPC-scaled).
 
         This is the denominator of the paper's "global CPU load": 100%
         global load needs every core active at its highest frequency
-        (section 3.4).
+        (section 3.4).  The trailing ``ipc_scale`` factor converts raw
+        cycles into reference-core work; it is exactly 1.0 on
+        homogeneous platforms, where ``x * 1.0`` is an IEEE-754 no-op.
         """
         fmax_hz = self.opp_table.max_frequency_khz * 1000.0
-        return fmax_hz * dt_seconds * len(self._cores)
+        return fmax_hz * dt_seconds * len(self._cores) * self.ipc_scale
 
     def global_utilization_percent(self) -> float:
         """Average busy percentage over online cores (section 2.2 definition).

@@ -20,16 +20,23 @@ class CpuCore:
     """One CPU core with independent DVFS and hotplug state.
 
     Attributes:
-        core_id: Stable 0-based identifier; core 0 is the boot core and
-            can never be offlined (Linux invariant).
+        core_id: Stable 0-based *global* identifier (numbered across all
+            clusters of the topology); core 0 is the boot core and can
+            never be offlined (Linux invariant).
         opp_table: The DVFS table shared by all cores of the cluster.
+        ipc_scale: Work retired per cycle relative to the reference core
+            type — 1.0 for a big/homogeneous core, < 1.0 for a little
+            in-order core.  Scales :meth:`capacity_cycles`.
     """
 
-    def __init__(self, core_id: int, opp_table: OppTable) -> None:
+    def __init__(self, core_id: int, opp_table: OppTable, ipc_scale: float = 1.0) -> None:
         if core_id < 0:
             raise CoreStateError(f"core_id must be non-negative, got {core_id}")
+        if ipc_scale <= 0.0:
+            raise CoreStateError(f"ipc_scale must be positive, got {ipc_scale}")
         self.core_id = core_id
         self.opp_table = opp_table
+        self.ipc_scale = ipc_scale
         self._state = CoreState.IDLE
         self._frequency_khz = opp_table.min_frequency_khz
         self._busy_fraction = 0.0
@@ -86,6 +93,11 @@ class CpuCore:
         return self._frequency_khz
 
     @property
+    def max_frequency_khz(self) -> int:
+        """This core's own fmax — the top of its cluster's OPP ladder."""
+        return self.opp_table.max_frequency_khz
+
+    @property
     def opp(self) -> Opp:
         """Current OPP (frequency and voltage)."""
         return self.opp_table.at(self._frequency_khz)
@@ -127,14 +139,19 @@ class CpuCore:
         return self._busy_fraction
 
     def capacity_cycles(self, dt_seconds: float, quota: float = 1.0) -> float:
-        """Cycles this core can execute in *dt_seconds* under a bandwidth quota.
+        """Reference cycles this core can retire in *dt_seconds* under a quota.
 
-        An offline core has zero capacity.
+        An offline core has zero capacity.  Capacity is expressed in
+        *reference* cycles — the raw cycle budget scaled by
+        ``ipc_scale`` — so demands sized against a big core compare
+        directly across heterogeneous clusters.  Multiplying by an
+        ``ipc_scale`` of exactly 1.0 is a bit-exact no-op in IEEE-754,
+        preserving the homogeneous parity contract.
         """
         require_fraction(quota, "quota")
         if not self.is_online:
             return 0.0
-        return self._frequency_khz * 1000.0 * dt_seconds * quota
+        return self._frequency_khz * 1000.0 * dt_seconds * quota * self.ipc_scale
 
     def account(self, busy_fraction: float) -> None:
         """Record the busy fraction for the tick and update ACTIVE/IDLE state.

@@ -1,0 +1,104 @@
+"""The topology refactor's parity contract, pinned bit for bit.
+
+``tests/data/golden_single_cluster.json`` was captured on the
+pre-topology code (one hard-coded cluster per platform): one busyloop
+session per (platform, policy) pair over the whole registered fleet,
+with every float summary field stored as ``float.hex`` and the runner
+cache key alongside.  This test re-runs the exact same sessions on the
+current code and demands **bit identity** — same cache keys (so every
+pre-refactor on-disk cache and store stays warm) and same summaries to
+the last ulp (see ``docs/NUMERICS.md``).
+
+If this test fails after an intentional numerics change, the golden
+must be re-captured *from the seed commit*, not from the new code.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.kernel.engine import Session
+from repro.metrics.summary import summarize
+from repro.scenario import Scenario, compile_scenario
+from repro.soc.platform import Platform
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_single_cluster.json"
+
+#: The float summary fields pinned by the golden, hex-encoded.
+HEX_FIELDS = (
+    "mean_power_mw",
+    "mean_cpu_power_mw",
+    "energy_mj",
+    "mean_frequency_khz",
+    "mean_online_cores",
+    "mean_load_percent",
+    "load_std_percent",
+)
+
+
+def load_golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+def golden_points():
+    return sorted(load_golden())
+
+
+@pytest.mark.parametrize("point", golden_points())
+def test_single_cluster_sessions_are_bit_identical(point):
+    platform_name, policy_name = point.split("|")
+    golden = load_golden()[point]
+    scenario = Scenario(
+        platform=platform_name,
+        policy=policy_name,
+        workload="busyloop",
+        workload_params={"target_load_percent": 55.0, "num_threads": 2},
+        config=SimulationConfig(
+            tick_seconds=0.020, duration_seconds=6.0, seed=7, warmup_seconds=1.0
+        ),
+    )
+    spec = compile_scenario(scenario)
+
+    # Content addresses must not move: a cache or store populated before
+    # the topology refactor must stay warm after it.
+    assert spec.cache_key() == golden["cache_key"], (
+        f"{point}: cache key drifted — pre-refactor caches would go cold"
+    )
+
+    session = Session(
+        Platform.from_spec(spec.resolve_platform_spec()),
+        spec.build_workload(),
+        spec.build_policy(),
+        spec.config,
+        pin_uncore_max=spec.pin_uncore_max,
+    )
+    summary = summarize(session.run())
+    for field in HEX_FIELDS:
+        actual = getattr(summary, field).hex()
+        assert actual == golden[field], (
+            f"{point}: {field} drifted from the seed "
+            f"({actual} != {golden[field]})"
+        )
+    assert summary.dvfs_transitions == golden["dvfs_transitions"], point
+    assert summary.hotplug_transitions == golden["hotplug_transitions"], point
+
+
+def test_golden_covers_the_seed_fleet():
+    """The golden spans every seed platform and the Nexus 5 ablations."""
+    points = golden_points()
+    platforms = {point.split("|")[0] for point in points}
+    assert len(points) == 15
+    assert "Nexus 5" in platforms and len(platforms) == 6
+    nexus5_policies = {
+        point.split("|")[1] for point in points if point.startswith("Nexus 5|")
+    }
+    assert nexus5_policies == {
+        "android-default",
+        "mobicore",
+        "race-to-idle",
+        "dvfs-only",
+        "dcs-only",
+    }

@@ -1,0 +1,153 @@
+"""Heterogeneous topologies through the kernel layer and the batch runner."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.kernel.batch_engine import batch_compatibility_key
+from repro.kernel.cpufreq import CpufreqSubsystem
+from repro.kernel.engine import Session
+from repro.kernel.hotplug import HotplugSubsystem
+from repro.metrics.summary import summarize
+from repro.obs.bus import TracepointBus
+from repro.runner.runner import SessionRunner
+from repro.runner.spec import SessionSpec
+from repro.scenario import policy_ref, workload_ref
+from repro.soc.catalog import odroid_xu3_spec
+from repro.soc.platform import Platform
+from repro.workloads.busyloop import BusyLoopApp
+
+
+@pytest.fixture
+def xu3():
+    return Platform.from_spec(odroid_xu3_spec())
+
+
+def hetero_session(policy_name="energy-aware", seconds=2.0, bus=None):
+    platform = Platform.from_spec(odroid_xu3_spec())
+    policy = policy_ref(policy_name, platform="Odroid-XU3").resolve()
+    workload = BusyLoopApp(50.0, num_threads=2, idle_gap_seconds=0.0)
+    config = SimulationConfig(duration_seconds=seconds, seed=3, warmup_seconds=0.4)
+    return Session(platform, workload, policy, config, trace=bus)
+
+
+class TestHeteroCpufreq:
+    def test_targets_quantise_per_domain(self, xu3):
+        cpufreq = CpufreqSubsystem(xu3)
+        # 300 MHz is little's fmin but below big's whole ladder.
+        applied = cpufreq.apply([300_000.0] * 8)
+        little_table = xu3.topology.clusters[0].opp_table
+        big_table = xu3.topology.clusters[1].opp_table
+        assert applied[:4] == [300_000] * 4
+        assert applied[4:] == [big_table.min_frequency_khz] * 4
+        assert all(f in little_table for f in applied[:4])
+        assert all(f in big_table for f in applied[4:])
+
+    def test_shared_rail_unifies_within_domain_only(self, xu3):
+        cpufreq = CpufreqSubsystem(xu3)
+        little_table = xu3.topology.clusters[0].opp_table
+        big_table = xu3.topology.clusters[1].opp_table
+        # Mixed targets inside each shared-rail domain unify to the
+        # domain max — not to one global frequency.
+        applied = cpufreq.apply(
+            [300_000.0, 1_200_000.0, 300_000.0, 300_000.0]
+            + [800_000.0, 2_000_000.0, 800_000.0, 800_000.0]
+        )
+        assert applied[:4] == [1_200_000] * 4
+        assert applied[4:] == [2_000_000] * 4
+        assert little_table.max_frequency_khz == 1_200_000
+        assert big_table.max_frequency_khz == 2_000_000
+
+    def test_limits_are_per_domain(self, xu3):
+        cpufreq = CpufreqSubsystem(xu3)
+        assert cpufreq.limits(0).max_khz == 1_200_000
+        assert cpufreq.limits(4).max_khz == 2_000_000
+
+
+class TestHeteroTraceEvents:
+    def collect(self, category):
+        bus = TracepointBus()
+        session = hetero_session(seconds=1.0, bus=bus)
+        session.run()
+        return [e for e in bus.events if e.category == category]
+
+    def test_freq_events_carry_cluster(self):
+        events = self.collect("cpufreq")
+        assert events, "expected frequency transitions"
+        clusters = {(e.core, e.cluster) for e in events}
+        for core, cluster in clusters:
+            assert cluster == (0 if core < 4 else 1)
+        assert any("cluster" in e.payload() for e in events)
+
+    def test_hotplug_events_carry_cluster(self):
+        events = self.collect("hotplug")
+        assert events, "expected hotplug transitions"
+        for event in events:
+            assert event.cluster == (0 if event.core < 4 else 1)
+
+    def test_homogeneous_events_default_cluster_zero(self, platform):
+        bus = TracepointBus()
+        hotplug = HotplugSubsystem(platform.topology)
+        hotplug.attach_trace(bus)
+        hotplug.set_mpdecision(False)
+        hotplug.apply_mask([True, True, False, False])
+        events = [e for e in bus.events if e.category == "hotplug"]
+        assert events and all(e.cluster == 0 for e in events)
+
+
+class TestHeteroEngine:
+    def test_session_runs_and_observes_domains(self):
+        session = hetero_session(seconds=1.0)
+        summary = summarize(session.run())
+        assert summary.mean_power_mw > 0
+        assert summary.mean_online_cores >= 1.0
+
+    def test_mobicore_runs_on_hetero(self):
+        summary = summarize(hetero_session("mobicore", seconds=1.0).run())
+        assert summary.mean_power_mw > 0
+
+
+def hetero_spec(seed, policy="energy-aware", platform="Odroid-XU3"):
+    return SessionSpec(
+        platform=platform,
+        policy=policy_ref(policy, platform=platform),
+        workload=workload_ref("busyloop", target_load_percent=45.0, num_threads=2),
+        config=SimulationConfig(duration_seconds=1.5, seed=seed, warmup_seconds=0.3),
+    )
+
+
+def homo_spec(seed, policy="mobicore", platform="Nexus 5"):
+    return SessionSpec(
+        platform=platform,
+        policy=policy_ref(policy, platform=platform),
+        workload=workload_ref("busyloop", target_load_percent=45.0),
+        config=SimulationConfig(duration_seconds=1.5, seed=seed, warmup_seconds=0.3),
+    )
+
+
+class TestHeteroBatchFallback:
+    def test_multi_cluster_specs_are_not_batchable(self):
+        assert batch_compatibility_key(hetero_spec(0)) is None
+        assert batch_compatibility_key(homo_spec(0)) is not None
+
+    def test_mixed_sweep_vectorizes_homogeneous_only(self):
+        """Satellite: a sweep mixing big.LITTLE and homogeneous specs
+        vectorizes the homogeneous members and serially executes the
+        rest — with results identical to a plain serial run."""
+        specs = [
+            homo_spec(0),
+            hetero_spec(0),
+            homo_spec(1),
+            hetero_spec(1, policy="race-to-idle"),
+            homo_spec(2),
+        ]
+        expected = SessionRunner(jobs=1).run(specs)
+        report = SessionRunner(jobs=1, batch=True).run_report(specs)
+        assert report.summaries == expected
+        details = [outcome.detail for outcome in report.outcomes]
+        # Homogeneous members shared one vector program...
+        assert details[0].startswith("batched(")
+        assert details[2].startswith("batched(")
+        assert details[4].startswith("batched(")
+        # ...while the big.LITTLE members took the scalar path.
+        assert details[1] == ""
+        assert details[3] == ""

@@ -91,7 +91,12 @@ class TestPublication:
         (event,) = bus.events
         assert event.ts_us == 12_345
         assert event.core == 2
-        assert event.payload() == {"core": 2, "online": False, "util_percent": 7.5}
+        assert event.payload() == {
+            "core": 2,
+            "online": False,
+            "util_percent": 7.5,
+            "cluster": 0,  # frequency domain, defaulted on homogeneous platforms
+        }
 
     def test_counts_and_totals(self):
         bus = TracepointBus()

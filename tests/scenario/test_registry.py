@@ -92,9 +92,12 @@ class TestBuiltins:
             assert name in WORKLOAD_REGISTRY
 
     def test_platform_keys_match_phone_catalog(self):
-        from repro.soc.catalog import PHONE_CATALOG
+        from repro.soc.catalog import HETERO_CATALOG, PHONE_CATALOG
 
-        assert PLATFORM_REGISTRY.names() == tuple(PHONE_CATALOG)
+        # The Fig. 1 fleet first, then the big.LITTLE boards.
+        assert PLATFORM_REGISTRY.names() == (
+            tuple(PHONE_CATALOG) + tuple(HETERO_CATALOG)
+        )
 
     def test_game_key_slugs_titles(self):
         assert game_key("Asphalt 8") == "game:asphalt8"

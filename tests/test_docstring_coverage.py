@@ -1,7 +1,8 @@
 """The documentation gates CI enforces, runnable locally.
 
 The infrastructure packages (`repro.faults`, `repro.runner`,
-`repro.scenario`, `repro.store`), the columnar trace spine
+`repro.scenario`, `repro.store`), the hardware substrate (`repro.soc`
+plus `repro.policies.energy_aware`), the columnar trace spine
 (`repro.kernel.trace_buffer`, `repro.obs.columnar`), the ops plane
 (`repro.obs.metrics_plane`), and the batch engine
 (`repro.kernel.batch_engine`) promise complete docstrings —
@@ -54,6 +55,11 @@ class TestGatedPackages:
 
     def test_store_package_fully_documented(self):
         result = run_tool("src/repro/store")
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "(100.0%)" in result.stdout
+
+    def test_soc_package_fully_documented(self):
+        result = run_tool("src/repro/soc", "src/repro/policies/energy_aware.py")
         assert result.returncode == 0, result.stdout + result.stderr
         assert "(100.0%)" in result.stdout
 
